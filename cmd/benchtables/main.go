@@ -1,0 +1,90 @@
+// Command benchtables regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	benchtables                  # every experiment, paper scale
+//	benchtables -quick           # small corpus, small budgets
+//	benchtables -only table3     # one experiment
+//	benchtables -execs 20000     # override campaign budget
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"kernelgpt/internal/bench"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "small corpus and budgets (smoke run)")
+	only := flag.String("only", "", "comma-separated experiment ids (table1..table6, figure7, ablation-iterative, ablation-model, ablation-repair, ablation-locality, audit, tokens)")
+	execs := flag.Int("execs", 0, "override whole-suite campaign budget")
+	perDriver := flag.Int("perdriver", 0, "override per-driver campaign budget")
+	reps := flag.Int("reps", 0, "override repetition count")
+	seed := flag.Int64("seed", 0, "override base seed")
+	model := flag.String("model", "", "analysis model (gpt-4, gpt-4o, gpt-3.5)")
+	flag.Parse()
+
+	opts := bench.DefaultOptions()
+	if *quick {
+		opts = bench.QuickOptions()
+	}
+	if *execs > 0 {
+		opts.Execs = *execs
+	}
+	if *perDriver > 0 {
+		opts.PerDriverExecs = *perDriver
+	}
+	if *reps > 0 {
+		opts.Reps = *reps
+	}
+	if *seed != 0 {
+		opts.Seed = *seed
+	}
+	if *model != "" {
+		opts.Model = *model
+	}
+
+	r := bench.NewRunner(opts)
+	fmt.Printf("corpus: %d handlers, kernel: %s\n\n", len(r.Corpus.Handlers), r.Kernel)
+
+	type exp struct {
+		id  string
+		run func() *bench.Table
+	}
+	exps := []exp{
+		{"table1", r.Table1},
+		{"figure7", r.Figure7},
+		{"table2", r.Table2},
+		{"table3", r.Table3},
+		{"table4", r.Table4},
+		{"table5", r.Table5},
+		{"table6", r.Table6},
+		{"ablation-iterative", r.AblationIterative},
+		{"ablation-model", r.AblationModel},
+		{"ablation-repair", r.AblationRepair},
+		{"ablation-locality", r.AblationLocality},
+		{"audit", r.CorrectnessAudit},
+		{"tokens", r.TokenCost},
+	}
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+	}
+	ran := 0
+	for _, e := range exps {
+		if len(want) > 0 && !want[e.id] {
+			continue
+		}
+		fmt.Println(e.run())
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "no experiment matched -only=%s\n", *only)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,97 @@
+// Command corpusdump writes the synthetic kernel's rendered C source
+// tree to disk for inspection, plus the ground-truth (oracle) and
+// human-suite syzlang specifications per handler.
+//
+// Usage:
+//
+//	corpusdump -out /tmp/kernel                  # full tree
+//	corpusdump -handler dm                       # one handler to stdout
+//	corpusdump -handler dm -what oracle          # its ground-truth spec
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"kernelgpt/internal/corpus"
+	"kernelgpt/internal/syzlang"
+)
+
+func main() {
+	out := flag.String("out", "", "directory to write the full tree into")
+	handler := flag.String("handler", "", "print one handler instead")
+	what := flag.String("what", "source", "what to print for -handler: source, oracle, human")
+	scale := flag.Float64("scale", 1.0, "corpus scale")
+	flag.Parse()
+
+	c := corpus.Build(corpus.Config{Scale: *scale})
+
+	if *handler != "" {
+		h := c.Handler(*handler)
+		if h == nil {
+			fmt.Fprintf(os.Stderr, "unknown handler %q\n", *handler)
+			os.Exit(2)
+		}
+		switch *what {
+		case "source":
+			fmt.Print(c.Index.Files()[h.SourcePath()])
+		case "oracle":
+			fmt.Print(syzlang.Format(corpus.OracleSpec(h)))
+		case "human":
+			spec := corpus.SyzkallerSpec(h)
+			if spec == nil {
+				fmt.Fprintln(os.Stderr, "handler has no existing descriptions")
+				os.Exit(1)
+			}
+			fmt.Print(syzlang.Format(spec))
+		default:
+			fmt.Fprintf(os.Stderr, "unknown -what %q\n", *what)
+			os.Exit(2)
+		}
+		return
+	}
+
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "usage: corpusdump -out DIR | -handler NAME [-what source|oracle|human]")
+		os.Exit(2)
+	}
+	files := 0
+	for path, src := range c.Index.Files() {
+		full := filepath.Join(*out, "src", path)
+		if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(full, []byte(src), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		files++
+	}
+	specs := 0
+	for _, h := range c.Handlers {
+		if !h.Loaded {
+			continue
+		}
+		dir := filepath.Join(*out, "specs", h.Name)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		writeSpec(filepath.Join(dir, "oracle.txt"), corpus.OracleSpec(h))
+		if spec := corpus.SyzkallerSpec(h); spec != nil {
+			writeSpec(filepath.Join(dir, "syzkaller.txt"), spec)
+		}
+		specs++
+	}
+	fmt.Printf("wrote %d source files and %d handler spec dirs under %s\n", files, specs, *out)
+}
+
+func writeSpec(path string, f *syzlang.File) {
+	if err := os.WriteFile(path, []byte(syzlang.Format(f)), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

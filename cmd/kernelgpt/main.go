@@ -1,0 +1,108 @@
+// Command kernelgpt runs the specification-generation pipeline over
+// the synthetic kernel and prints the generated syzlang.
+//
+// Usage:
+//
+//	kernelgpt -handler dm                 # one handler's spec
+//	kernelgpt -kind driver                # every incomplete driver
+//	kernelgpt -model gpt-3.5 -handler dm  # weaker model
+//	kernelgpt -all-in-one -handler kvm    # ablation mode
+//	kernelgpt -stats -kind socket         # summary only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"kernelgpt/internal/core"
+	"kernelgpt/internal/corpus"
+	"kernelgpt/internal/llm"
+	"kernelgpt/internal/syzlang"
+)
+
+func main() {
+	handler := flag.String("handler", "", "generate for a single handler by name")
+	kind := flag.String("kind", "driver", "worklist kind: driver or socket")
+	model := flag.String("model", "gpt-4", "analysis model (gpt-4, gpt-4o, gpt-3.5)")
+	seed := flag.Uint64("seed", 1, "fallibility seed")
+	maxIter := flag.Int("max-iter", 5, "iterative analysis bound (MAX_ITER)")
+	noRepair := flag.Bool("no-repair", false, "disable the validation-and-repair phase")
+	allInOne := flag.Bool("all-in-one", false, "single-prompt ablation mode")
+	stats := flag.Bool("stats", false, "print summary statistics only")
+	trace := flag.Bool("trace", false, "print every LLM prompt/completion exchange")
+	scale := flag.Float64("scale", 1.0, "corpus scale")
+	flag.Parse()
+
+	c := corpus.Build(corpus.Config{Scale: *scale})
+	opts := core.DefaultOptions()
+	opts.MaxIter = *maxIter
+	opts.Repair = !*noRepair
+	opts.AllInOne = *allInOne
+	opts.Trace = *trace
+	client := llm.NewSim(*model, *seed)
+	gen := core.New(client, c, opts)
+
+	if *handler != "" {
+		h := c.Handler(*handler)
+		if h == nil {
+			fmt.Fprintf(os.Stderr, "unknown handler %q\n", *handler)
+			os.Exit(2)
+		}
+		res := gen.GenerateFor(h)
+		gen.FollowDependencies(res, nil)
+		if *trace {
+			for i, ex := range res.Transcript {
+				fmt.Printf("===== exchange %d (%s) =====\n--- prompt ---\n%s\n--- completion ---\n%s\n",
+					i+1, ex.Stage, ex.Prompt, ex.Completion)
+			}
+		}
+		printResult(res, *stats)
+		reportUsage(client)
+		return
+	}
+
+	k := corpus.KindDriver
+	if *kind == "socket" {
+		k = corpus.KindSocket
+	}
+	worklist := c.Incomplete(k)
+	results := gen.GenerateAll(worklist)
+	for _, res := range results {
+		gen.FollowDependencies(res, nil)
+	}
+	if *stats {
+		fmt.Println(core.Summarize(results))
+		reportUsage(client)
+		return
+	}
+	for _, res := range results {
+		printResult(res, false)
+	}
+	fmt.Fprintln(os.Stderr, core.Summarize(results))
+	reportUsage(client)
+}
+
+func printResult(res *core.Result, statsOnly bool) {
+	status := "VALID"
+	switch {
+	case !res.Valid && res.Spec == nil:
+		status = "FAILED"
+	case !res.Valid:
+		status = "INVALID"
+	case res.Repaired:
+		status = "VALID (repaired)"
+	}
+	fmt.Printf("# handler %s: %s, %d syscalls, %d types, %d LLM iterations\n",
+		res.Handler.Name, status, res.NewSyscalls(), res.NewTypes(), res.Iterations)
+	if statsOnly || res.Spec == nil {
+		return
+	}
+	fmt.Println(syzlang.Format(res.Spec))
+}
+
+func reportUsage(client *llm.SimModel) {
+	u := client.Usage()
+	fmt.Fprintf(os.Stderr, "llm usage: %d calls, %d input tokens, %d output tokens, ~$%.2f\n",
+		u.Calls, u.PromptTokens, u.CompletionTokens, u.CostUSD())
+}

@@ -1,0 +1,163 @@
+// Command syzfuzz runs a fuzzing campaign against the virtual kernel
+// with a chosen specification suite.
+//
+// Usage:
+//
+//	syzfuzz -suite kernelgpt -execs 50000
+//	syzfuzz -suite syzkaller -reps 3
+//	syzfuzz -suite syzdescribe
+//	syzfuzz -suite oracle -handler dm     # ground-truth spec, one driver
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"kernelgpt/internal/baseline"
+	"kernelgpt/internal/core"
+	"kernelgpt/internal/corpus"
+	"kernelgpt/internal/fuzz"
+	"kernelgpt/internal/llm"
+	"kernelgpt/internal/prog"
+	"kernelgpt/internal/syzlang"
+	"kernelgpt/internal/vkernel"
+)
+
+func main() {
+	suite := flag.String("suite", "kernelgpt", "spec suite: syzkaller, syzdescribe, kernelgpt, oracle")
+	handler := flag.String("handler", "", "restrict to one handler's spec (oracle/kernelgpt suites)")
+	execs := flag.Int("execs", 20000, "execution budget per repetition")
+	reps := flag.Int("reps", 3, "repetitions")
+	seed := flag.Int64("seed", 1, "base seed")
+	scale := flag.Float64("scale", 1.0, "corpus scale")
+	model := flag.String("model", "gpt-4", "analysis model for the kernelgpt suite")
+	repro := flag.String("repro", "", "replay (and minimize) a serialized repro file instead of fuzzing")
+	flag.Parse()
+
+	c := corpus.Build(corpus.Config{Scale: *scale})
+	kernel := vkernel.New(c)
+	spec := buildSuite(c, *suite, *handler, *model, uint64(*seed))
+	if spec == nil || len(spec.Syscalls) == 0 {
+		fmt.Fprintln(os.Stderr, "empty suite")
+		os.Exit(2)
+	}
+	if errs := syzlang.Validate(spec, c.Env()); len(errs) > 0 {
+		fmt.Fprintf(os.Stderr, "suite invalid: %v\n", errs[0])
+		os.Exit(2)
+	}
+	tgt, err := prog.Compile(spec, c.Env())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("suite %q: %d syscalls; kernel %s\n", *suite, len(tgt.Syscalls), kernel)
+
+	if *repro != "" {
+		replay(c, kernel, tgt, *repro)
+		return
+	}
+
+	f := fuzz.New(tgt, kernel)
+	statsList := f.RunRepetitions(fuzz.DefaultConfig(*execs, *seed), *reps)
+	for i, s := range statsList {
+		fmt.Printf("rep %d: cov=%d crashes=%d corpus=%d\n",
+			i+1, s.CoverCount(), s.UniqueCrashes(), s.CorpusSize)
+	}
+	fmt.Printf("mean cov=%.1f mean crashes=%.1f\n",
+		fuzz.MeanCover(statsList), fuzz.MeanCrashes(statsList))
+	titles := fuzz.UnionCrashTitles(statsList)
+	if len(titles) > 0 {
+		fmt.Println("crashes:")
+		for _, s := range statsList {
+			for _, title := range s.CrashTitles() {
+				if titles[title] {
+					titles[title] = false
+					fmt.Printf("  %s (first at exec %d)\n", title, s.Crashes[title].FirstExec)
+				}
+			}
+		}
+	}
+}
+
+// replay deserializes a repro, executes it, and prints the minimized
+// form if it crashes.
+func replay(c *corpus.Corpus, kernel *vkernel.Kernel, tgt *prog.Target, path string) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	p, err := prog.Deserialize(tgt, string(data))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bad repro: %v\n", err)
+		os.Exit(1)
+	}
+	res := kernel.Run(p)
+	if res.Crash == nil {
+		fmt.Printf("no crash; %d blocks covered\n", len(res.Cov))
+		return
+	}
+	fmt.Printf("crash reproduced: %s\n", res.Crash.Title)
+	min := fuzz.Minimize(kernel, p, res.Crash.Title)
+	fmt.Printf("minimized repro (%d calls):\n%s", len(min.Calls), min.Serialize())
+}
+
+func buildSuite(c *corpus.Corpus, suite, handler, model string, seed uint64) *syzlang.File {
+	switch suite {
+	case "syzkaller":
+		return c.ExistingSuite()
+	case "syzdescribe":
+		g := baseline.New(c)
+		results := g.GenerateAll(c.Incomplete(corpus.KindDriver))
+		return syzlang.MergeDedup(c.ExistingSuite(), baseline.MergeSpecs(results))
+	case "kernelgpt":
+		gen := core.New(llm.NewSim(model, seed), c, core.DefaultOptions())
+		var results []*core.Result
+		worklist := c.Incomplete(corpus.KindDriver)
+		worklist = append(worklist, c.Incomplete(corpus.KindSocket)...)
+		if handler != "" {
+			h := c.Handler(handler)
+			if h == nil {
+				return nil
+			}
+			worklist = []*corpus.Handler{h}
+		}
+		for _, h := range worklist {
+			res := gen.GenerateFor(h)
+			gen.FollowDependencies(res, nil)
+			results = append(results, res)
+		}
+		merged := core.MergeSpecs(results)
+		if handler != "" {
+			return merged
+		}
+		return syzlang.MergeDedup(c.ExistingSuite(), merged)
+	case "oracle":
+		if handler != "" {
+			h := c.Handler(handler)
+			if h == nil {
+				return nil
+			}
+			return familyOracle(c, h)
+		}
+		files := []*syzlang.File{}
+		for _, h := range c.Handlers {
+			if h.Loaded && h.Parent == "" {
+				files = append(files, familyOracle(c, h))
+			}
+		}
+		return syzlang.MergeDedup(files...)
+	}
+	return nil
+}
+
+func familyOracle(c *corpus.Corpus, h *corpus.Handler) *syzlang.File {
+	files := []*syzlang.File{corpus.OracleSpec(h)}
+	for _, cand := range c.Handlers {
+		if cand.Parent == h.Name {
+			files = append(files, familyOracle(c, cand))
+		}
+	}
+	return syzlang.MergeDedup(files...)
+}

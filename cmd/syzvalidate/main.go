@@ -1,0 +1,55 @@
+// Command syzvalidate checks a syzlang description file against the
+// synthetic kernel's constant table — the standalone equivalent of
+// running syz-extract + syz-generate validation, whose error output
+// drives KernelGPT's repair loop.
+//
+// Usage:
+//
+//	syzvalidate spec.txt
+//	echo 'resource fd_x[fd]' | syzvalidate -
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"kernelgpt/internal/corpus"
+	"kernelgpt/internal/syzlang"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.05, "corpus scale for the constant table")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: syzvalidate <file|->")
+		os.Exit(2)
+	}
+	var src []byte
+	var err error
+	if flag.Arg(0) == "-" {
+		src, err = io.ReadAll(os.Stdin)
+	} else {
+		src, err = os.ReadFile(flag.Arg(0))
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	f, perrs := syzlang.Parse(string(src))
+	for _, e := range perrs {
+		fmt.Printf("syntax: %v\n", e)
+	}
+	c := corpus.Build(corpus.Config{Scale: *scale})
+	verrs := syzlang.Validate(f, c.Env())
+	for _, e := range verrs {
+		fmt.Printf("semantic: %v\n", e)
+	}
+	if len(perrs)+len(verrs) > 0 {
+		fmt.Printf("%d errors\n", len(perrs)+len(verrs))
+		os.Exit(1)
+	}
+	fmt.Printf("OK: %d syscalls, %d resources, %d structs, %d unions, %d flag sets\n",
+		len(f.Syscalls), len(f.Resources), len(f.Structs), len(f.Unions), len(f.Flags))
+}

@@ -1,0 +1,107 @@
+// Device mapper end-to-end: reproduce the paper's flagship result,
+// CVE-2024-23851 ("kmalloc bug in ctl_ioctl", confirmed by Linus
+// Torvalds per §5.1.4).
+//
+// The demo contrasts three specifications for /dev/mapper/control:
+//
+//  1. the existing Syzkaller suite — which has no dm descriptions at
+//     all, so a fuzzing campaign never even opens the device;
+//  2. the SyzDescribe static baseline — which extracts the wrong
+//     device name (".name" instead of ".nodename", Figure 2c) and
+//     cannot see through the table dispatch, so its campaign also
+//     finds nothing;
+//  3. the KernelGPT-generated specification — correct path, correct
+//     _IOC-encoded command values, typed dm_ioctl payload — whose
+//     campaign reaches ctl_ioctl's unchecked kvmalloc size and
+//     crashes the virtual kernel.
+//
+// Run with: go run ./examples/devicemapper
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"kernelgpt/internal/baseline"
+	"kernelgpt/internal/core"
+	"kernelgpt/internal/corpus"
+	"kernelgpt/internal/fuzz"
+	"kernelgpt/internal/llm"
+	"kernelgpt/internal/prog"
+	"kernelgpt/internal/syzlang"
+	"kernelgpt/internal/vkernel"
+)
+
+const budget = 8000
+
+func main() {
+	c := corpus.Build(corpus.TestConfig())
+	kernel := vkernel.New(c)
+	dm := c.Handler("dm")
+
+	// 1. Existing Syzkaller suite: no dm coverage possible.
+	if spec := corpus.SyzkallerSpec(dm); spec == nil {
+		fmt.Println("[syzkaller]   no descriptions for the device mapper at all")
+	}
+
+	// 2. SyzDescribe.
+	sd := baseline.New(c).GenerateFor(dm)
+	fmt.Printf("[syzdescribe] %d commands described", sd.NewSyscalls())
+	if sd.Spec != nil {
+		for _, s := range sd.Spec.Syscalls {
+			if s.CallName == "openat" {
+				fmt.Printf("; device path %s (wrong: real path is %s)",
+					pathOf(s), dm.DevPath)
+			}
+		}
+	}
+	fmt.Println()
+	campaign("syzdescribe", c, kernel, sd.Spec)
+
+	// 3. KernelGPT.
+	gen := core.New(llm.NewSim("gpt-4", 7), c, core.DefaultOptions())
+	kg := gen.GenerateFor(dm)
+	if !kg.Valid {
+		log.Fatalf("kernelgpt generation failed: %v", kg.RemainingErrors)
+	}
+	fmt.Printf("[kernelgpt]   %d commands described; correct path and dm_ioctl layout\n", kg.NewSyscalls())
+	stats := campaign("kernelgpt", c, kernel, kg.Spec)
+
+	if cr, ok := stats.Crashes["kmalloc bug in ctl_ioctl"]; ok {
+		fmt.Printf("\nCVE-2024-23851 reproduced at exec %d.\n", cr.FirstExec)
+		tgt, _ := prog.Compile(kg.Spec, c.Env())
+		if p, err := prog.Deserialize(tgt, cr.Repro); err == nil {
+			min := fuzz.Minimize(kernel, p, cr.Title)
+			fmt.Printf("minimized repro (%d calls):\n%s", len(min.Calls), min.Serialize())
+		}
+	} else {
+		fmt.Println("\n(the kvmalloc bug did not fire within this budget; increase it and re-run)")
+	}
+}
+
+func pathOf(s *syzlang.SyscallDef) string {
+	for _, a := range s.Args {
+		t := a.Type
+		if t.Ident == "ptr" && len(t.Args) == 2 && t.Args[1].Type != nil &&
+			t.Args[1].Type.Ident == "string" && len(t.Args[1].Type.Args) == 1 {
+			return t.Args[1].Type.Args[0].Str
+		}
+	}
+	return "?"
+}
+
+func campaign(name string, c *corpus.Corpus, kernel *vkernel.Kernel, spec *syzlang.File) *fuzz.Stats {
+	if spec == nil || len(spec.Syscalls) == 0 {
+		fmt.Printf("  %-12s no spec to fuzz\n", name)
+		return &fuzz.Stats{}
+	}
+	tgt, err := prog.Compile(spec, c.Env())
+	if err != nil {
+		fmt.Printf("  %-12s spec does not compile: %v\n", name, err)
+		return &fuzz.Stats{}
+	}
+	stats := fuzz.New(tgt, kernel).Run(fuzz.DefaultConfig(budget, 3))
+	fmt.Printf("  %-12s campaign: %d blocks covered, %d unique crashes %v\n",
+		name, stats.CoverCount(), stats.UniqueCrashes(), stats.CrashTitles())
+	return stats
+}

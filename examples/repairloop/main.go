@@ -1,0 +1,92 @@
+// Validation-and-repair walkthrough (§3.2).
+//
+// The demo hand-breaks a generated specification the same three ways
+// the fallible analysis model does — a corrupted macro name, a
+// misspelled scalar type, and a dangling len[] target — runs the
+// Syzkaller-equivalent validator to get structured error messages,
+// and feeds spec + errors + source back to the LLM for repair,
+// printing each round.
+//
+// Run with: go run ./examples/repairloop
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"kernelgpt/internal/corpus"
+	"kernelgpt/internal/llm"
+	"kernelgpt/internal/syzlang"
+)
+
+// broken is built at runtime from real corpus macros, then corrupted
+// the same three ways the fallible analysis model corrupts its
+// output.
+func brokenSpec(c *corpus.Corpus) string {
+	dm := c.Handler("dm")
+	cmd0, cmd1 := dm.Cmds[0].Name, dm.Cmds[1].Name
+	return `
+resource fd_dm[fd]
+openat$dm(fd const[AT_FDCWD], file ptr[in, string["/dev/mapper/control"]], flags const[O_RDWR], mode const[0]) fd_dm
+ioctl$` + cmd0 + `(fd fd_dm, cmd const[` + cmd0 + `_FIXME], arg ptr[inout, dm_info_demo])
+ioctl$` + cmd1 + `(fd fd_dm, cmd const[` + cmd1 + `], arg ptr[inout, dm_info_demo])
+
+dm_info_demo {
+	data_size	int3
+	flags	int32
+	n_entries	len[entriex, int32]
+	entries	array[int64]
+}
+`
+}
+
+func main() {
+	c := corpus.Build(corpus.TestConfig())
+	env := c.Env()
+	client := llm.NewSim("gpt-4", 3)
+
+	spec, perrs := syzlang.Parse(brokenSpec(c))
+	if len(perrs) > 0 {
+		log.Fatalf("demo spec has syntax errors: %v", perrs)
+	}
+
+	for round := 1; round <= 4; round++ {
+		errs := syzlang.Validate(spec, env)
+		fmt.Printf("--- round %d: %d validation errors\n", round, len(errs))
+		for _, e := range errs {
+			fmt.Printf("    %v\n", e)
+		}
+		if len(errs) == 0 {
+			fmt.Println("\nspecification is valid:")
+			fmt.Println(indent(syzlang.Format(spec)))
+			return
+		}
+		prompt := buildRepairPrompt(syzlang.FormatErrors(syzlang.ValidationErrorsToErrors(errs)),
+			syzlang.Format(spec))
+		reply, err := client.Complete(prompt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fixedText := llm.ExtractSection(reply, "## Repaired Specification")
+		fixed, perrs := syzlang.Parse(fixedText)
+		if len(perrs) > 0 {
+			log.Fatalf("repair produced unparseable output: %v", perrs)
+		}
+		spec = fixed
+	}
+	log.Fatal("repair did not converge")
+}
+
+func buildRepairPrompt(errs, spec string) []llm.Message {
+	var b strings.Builder
+	b.WriteString(llm.SecInstruction + "\nPlease repair the specification using the validation errors.\n\n")
+	b.WriteString(llm.SecErrors + "\n" + errs + "\n\n")
+	b.WriteString(llm.SecSpec + "\n" + spec + "\n\n")
+	b.WriteString(llm.SecSource + "\n/* source elided for the demo */\n")
+	return []llm.Message{{Role: "user", Content: b.String()}}
+}
+
+func indent(s string) string {
+	return "    " + strings.ReplaceAll(strings.TrimRight(s, "\n"), "\n", "\n    ")
+}

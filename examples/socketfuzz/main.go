@@ -1,0 +1,81 @@
+// Socket specification generation and fuzzing: the RDS case of
+// §5.1.4.
+//
+// Syzkaller's RDS descriptions cover only the receive path; the
+// missing sendto description is exactly where CVE-2024-23849 (the
+// rds_cmsg_recv out-of-bounds) hides. SyzDescribe cannot analyze
+// sockets at all. KernelGPT reads the proto_ops registration, walks
+// the setsockopt dispatch into the per-option workers, recovers the
+// sockaddr_rds layout (pinning the family field to AF_RDS from the
+// bind handler's rejection check), and emits the full socket surface
+// — including sendto — which the fuzzing campaign then drives into
+// the planted bug.
+//
+// Run with: go run ./examples/socketfuzz
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"kernelgpt/internal/core"
+	"kernelgpt/internal/corpus"
+	"kernelgpt/internal/fuzz"
+	"kernelgpt/internal/llm"
+	"kernelgpt/internal/prog"
+	"kernelgpt/internal/syzlang"
+	"kernelgpt/internal/vkernel"
+)
+
+func main() {
+	c := corpus.Build(corpus.TestConfig())
+	kernel := vkernel.New(c)
+	rds := c.Handler("rds")
+
+	human := corpus.SyzkallerSpec(rds)
+	fmt.Printf("existing Syzkaller suite for rds: %d syscalls (no sendto: %v)\n",
+		len(human.Syscalls), !hasCall(human, "sendto$rds"))
+
+	gen := core.New(llm.NewSim("gpt-4", 11), c, core.DefaultOptions())
+	res := gen.GenerateFor(rds)
+	if !res.Valid {
+		log.Fatalf("generation failed: %v", res.RemainingErrors)
+	}
+	fmt.Printf("KernelGPT spec for rds: %d syscalls (sendto described: %v)\n\n",
+		len(res.Spec.Syscalls), hasCall(res.Spec, "sendto$rds"))
+	for _, line := range strings.Split(syzlang.Format(res.Spec), "\n") {
+		if strings.HasPrefix(line, "sendto$") || strings.HasPrefix(line, "socket$") ||
+			strings.Contains(line, "family") {
+			fmt.Println("  ", line)
+		}
+	}
+
+	for name, spec := range map[string]*syzlang.File{"syzkaller": human, "kernelgpt": res.Spec} {
+		tgt, err := prog.Compile(spec, c.Env())
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		stats := fuzz.New(tgt, kernel).Run(fuzz.DefaultConfig(6000, 5))
+		fmt.Printf("\n[%s] %d blocks, crashes: %v\n", name, stats.CoverCount(), stats.CrashTitles())
+		if cr, ok := stats.Crashes["UBSAN: array-index-out-of-bounds in rds_cmsg_recv"]; ok {
+			fmt.Printf("CVE-2024-23849 reproduced at exec %d; minimized repro:\n", cr.FirstExec)
+			if p, err := prog.Deserialize(tgt, cr.Repro); err == nil {
+				min := fuzz.Minimize(kernel, p, cr.Title)
+				fmt.Print(min.Serialize())
+			}
+		}
+	}
+}
+
+func hasCall(f *syzlang.File, name string) bool {
+	if f == nil {
+		return false
+	}
+	for _, s := range f.Syscalls {
+		if s.Name() == name {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,195 @@
+package bench
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// quickRunner is shared: experiments cache inside it.
+var quickRunner = NewRunner(QuickOptions())
+
+func cell(t *testing.T, tb *Table, row, col int) string {
+	t.Helper()
+	if row >= len(tb.Rows) || col >= len(tb.Rows[row]) {
+		t.Fatalf("table %s has no cell (%d,%d):\n%s", tb.ID, row, col, tb)
+	}
+	return tb.Rows[row][col]
+}
+
+func num(t *testing.T, s string) float64 {
+	t.Helper()
+	s = strings.Fields(s)[0]
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+	if err != nil {
+		t.Fatalf("cell %q is not numeric", s)
+	}
+	return v
+}
+
+func TestTable1Shape(t *testing.T) {
+	tb := quickRunner.Table1()
+	if len(tb.Rows) != 3 {
+		t.Fatalf("want 3 rows:\n%s", tb)
+	}
+	// KernelGPT valid must exceed SyzDescribe valid on drivers.
+	sd := num(t, cell(t, tb, 0, 3))
+	kg := num(t, cell(t, tb, 0, 4))
+	if kg <= sd {
+		t.Fatalf("KernelGPT (%v) must beat SyzDescribe (%v):\n%s", kg, sd, tb)
+	}
+	if cell(t, tb, 1, 3) != "N/A" {
+		t.Fatalf("SyzDescribe sockets must be N/A:\n%s", tb)
+	}
+}
+
+func TestFigure7Shape(t *testing.T) {
+	tb := quickRunner.Figure7()
+	if len(tb.Rows) != 4 {
+		t.Fatalf("want 4 buckets:\n%s", tb)
+	}
+	total := 0.0
+	for i := range tb.Rows {
+		total += num(t, cell(t, tb, i, 1))
+	}
+	if int(total) != len(quickRunner.Corpus.Incomplete(0)) {
+		t.Fatalf("driver histogram does not cover all incomplete handlers:\n%s", tb)
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	tb := quickRunner.Table2()
+	sd := num(t, cell(t, tb, 2, 1))
+	kg := num(t, cell(t, tb, 2, 3))
+	if kg <= sd {
+		t.Fatalf("KernelGPT new syscalls (%v) must exceed SyzDescribe (%v):\n%s", kg, sd, tb)
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	tb := quickRunner.Table3()
+	syz := num(t, cell(t, tb, 0, 1))
+	kgpt := num(t, cell(t, tb, 2, 1))
+	if kgpt <= syz {
+		t.Fatalf("KernelGPT suite coverage (%v) must exceed Syzkaller (%v):\n%s", kgpt, syz, tb)
+	}
+	// Unique coverage of KernelGPT must exceed SyzDescribe's.
+	uD := num(t, cell(t, tb, 1, 2))
+	uK := num(t, cell(t, tb, 2, 2))
+	if uK <= uD {
+		t.Fatalf("KernelGPT unique cov (%v) must exceed SyzDescribe (%v):\n%s", uK, uD, tb)
+	}
+}
+
+func TestTable4Exclusivity(t *testing.T) {
+	tb := quickRunner.Table4()
+	foundK, foundS, foundD := 0, 0, 0
+	for _, row := range tb.Rows {
+		if row[4] == "FOUND" {
+			foundK++
+		}
+		if row[5] == "FOUND" {
+			foundS++
+		}
+		if row[6] == "FOUND" {
+			foundD++
+		}
+	}
+	if foundS != 0 || foundD != 0 {
+		t.Fatalf("baselines must not find new bugs (syz=%d syzd=%d):\n%s", foundS, foundD, tb)
+	}
+	if foundK == 0 {
+		t.Fatalf("KernelGPT campaigns found no planted bugs:\n%s", tb)
+	}
+}
+
+func TestTable5Shape(t *testing.T) {
+	tb := quickRunner.Table5()
+	last := tb.Rows[len(tb.Rows)-1]
+	if last[0] != "Total" {
+		t.Fatalf("missing total row:\n%s", tb)
+	}
+	syzTotal := num(t, last[2])
+	kgptTotal := num(t, last[6])
+	if kgptTotal <= syzTotal {
+		t.Fatalf("KernelGPT total cov (%v) must exceed Syzkaller (%v):\n%s", kgptTotal, syzTotal, tb)
+	}
+}
+
+func TestTable6Shape(t *testing.T) {
+	tb := quickRunner.Table6()
+	last := tb.Rows[len(tb.Rows)-1]
+	syzTotal := num(t, last[2])
+	kgptTotal := num(t, last[5])
+	if kgptTotal <= syzTotal {
+		t.Fatalf("KernelGPT socket cov (%v) must exceed Syzkaller (%v):\n%s", kgptTotal, syzTotal, tb)
+	}
+}
+
+func TestAblationIterativeShape(t *testing.T) {
+	tb := quickRunner.AblationIterative()
+	iter := num(t, cell(t, tb, 0, 1))
+	one := num(t, cell(t, tb, 1, 1))
+	if iter <= one {
+		t.Fatalf("iterative syscalls (%v) must exceed all-in-one (%v):\n%s", iter, one, tb)
+	}
+}
+
+func TestAblationModelShape(t *testing.T) {
+	tb := quickRunner.AblationModel()
+	var gpt4, gpt35 float64
+	for _, row := range tb.Rows {
+		switch row[0] {
+		case "gpt-4":
+			gpt4 = num(t, row[1])
+		case "gpt-3.5":
+			gpt35 = num(t, row[1])
+		}
+	}
+	if gpt35 >= gpt4 {
+		t.Fatalf("gpt-3.5 syscalls (%v) must trail gpt-4 (%v):\n%s", gpt35, gpt4, tb)
+	}
+}
+
+func TestCorrectnessAuditShape(t *testing.T) {
+	tb := quickRunner.CorrectnessAudit()
+	if len(tb.Rows) < 4 {
+		t.Fatalf("audit incomplete:\n%s", tb)
+	}
+}
+
+func TestTokenCostShape(t *testing.T) {
+	tb := quickRunner.TokenCost()
+	if num(t, cell(t, tb, 1, 1)) <= 0 {
+		t.Fatalf("no input tokens recorded:\n%s", tb)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := quickRunner.Table1()
+	text := tb.String()
+	if !strings.Contains(text, "table1") || !strings.Contains(text, "Driver") {
+		t.Fatalf("bad rendering:\n%s", text)
+	}
+}
+
+func TestAblationRepairShape(t *testing.T) {
+	tb := quickRunner.AblationRepair()
+	on := num(t, cell(t, tb, 0, 1))
+	off := num(t, cell(t, tb, 1, 1))
+	if off > on {
+		t.Fatalf("repair must not reduce valid specs (on=%v off=%v):\n%s", on, off, tb)
+	}
+}
+
+func TestAblationLocalityShape(t *testing.T) {
+	tb := quickRunner.AblationLocality()
+	if len(tb.Rows) != 2 {
+		t.Fatalf("want 2 rows:\n%s", tb)
+	}
+	biased := num(t, cell(t, tb, 0, 2))
+	uniform := num(t, cell(t, tb, 1, 2))
+	if biased < uniform {
+		t.Fatalf("locality bias should not reduce bug discovery (%v vs %v):\n%s", biased, uniform, tb)
+	}
+}

@@ -1,0 +1,292 @@
+package ccode
+
+import "strings"
+
+// BodyInfo is the structural summary of a function body that both the
+// simulated analysis LLM and the SyzDescribe baseline consume:
+// switch dispatch tables, call sites, simple assignments, and
+// delegations ("return f(...)").
+type BodyInfo struct {
+	// Switches lists switch statements with the switched-on
+	// expression and the case labels.
+	Switches []SwitchInfo
+	// Calls lists every function call site in source order.
+	Calls []CallSite
+	// Assigns maps variable names to the text of their last simple
+	// assignment right-hand side (e.g. "cmd" -> "_IOC_NR ( command )").
+	Assigns map[string]string
+	// Delegations lists functions invoked as "return f(...)" — the
+	// whole-body delegation pattern of dm_ctl_ioctl in the paper.
+	Delegations []CallSite
+	// CopyFromUser lists the destination struct types of
+	// copy_from_user-style calls, in order.
+	CopyFromUser []string
+	// Comments holds all comment text found in the body.
+	Comments []string
+}
+
+// SwitchInfo describes one switch statement.
+type SwitchInfo struct {
+	// Expr is the switched-on expression text, e.g. "cmd" or
+	// "_IOC_NR ( command )".
+	Expr string
+	// Cases lists the case label expressions in order (default is
+	// omitted).
+	Cases []SwitchCase
+}
+
+// SwitchCase is one case label and a summary of its body.
+type SwitchCase struct {
+	// Label is the case expression text, e.g. "DM_VERSION_CMD".
+	Label string
+	// Calls lists functions invoked inside this case before the next
+	// case/default/closing brace.
+	Calls []string
+	// Body is the raw text of the case body.
+	Body string
+}
+
+// CallSite is one function invocation.
+type CallSite struct {
+	Name string
+	// Args holds the raw text of each argument.
+	Args []string
+	// Raw is the full invocation text.
+	Raw string
+}
+
+// controlKeywords are identifiers that look like calls but are not.
+var controlKeywords = map[string]bool{
+	"if": true, "for": true, "while": true, "switch": true,
+	"return": true, "sizeof": true, "case": true, "do": true,
+}
+
+// AnalyzeBody parses a function body (text including outer braces)
+// into a BodyInfo.
+func AnalyzeBody(body string) *BodyInfo {
+	toks := LexC(body)
+	info := &BodyInfo{Assigns: map[string]string{}}
+	for i := 0; i < len(toks); i++ {
+		t := toks[i]
+		switch t.Kind {
+		case CComment:
+			if c := cleanComment(t.Text); c != "" {
+				info.Comments = append(info.Comments, c)
+			}
+		case CIdent:
+			switch {
+			case t.Text == "switch":
+				if sw, next := parseSwitch(toks, i); sw != nil {
+					info.Switches = append(info.Switches, *sw)
+					_ = next // continue scanning inside for nested calls
+				}
+			case t.Text == "return":
+				if i+1 < len(toks) && toks[i+1].Kind == CIdent && i+2 < len(toks) && toks[i+2].Text == "(" {
+					if cs := parseCall(toks, i+1); cs != nil {
+						info.Delegations = append(info.Delegations, *cs)
+					}
+				}
+			case !controlKeywords[t.Text] && i+1 < len(toks) && toks[i+1].Text == "(":
+				if cs := parseCall(toks, i); cs != nil {
+					info.Calls = append(info.Calls, *cs)
+					if isCopyFromUser(cs.Name) && len(cs.Args) >= 2 {
+						if typ := destStructType(cs.Args); typ != "" {
+							info.CopyFromUser = append(info.CopyFromUser, typ)
+						}
+					}
+				}
+			case i+1 < len(toks) && toks[i+1].Kind == CPunct && toks[i+1].Text == "=":
+				// Simple assignment "ident = rhs ;" (skip ==).
+				if i+2 < len(toks) && toks[i+2].Text != "=" {
+					rhs := collectUntil(toks, i+2, ";")
+					if rhs != "" {
+						info.Assigns[t.Text] = rhs
+					}
+				}
+			}
+		}
+	}
+	return info
+}
+
+func isCopyFromUser(name string) bool {
+	switch name {
+	case "copy_from_user", "copy_to_user", "get_user", "put_user", "memdup_user":
+		return true
+	}
+	return false
+}
+
+// destStructType extracts "struct X" from a cast or sizeof inside
+// copy_from_user-style argument text.
+func destStructType(args []string) string {
+	for _, a := range args {
+		if idx := strings.Index(a, "struct "); idx >= 0 {
+			rest := a[idx+len("struct "):]
+			end := 0
+			for end < len(rest) && (isCIdentPart(rest[end]) || rest[end] == ' ') {
+				if rest[end] == ' ' && end > 0 {
+					break
+				}
+				end++
+			}
+			name := strings.TrimSpace(rest[:end])
+			if name != "" {
+				return name
+			}
+		}
+	}
+	return ""
+}
+
+func collectUntil(toks []CToken, i int, stop string) string {
+	var parts []string
+	for ; i < len(toks); i++ {
+		if toks[i].Kind == CPunct && toks[i].Text == stop {
+			break
+		}
+		if toks[i].Kind == CComment {
+			continue
+		}
+		parts = append(parts, toks[i].Text)
+	}
+	return strings.Join(parts, " ")
+}
+
+// parseCall parses a call expression at toks[i] (an identifier
+// followed by '(') and returns the call site.
+func parseCall(toks []CToken, i int) *CallSite {
+	name := toks[i].Text
+	if controlKeywords[name] {
+		return nil
+	}
+	end := matchParen(toks, i+1, "(", ")")
+	if end <= i+1 || end > len(toks) {
+		return nil
+	}
+	cs := &CallSite{Name: name}
+	var parts []string
+	depth := 0
+	for _, t := range toks[i+2 : end-1] {
+		if t.Kind == CComment {
+			continue
+		}
+		if t.Kind == CPunct {
+			switch t.Text {
+			case "(", "[", "{":
+				depth++
+			case ")", "]", "}":
+				depth--
+			case ",":
+				if depth == 0 {
+					cs.Args = append(cs.Args, strings.Join(parts, " "))
+					parts = nil
+					continue
+				}
+			}
+		}
+		parts = append(parts, t.Text)
+	}
+	if len(parts) > 0 {
+		cs.Args = append(cs.Args, strings.Join(parts, " "))
+	}
+	var raw []string
+	for _, t := range toks[i:end] {
+		raw = append(raw, t.Text)
+	}
+	cs.Raw = strings.Join(raw, " ")
+	return cs
+}
+
+// parseSwitch parses "switch (expr) { case L: ... }" at toks[i].
+func parseSwitch(toks []CToken, i int) (*SwitchInfo, int) {
+	if i+1 >= len(toks) || toks[i+1].Text != "(" {
+		return nil, i
+	}
+	exprEnd := matchParen(toks, i+1, "(", ")")
+	if exprEnd >= len(toks) || toks[exprEnd].Text != "{" {
+		return nil, i
+	}
+	var exprParts []string
+	for _, t := range toks[i+2 : exprEnd-1] {
+		if t.Kind != CComment {
+			exprParts = append(exprParts, t.Text)
+		}
+	}
+	sw := &SwitchInfo{Expr: strings.Join(exprParts, " ")}
+	bodyEnd := matchParen(toks, exprEnd, "{", "}")
+	inner := toks[exprEnd+1 : min(bodyEnd-1, len(toks))]
+	depth := 0
+	for k := 0; k < len(inner); k++ {
+		t := inner[k]
+		if t.Kind == CPunct {
+			switch t.Text {
+			case "{":
+				depth++
+			case "}":
+				depth--
+			}
+			continue
+		}
+		if depth != 0 || t.Kind != CIdent || t.Text != "case" {
+			continue
+		}
+		// Label runs to ':'.
+		var label []string
+		k++
+		for k < len(inner) && !(inner[k].Kind == CPunct && inner[k].Text == ":") {
+			if inner[k].Kind != CComment {
+				label = append(label, inner[k].Text)
+			}
+			k++
+		}
+		// Body runs to next top-level case/default or end.
+		start := k + 1
+		j := start
+		d := 0
+		for j < len(inner) {
+			tt := inner[j]
+			if tt.Kind == CPunct {
+				if tt.Text == "{" {
+					d++
+				}
+				if tt.Text == "}" {
+					d--
+				}
+			}
+			if d == 0 && tt.Kind == CIdent && (tt.Text == "case" || tt.Text == "default") {
+				break
+			}
+			j++
+		}
+		c := SwitchCase{Label: strings.Join(label, " ")}
+		var bodyParts []string
+		for m := start; m < j; m++ {
+			if inner[m].Kind == CComment {
+				continue
+			}
+			bodyParts = append(bodyParts, inner[m].Text)
+			if inner[m].Kind == CIdent && !controlKeywords[inner[m].Text] &&
+				m+1 < j && inner[m+1].Text == "(" {
+				c.Calls = append(c.Calls, inner[m].Text)
+			}
+		}
+		c.Body = strings.Join(bodyParts, " ")
+		sw.Cases = append(sw.Cases, c)
+		k = j - 1
+	}
+	return sw, bodyEnd
+}
+
+// FindSwitchOn returns the first switch in the body whose switched-on
+// expression mentions the given variable name.
+func (b *BodyInfo) FindSwitchOn(varName string) *SwitchInfo {
+	for i := range b.Switches {
+		for _, tok := range LexC(b.Switches[i].Expr) {
+			if tok.Kind == CIdent && tok.Text == varName {
+				return &b.Switches[i]
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,189 @@
+// Package ccode is a lightweight C source analyzer playing the role
+// of the LLVM-based extractor in the paper (§4). It indexes the
+// synthetic kernel codebase: function definitions, struct/union/enum
+// definitions, #define macros (including _IO/_IOR/_IOW/_IOWR ioctl
+// command encodings), and operation-handler registrations
+// (file_operations, miscdevice, proto_ops, ...). It deliberately
+// implements pattern-driven parsing, not a full C frontend — exactly
+// the "simple yet general pattern matching" the paper describes for
+// handler extraction, plus definition lookup by identifier for the
+// LLM's ExtractCode requests.
+package ccode
+
+import "strings"
+
+// CToken is a lexical token of C source.
+type CToken struct {
+	Kind CTokenKind
+	Text string
+	Off  int // byte offset in source
+	Line int // 1-based
+}
+
+// CTokenKind enumerates C token categories.
+type CTokenKind int
+
+// C token kinds.
+const (
+	CEOF CTokenKind = iota
+	CIdent
+	CNumber
+	CString
+	CChar
+	CPunct
+	CComment   // /* ... */ or // ...
+	CDirective // #define, #include, ... (whole line incl. continuations)
+)
+
+// LexC tokenizes C source, keeping comments and preprocessor
+// directives as single tokens (the analyzer reads comments for
+// intent, per the paper's L-3 discussion).
+func LexC(src string) []CToken {
+	var toks []CToken
+	line := 1
+	i := 0
+	n := len(src)
+	for i < n {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '#' && atLineStart(src, i):
+			start, startLine := i, line
+			for i < n {
+				if src[i] == '\n' {
+					if i > 0 && src[i-1] == '\\' {
+						line++
+						i++
+						continue
+					}
+					break
+				}
+				i++
+			}
+			toks = append(toks, CToken{Kind: CDirective, Text: src[start:i], Off: start, Line: startLine})
+		case c == '/' && i+1 < n && src[i+1] == '*':
+			start, startLine := i, line
+			i += 2
+			for i+1 < n && !(src[i] == '*' && src[i+1] == '/') {
+				if src[i] == '\n' {
+					line++
+				}
+				i++
+			}
+			i += 2
+			if i > n {
+				i = n
+			}
+			toks = append(toks, CToken{Kind: CComment, Text: src[start:min(i, n)], Off: start, Line: startLine})
+		case c == '/' && i+1 < n && src[i+1] == '/':
+			start := i
+			for i < n && src[i] != '\n' {
+				i++
+			}
+			toks = append(toks, CToken{Kind: CComment, Text: src[start:i], Off: start, Line: line})
+		case isCIdentStart(c):
+			start := i
+			for i < n && isCIdentPart(src[i]) {
+				i++
+			}
+			toks = append(toks, CToken{Kind: CIdent, Text: src[start:i], Off: start, Line: line})
+		case c >= '0' && c <= '9':
+			start := i
+			for i < n && (isCIdentPart(src[i]) || src[i] == '.') {
+				i++
+			}
+			toks = append(toks, CToken{Kind: CNumber, Text: src[start:i], Off: start, Line: line})
+		case c == '"':
+			start := i
+			i++
+			for i < n && src[i] != '"' {
+				if src[i] == '\\' {
+					i++
+				}
+				i++
+			}
+			i++
+			if i > n {
+				i = n
+			}
+			toks = append(toks, CToken{Kind: CString, Text: src[start:min(i, n)], Off: start, Line: line})
+		case c == '\'':
+			start := i
+			i++
+			for i < n && src[i] != '\'' {
+				if src[i] == '\\' {
+					i++
+				}
+				i++
+			}
+			i++
+			if i > n {
+				i = n
+			}
+			toks = append(toks, CToken{Kind: CChar, Text: src[start:min(i, n)], Off: start, Line: line})
+		default:
+			// Multi-char punctuation we care about: -> << >> == != <= >= && ||
+			two := ""
+			if i+1 < n {
+				two = src[i : i+2]
+			}
+			switch two {
+			case "->", "<<", ">>", "==", "!=", "<=", ">=", "&&", "||", "|=", "&=", "+=", "-=":
+				toks = append(toks, CToken{Kind: CPunct, Text: two, Off: i, Line: line})
+				i += 2
+			default:
+				toks = append(toks, CToken{Kind: CPunct, Text: string(c), Off: i, Line: line})
+				i++
+			}
+		}
+	}
+	return toks
+}
+
+func atLineStart(src string, i int) bool {
+	for j := i - 1; j >= 0; j-- {
+		switch src[j] {
+		case ' ', '\t', '\r':
+			continue
+		case '\n':
+			return true
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func isCIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isCIdentPart(c byte) bool { return isCIdentStart(c) || (c >= '0' && c <= '9') }
+
+// StringValue unquotes a C string literal token text.
+func StringValue(text string) string {
+	s := strings.TrimSuffix(strings.TrimPrefix(text, `"`), `"`)
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' && i+1 < len(s) {
+			i++
+			switch s[i] {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case '0':
+				b.WriteByte(0)
+			default:
+				b.WriteByte(s[i])
+			}
+			continue
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String()
+}

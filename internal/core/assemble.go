@@ -1,0 +1,410 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"kernelgpt/internal/corpus"
+	"kernelgpt/internal/llm"
+	"kernelgpt/internal/syzlang"
+)
+
+// assemble builds the syzlang file from the three stages' outputs.
+func (g *Generator) assemble(h *corpus.Handler, ident *llm.IdentResult, typeDefs string, deps *llm.DepResult, res *Result) *syzlang.File {
+	file := &syzlang.File{}
+	hid := h.Ident()
+	var resName string
+	if h.Kind == corpus.KindSocket {
+		resName = "sock_" + hid
+	} else {
+		resName = "fd_" + hid
+	}
+	file.Resources = append(file.Resources, &syzlang.ResourceDef{Name: resName, Base: "fd"})
+
+	switch {
+	case h.Kind == corpus.KindSocket:
+		file.Syscalls = append(file.Syscalls, &syzlang.SyscallDef{
+			CallName: "socket", Variant: hid,
+			Args: []*syzlang.Field{
+				mkField("domain", fmt.Sprintf("const[%s]", orZero(ident.Domain))),
+				mkField("type", fmt.Sprintf("const[%d]", h.Socket.TypeVal)),
+				mkField("proto", "const[0]"),
+			},
+			Ret: resName,
+		})
+	case h.Parent == "":
+		if ident.DevicePath != "" {
+			file.Syscalls = append(file.Syscalls, &syzlang.SyscallDef{
+				CallName: "openat", Variant: hid,
+				Args: []*syzlang.Field{
+					mkField("fd", "const[AT_FDCWD]"),
+					mkField("file", fmt.Sprintf("ptr[in, string[%q]]", ident.DevicePath)),
+					mkField("flags", "const[O_RDWR]"),
+					mkField("mode", "const[0]"),
+				},
+				Ret: resName,
+			})
+		}
+	}
+
+	// Map dependency results onto creator commands, declaring the
+	// secondary resource here so the parent spec validates on its own
+	// (the child handler's spec merges in later and deduplicates).
+	depRet := map[string]string{}
+	for _, d := range deps.Deps {
+		child := g.Corpus.Handler(d.Creates)
+		childRes := "fd_" + sanitizeIdent(d.Creates)
+		if child != nil {
+			childRes = "fd_" + child.Ident()
+		}
+		if depRet[d.Cmd] == "" {
+			file.Resources = append(file.Resources, &syzlang.ResourceDef{Name: childRes, Base: "fd"})
+		}
+		depRet[d.Cmd] = childRes
+		res.Deps = append(res.Deps, d.Creates)
+	}
+
+	for _, c := range ident.Cmds {
+		call := &syzlang.SyscallDef{Variant: c.Macro}
+		if h.Kind == corpus.KindSocket {
+			call.CallName = "setsockopt"
+			call.Args = []*syzlang.Field{
+				mkField("fd", resName),
+				mkField("level", fmt.Sprintf("const[%s]", orZero(ident.Level))),
+				mkField("optname", fmt.Sprintf("const[%s]", c.Macro)),
+			}
+			switch {
+			case c.Arg != "":
+				call.Args = append(call.Args,
+					mkField("optval", fmt.Sprintf("ptr[%s, %s]", normDir(c.Dir), c.Arg)),
+					mkField("optlen", "len[optval, int32]"))
+			case c.ArgInt:
+				call.Args = append(call.Args,
+					mkField("optval", "ptr[in, int32]"),
+					mkField("optlen", "len[optval, int32]"))
+			default:
+				call.Args = append(call.Args,
+					mkField("optval", "ptr[in, array[int8]]"),
+					mkField("optlen", "len[optval, int32]"))
+			}
+		} else {
+			call.CallName = "ioctl"
+			call.Args = []*syzlang.Field{
+				mkField("fd", resName),
+				mkField("cmd", fmt.Sprintf("const[%s]", c.Macro)),
+			}
+			switch {
+			case c.Arg != "":
+				call.Args = append(call.Args,
+					mkField("arg", fmt.Sprintf("ptr[%s, %s]", normDir(c.Dir), c.Arg)))
+			case c.ArgInt:
+				call.Args = append(call.Args, mkField("arg", "ptr[in, int32]"))
+			}
+			if ret, ok := depRet[c.Macro]; ok {
+				call.Ret = ret
+			}
+		}
+		file.Syscalls = append(file.Syscalls, call)
+	}
+
+	// Socket calls. The proto_ops sendmsg/recvmsg entries serve both
+	// the msg and the to/from syscall forms.
+	for _, sc := range ident.Calls {
+		for _, callName := range expandSockCall(sc.Call) {
+			file.Syscalls = append(file.Syscalls, g.sockCallDef(hid, resName, callName, sc.Addr))
+		}
+	}
+
+	// Merge stage-2 type definitions (parsed leniently: the repair
+	// loop deals with whatever validation finds).
+	if typeDefs != "" {
+		defs, _ := syzlang.Parse(typeDefs)
+		file.Merge(defs)
+	}
+	dedupTypes(file)
+	return file
+}
+
+func expandSockCall(call string) []string {
+	switch call {
+	case "sendmsg":
+		return []string{"sendto", "sendmsg"}
+	case "recvmsg":
+		return []string{"recvfrom", "recvmsg"}
+	}
+	return []string{call}
+}
+
+func (g *Generator) sockCallDef(hid, resName, callName, addr string) *syzlang.SyscallDef {
+	addrType := "array[int8]"
+	if addr != "" {
+		addrType = addr
+	}
+	def := &syzlang.SyscallDef{CallName: callName, Variant: hid,
+		Args: []*syzlang.Field{mkField("fd", resName)}}
+	switch callName {
+	case "bind", "connect":
+		def.Args = append(def.Args,
+			mkField("addr", fmt.Sprintf("ptr[in, %s]", addrType)),
+			mkField("addrlen", "len[addr, int32]"))
+	case "sendto":
+		def.Args = append(def.Args,
+			mkField("buf", "ptr[in, array[int8]]"),
+			mkField("len", "len[buf, intptr]"),
+			mkField("f", "const[0]"),
+			mkField("addr", fmt.Sprintf("ptr[in, %s]", addrType)),
+			mkField("addrlen", "len[addr, int32]"))
+	case "recvfrom":
+		def.Args = append(def.Args,
+			mkField("buf", "ptr[out, array[int8]]"),
+			mkField("len", "len[buf, intptr]"),
+			mkField("f", "const[0]"),
+			mkField("addr", fmt.Sprintf("ptr[in, %s]", addrType)),
+			mkField("addrlen", "len[addr, int32]"))
+	case "listen":
+		def.Args = append(def.Args, mkField("backlog", "int32[0:128]"))
+	case "accept":
+		def.Args = append(def.Args,
+			mkField("peer", "ptr[out, array[int8]]"),
+			mkField("peerlen", "len[peer, int32]"))
+		def.Ret = resName
+	case "sendmsg":
+		def.Args = append(def.Args,
+			mkField("msg", "ptr[in, array[int8]]"), mkField("f", "const[0]"))
+	case "recvmsg":
+		def.Args = append(def.Args,
+			mkField("msg", "ptr[out, array[int8]]"), mkField("f", "const[0]"))
+	case "poll":
+		def.Args = append(def.Args, mkField("timeout", "int32"))
+	}
+	return def
+}
+
+func mkField(name, typ string) *syzlang.Field {
+	te, err := syzlang.ParseTypeExpr(typ)
+	if err != nil {
+		// The assembler only builds from parsed model output; a bad
+		// expression becomes a buffer arg and will fail validation
+		// (and enter the repair loop) rather than panicking.
+		te = &syzlang.TypeExpr{Ident: "array", Args: []*syzlang.TypeArg{{Type: &syzlang.TypeExpr{Ident: "int8"}}}}
+	}
+	return &syzlang.Field{Name: name, Type: te}
+}
+
+func normDir(d string) string {
+	switch d {
+	case "in", "out", "inout":
+		return d
+	}
+	return "in"
+}
+
+func orZero(s string) string {
+	if s == "" {
+		return "0"
+	}
+	return s
+}
+
+func sanitizeIdent(s string) string {
+	out := make([]byte, len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c == '-' || c == '#' || c == '/' {
+			c = '_'
+		}
+		out[i] = c
+	}
+	return string(out)
+}
+
+func dedupTypes(f *syzlang.File) {
+	seen := map[string]bool{}
+	var structs []*syzlang.StructDef
+	for _, s := range f.Structs {
+		if !seen[s.Name] {
+			seen[s.Name] = true
+			structs = append(structs, s)
+		}
+	}
+	f.Structs = structs
+	var unions []*syzlang.UnionDef
+	for _, u := range f.Unions {
+		if !seen[u.Name] {
+			seen[u.Name] = true
+			unions = append(unions, u)
+		}
+	}
+	f.Unions = unions
+}
+
+// validateAndRepair runs the §3.2 phase: validate with the
+// syz-extract/syz-generate equivalent, feed error messages back to
+// the LLM for repair, and as a last resort drop declarations that
+// remain broken.
+func (g *Generator) validateAndRepair(h *corpus.Handler, fileSrc, defines string, spec *syzlang.File, res *Result) {
+	env := g.Corpus.Env()
+	errs := syzlang.Validate(spec, env)
+	if len(errs) == 0 {
+		res.Spec = spec
+		res.Valid = res.NewSyscalls() > 0
+		res.ValidDirect = res.Valid
+		return
+	}
+	if !g.Opts.Repair {
+		res.Spec = spec
+		res.RemainingErrors = errs
+		return
+	}
+	source := defines + "\n" + registrationsOf(fileSrc)
+	cur := spec
+	for round := 0; round < g.Opts.MaxRepairRounds && len(errs) > 0; round++ {
+		res.Iterations++
+		reply, err := g.complete(res, "repair", g.pb.buildRepair(
+			syzlang.FormatErrors(syzlang.ValidationErrorsToErrors(errs)),
+			syzlang.Format(cur), source))
+		if err != nil {
+			break
+		}
+		fixedText := llm.ExtractSection(reply, "## Repaired Specification")
+		fixed, perrs := syzlang.Parse(fixedText)
+		if len(perrs) > 0 || len(fixed.Syscalls) == 0 {
+			// The model mangled the spec; keep the current one and
+			// fall through to declaration dropping.
+			break
+		}
+		next := syzlang.Validate(fixed, env)
+		if len(next) >= len(errs) && syzlang.Format(fixed) == syzlang.Format(cur) {
+			// No progress; the error is hard for this model.
+			break
+		}
+		cur, errs = fixed, next
+	}
+	// Last resort: drop declarations that still fail, so the rest of
+	// the specification remains usable.
+	for round := 0; round < 6 && len(errs) > 0; round++ {
+		cur = dropInvalidDecls(cur, errs)
+		errs = syzlang.Validate(cur, env)
+	}
+	res.Spec = cur
+	res.RemainingErrors = errs
+	res.Valid = len(errs) == 0 && res.NewSyscalls() > 0
+	res.Repaired = res.Valid
+}
+
+// dropInvalidDecls removes every declaration an error is attributed
+// to.
+func dropInvalidDecls(f *syzlang.File, errs []*syzlang.ValidationError) *syzlang.File {
+	bad := map[string]bool{}
+	for _, e := range errs {
+		bad[e.Decl] = true
+	}
+	out := &syzlang.File{}
+	for _, r := range f.Resources {
+		if !bad[r.Name] {
+			out.Resources = append(out.Resources, r)
+		}
+	}
+	for _, s := range f.Syscalls {
+		if !bad[s.Name()] {
+			out.Syscalls = append(out.Syscalls, s)
+		}
+	}
+	for _, s := range f.Structs {
+		if !bad[s.Name] {
+			out.Structs = append(out.Structs, s)
+		}
+	}
+	for _, u := range f.Unions {
+		if !bad[u.Name] {
+			out.Unions = append(out.Unions, u)
+		}
+	}
+	for _, fl := range f.Flags {
+		if !bad[fl.Name] {
+			out.Flags = append(out.Flags, fl)
+		}
+	}
+	return out
+}
+
+// FollowDependencies generates specs for secondary handlers the
+// dependency stage discovered (kvm_vm / kvm_vcpu) and merges them
+// into the parent result. It recurses through chains.
+func (g *Generator) FollowDependencies(res *Result, visited map[string]bool) {
+	if visited == nil {
+		visited = map[string]bool{}
+	}
+	visited[res.Handler.Name] = true
+	for _, name := range res.Deps {
+		child := g.Corpus.Handler(name)
+		if child == nil || visited[name] {
+			continue
+		}
+		visited[name] = true
+		childRes := g.GenerateFor(child)
+		g.FollowDependencies(childRes, visited)
+		if childRes.Spec == nil {
+			continue
+		}
+		if res.Spec == nil {
+			res.Spec = childRes.Spec
+			continue
+		}
+		mergeUnique(res.Spec, childRes.Spec)
+		// Re-validate the merged family.
+		errs := syzlang.Validate(res.Spec, g.Corpus.Env())
+		for round := 0; round < 4 && len(errs) > 0; round++ {
+			res.Spec = dropInvalidDecls(res.Spec, errs)
+			errs = syzlang.Validate(res.Spec, g.Corpus.Env())
+		}
+		res.Valid = len(errs) == 0 && res.NewSyscalls() > 0
+	}
+}
+
+func mergeUnique(dst, src *syzlang.File) {
+	have := map[string]bool{}
+	for _, r := range dst.Resources {
+		have["r:"+r.Name] = true
+	}
+	for _, s := range dst.Syscalls {
+		have["c:"+s.Name()] = true
+	}
+	for _, s := range dst.Structs {
+		have["t:"+s.Name] = true
+	}
+	for _, u := range dst.Unions {
+		have["t:"+u.Name] = true
+	}
+	for _, r := range src.Resources {
+		if !have["r:"+r.Name] {
+			dst.Resources = append(dst.Resources, r)
+		}
+	}
+	for _, s := range src.Syscalls {
+		if !have["c:"+s.Name()] {
+			dst.Syscalls = append(dst.Syscalls, s)
+		}
+	}
+	for _, s := range src.Structs {
+		if !have["t:"+s.Name] {
+			dst.Structs = append(dst.Structs, s)
+		}
+	}
+	for _, u := range src.Unions {
+		if !have["t:"+u.Name] {
+			dst.Unions = append(dst.Unions, u)
+		}
+	}
+	dst.Flags = append(dst.Flags, src.Flags...)
+}
+
+// specTextPreview returns the first n lines of a formatted spec (for
+// logs and examples).
+func specTextPreview(f *syzlang.File, n int) string {
+	lines := strings.Split(syzlang.Format(f), "\n")
+	if len(lines) > n {
+		lines = lines[:n]
+	}
+	return strings.Join(lines, "\n")
+}

@@ -1,0 +1,178 @@
+// Package core implements KernelGPT itself (§3): LLM-guided iterative
+// analysis over extracted kernel source (Algorithm 1), staged as
+// identifier deduction, type recovery, and dependency analysis, then
+// specification assembly, validation with Syzkaller-equivalent
+// tooling, and LLM-driven repair from the validator's error messages.
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"kernelgpt/internal/ccode"
+	"kernelgpt/internal/llm"
+)
+
+// Prompt instructions per stage. The stage keyword is the routing
+// contract with the analysis model (the few-shot examples of the
+// paper's template are summarized by the instruction text).
+const (
+	instrIdent = `Please analyze the following kernel operation handler source code and
+generate the Syzkaller specification identifier values: the device file
+path (or socket family), each ioctl command or socket option macro, its
+worker handler function, and the argument type. If the command handling
+is unclear and dependent on another function, list it in the UNKNOWN
+section with its usage.`
+
+	instrType = `Please generate the Syzkaller type definitions for the requested
+structures based on the source code, capturing length relations between
+count fields and sibling arrays, value ranges enforced by validation
+code or documented in comments, and output fields. If a nested type is
+not shown, list it in the UNKNOWN section.`
+
+	instrDep = `Please perform dependency analysis: identify whether any worker
+function's return value creates a new file descriptor resource (for
+example via anon_inode_getfd) that other operation handlers consume.`
+
+	instrRepair = `The following Syzkaller specification failed validation. Please repair
+the descriptions using the error messages and the original source code,
+and output the corrected specification.`
+)
+
+// fewShot reproduces the paper's in-context examples (Figure 6): a
+// worked identifier deduction, a type recovery, and a repair, shaping
+// the model's output format. It is sent with every prompt and counts
+// toward the token accounting.
+const fewShot = `### Example 1: identifier deduction with delegation
+Given the handler:
+    static long ex_ctl_ioctl(struct file *file, uint command, ulong u)
+    {
+        return ctl_ioctl(file, command, (struct ex_ioctl __user *)u);
+    }
+the command handling is delegated, so answer:
+    ## Unknown
+    - FUNC: ctl_ioctl USAGE: return ctl_ioctl(file, command, (struct ex_ioctl __user *)u);
+
+### Example 2: identifier deduction with a modified identifier
+Given:
+    #define EX_IOC_MAGIC 0xfd
+    #define EX_VERSION_CMD 0
+    #define EX_VERSION _IOWR(EX_IOC_MAGIC, EX_VERSION_CMD, struct ex_ioctl)
+    static int ctl_ioctl(struct file *file, uint command, struct ex_ioctl *u)
+    {
+        uint cmd = _IOC_NR(command);
+        if (cmd == EX_VERSION_CMD)
+            return ex_version(u);
+        ...
+    }
+the switch variable is the _IOC_NR of the userspace value, so the real
+identifier is the full encoded macro:
+    ## Commands
+    - MACRO: EX_VERSION HANDLER: ex_version ARG: ex_ioctl DIR: inout PLAIN: false
+
+### Example 3: type recovery with a length relation
+Given:
+    struct ex_list {
+        __u32 count;    /* number of entries in entries */
+        __u64 entries[];
+    };
+answer:
+    ## Type Definitions
+    ex_list {
+        count  len[entries, int32]
+        entries  array[int64]
+    }
+
+### Example 4: repair
+Given the error 'unknown constant "EX_VERSIO" in const[]' and the
+source macro EX_VERSION, correct the name and output the whole
+specification under '## Repaired Specification'.`
+
+// promptBuilder assembles the structured prompts.
+type promptBuilder struct {
+	ix *ccode.Index
+}
+
+func (p *promptBuilder) build(instr string, unknowns []llm.UnknownRef, source string) []llm.Message {
+	var b strings.Builder
+	b.WriteString(llm.SecInstruction + "\n")
+	b.WriteString(instr + "\n\n")
+	if len(unknowns) > 0 {
+		b.WriteString(llm.SecUnknown + "\n")
+		for _, u := range unknowns {
+			fmt.Fprintf(&b, "- %s: %s USAGE: %s\n", u.Kind, u.Name, u.Usage)
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString(llm.SecSource + "\n")
+	b.WriteString(source + "\n\n")
+	b.WriteString(llm.SecFewShot + "\n")
+	b.WriteString(fewShot + "\n")
+	return []llm.Message{
+		{Role: "system", Content: "You are an expert Linux kernel and Syzkaller engineer."},
+		{Role: "user", Content: b.String()},
+	}
+}
+
+func (p *promptBuilder) buildRepair(errs, spec, source string) []llm.Message {
+	var b strings.Builder
+	b.WriteString(llm.SecInstruction + "\n")
+	b.WriteString(instrRepair + "\n\n")
+	b.WriteString(llm.SecErrors + "\n")
+	b.WriteString(errs + "\n\n")
+	b.WriteString(llm.SecSpec + "\n")
+	b.WriteString(spec + "\n\n")
+	b.WriteString(llm.SecSource + "\n")
+	b.WriteString(source + "\n")
+	return []llm.Message{
+		{Role: "system", Content: "You are an expert Linux kernel and Syzkaller engineer."},
+		{Role: "user", Content: b.String()},
+	}
+}
+
+// definesOf returns every preprocessor definition line of a source
+// file — the uapi-header context that accompanies any handler
+// analysis.
+func definesOf(src string) string {
+	var b strings.Builder
+	for _, ln := range strings.Split(src, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(ln), "#define") {
+			b.WriteString(ln)
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// snippetFor extracts the definition of an identifier plus, for
+// functions, any static dispatch table in the same file that the
+// function references (lookup_ioctl's table travels with it).
+func (p *promptBuilder) snippetFor(fileSrc, ident string) (string, bool) {
+	code, ok := p.ix.ExtractCode(ident)
+	if !ok {
+		return "", false
+	}
+	if strings.Contains(code, "lookup_ioctl") {
+		if tbl := extractTable(fileSrc); tbl != "" {
+			code = tbl + "\n\n" + code
+		}
+	}
+	return code, true
+}
+
+// extractTable pulls the "_ioctls[] = { ... };" static table text.
+func extractTable(src string) string {
+	idx := strings.Index(src, "_ioctls[] = {")
+	if idx < 0 {
+		return ""
+	}
+	start := strings.LastIndex(src[:idx], "static")
+	if start < 0 {
+		start = idx
+	}
+	end := strings.Index(src[idx:], "};")
+	if end < 0 {
+		return ""
+	}
+	return src[start : idx+end+2]
+}

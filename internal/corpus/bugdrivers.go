@@ -1,0 +1,330 @@
+package corpus
+
+// The "new specification" drivers: loaded under the syzbot config for
+// years but carrying no Syzkaller descriptions at all. They host 17
+// of the 24 Table 4 bugs. The device mapper and CEC drivers are
+// modeled closely after the paper's running examples.
+
+// buildDeviceMapper models drivers/md/dm-ioctl.c: nodename-based
+// device path, full-body delegation (dm_ctl_ioctl → ctl_ioctl),
+// _IOC_NR identifier modification, and table-lookup dispatch — every
+// adversarial pattern of Figure 2 at once.
+func buildDeviceMapper() *Handler {
+	dmIoctl := StructModel{
+		Name:    "dm_ioctl",
+		Comment: "control structure shared by all dm ioctl commands",
+		Fields: []FieldModel{
+			{Name: "version", CType: "__u32", Array: 3, Comment: "ioctl interface version"},
+			{Name: "data_size", CType: "__u32", Comment: "total size of data passed in, including this struct"},
+			{Name: "data_start", CType: "__u32", Comment: "offset to start of data relative to start of this struct"},
+			{Name: "target_count", CType: "__u32", LenOf: "data"},
+			{Name: "open_count", CType: "__s32", Out: true, Comment: "out: number of open references"},
+			{Name: "flags", CType: "__u32"},
+			{Name: "event_nr", CType: "__u32", Out: true},
+			{Name: "dev", CType: "__u64"},
+			{Name: "name", CType: "char", Array: 128},
+			{Name: "uuid", CType: "char", Array: 129},
+			{Name: "data", CType: "char", Array: -1},
+		},
+	}
+	cmds := []struct {
+		name string
+		nr   int
+		bug  *Bug
+	}{
+		{name: "DM_VERSION", nr: 0},
+		{name: "DM_REMOVE_ALL", nr: 1},
+		{name: "DM_LIST_DEVICES", nr: 2},
+		{name: "DM_DEV_CREATE", nr: 3},
+		{name: "DM_DEV_REMOVE", nr: 4, bug: &Bug{
+			Title: "general protection fault in cleanup_mapped_device", Class: BugGPF,
+			CVE: "CVE-2024-50277", Confirmed: true, Fixed: true,
+			PriorCmds: []string{"DM_DEV_CREATE"},
+		}},
+		{name: "DM_DEV_RENAME", nr: 5},
+		{name: "DM_DEV_SUSPEND", nr: 6},
+		{name: "DM_DEV_STATUS", nr: 7},
+		{name: "DM_DEV_WAIT", nr: 8},
+		{name: "DM_TABLE_LOAD", nr: 9, bug: &Bug{
+			Title: "kmalloc bug in dm_table_create", Class: BugAllocSize,
+			CVE: "CVE-2023-52429", Confirmed: true, Fixed: true,
+			TriggerField: "target_count",
+			Trigger:      FieldGate{Field: "target_count", Op: GateGt, Value: 1 << 28},
+			PriorCmds:    []string{"DM_DEV_CREATE"},
+		}},
+		{name: "DM_TABLE_CLEAR", nr: 10},
+		{name: "DM_TABLE_DEPS", nr: 11},
+		{name: "DM_TABLE_STATUS", nr: 12},
+		{name: "DM_LIST_VERSIONS", nr: 13, bug: &Bug{
+			Title: "kmalloc bug in ctl_ioctl", Class: BugAllocSize,
+			CVE: "CVE-2024-23851", Confirmed: true, Fixed: true,
+			TriggerField: "data_size",
+			Trigger:      FieldGate{Field: "data_size", Op: GateGt, Value: 0x7fffffff},
+		}},
+		{name: "DM_TARGET_MSG", nr: 14},
+		{name: "DM_DEV_SET_GEOMETRY", nr: 15},
+		{name: "DM_DEV_ARM_POLL", nr: 16},
+		{name: "DM_GET_TARGET_VERSION", nr: 17},
+	}
+	h := &Handler{
+		Name:          "dm",
+		Kind:          KindDriver,
+		DevPath:       "/dev/mapper/control",
+		MiscName:      "device-mapper",
+		Quirks:        QuirkNodename | QuirkDispatch | QuirkIOCNR | QuirkLookupTable | QuirkLenRelation,
+		DispatchDepth: 1,
+		IoctlChar:     0xfd,
+		OpenBlocks:    6,
+		Loaded:        true,
+		Structs:       []StructModel{dmIoctl},
+	}
+	for _, c := range cmds {
+		cmd := Cmd{Name: c.name, NR: c.nr, Dir: DirInOut, Arg: "dm_ioctl", Blocks: 6, Bug: c.bug}
+		if c.bug != nil {
+			c.bug.Cmd = c.name
+		}
+		cmd.Gates = []FieldGate{{Field: "data_size", Op: GateGt, Value: 0, Blocks: 3}}
+		h.Cmds = append(h.Cmds, cmd)
+	}
+	return h
+}
+
+// buildCEC models the HDMI CEC driver, host of five Table 4 bugs
+// including the use-after-free CVE-2024-23848. Its spec was the one
+// merged upstream into Syzkaller (§5.1.1).
+func buildCEC() *Handler {
+	caps := StructModel{
+		Name:    "cec_caps",
+		Comment: "capabilities reported by CEC_ADAP_G_CAPS",
+		Fields: []FieldModel{
+			{Name: "driver", CType: "char", Array: 32, Out: true},
+			{Name: "name", CType: "char", Array: 32, Out: true},
+			{Name: "available_log_addrs", CType: "__u32", Out: true},
+			{Name: "capabilities", CType: "__u32", Out: true},
+			{Name: "version", CType: "__u32", Out: true},
+		},
+	}
+	logAddrs := StructModel{
+		Name:    "cec_log_addrs",
+		Comment: "logical address configuration; num_log_addrs at most CEC_MAX_LOG_ADDRS (4)",
+		Fields: []FieldModel{
+			{Name: "log_addr", CType: "__u8", Array: 4},
+			{Name: "log_addr_mask", CType: "__u16", Out: true},
+			{Name: "cec_version", CType: "__u8"},
+			{Name: "num_log_addrs", CType: "__u8", Ranged: true, Min: 0, Max: 4,
+				Comment: "must not exceed CEC_MAX_LOG_ADDRS (4)"},
+			{Name: "vendor_id", CType: "__u32"},
+			{Name: "flags", CType: "__u32"},
+			{Name: "osd_name", CType: "char", Array: 15},
+			{Name: "primary_device_type", CType: "__u8", Array: 4},
+			{Name: "log_addr_type", CType: "__u8", Array: 4},
+		},
+	}
+	msg := StructModel{
+		Name:    "cec_msg",
+		Comment: "a CEC message: len counts the valid bytes in msg",
+		Fields: []FieldModel{
+			{Name: "tx_ts", CType: "__u64", Out: true},
+			{Name: "rx_ts", CType: "__u64", Out: true},
+			{Name: "len", CType: "__u32", Ranged: true, Min: 1, Max: 16},
+			{Name: "timeout", CType: "__u32"},
+			{Name: "sequence", CType: "__u32", Out: true},
+			{Name: "flags", CType: "__u32"},
+			{Name: "msg", CType: "__u8", Array: 16},
+			{Name: "reply", CType: "__u8"},
+			{Name: "rx_status", CType: "__u8", Out: true},
+			{Name: "tx_status", CType: "__u8", Out: true},
+		},
+	}
+	mode := StructModel{
+		Name: "cec_mode",
+		Fields: []FieldModel{
+			{Name: "initiator", CType: "__u8", Ranged: true, Min: 0, Max: 3},
+			{Name: "follower", CType: "__u8", Ranged: true, Min: 0, Max: 3},
+		},
+	}
+	h := &Handler{
+		Name:       "cec",
+		Kind:       KindDriver,
+		DevPath:    "/dev/cec0",
+		MiscName:   "cec0",
+		Quirks:     QuirkDispatch | QuirkCommentHint,
+		IoctlChar:  'a',
+		OpenBlocks: 5,
+		Loaded:     true,
+		Structs:    []StructModel{caps, logAddrs, msg, mode},
+		// Two delegation hops: within MAX_ITER for the iterative LLM
+		// analysis, beyond the static baseline's depth limit.
+		DispatchDepth: 2,
+	}
+	h.Cmds = []Cmd{
+		{Name: "CEC_ADAP_G_CAPS", NR: 0, Dir: DirInOut, Arg: "cec_caps", Blocks: 4},
+		{Name: "CEC_ADAP_G_PHYS_ADDR", NR: 1, Dir: DirOut, ArgInt: true, Blocks: 3},
+		{Name: "CEC_ADAP_S_PHYS_ADDR", NR: 2, Dir: DirIn, ArgInt: true, Blocks: 4},
+		{Name: "CEC_ADAP_G_LOG_ADDRS", NR: 3, Dir: DirOut, Arg: "cec_log_addrs", Blocks: 5},
+		{Name: "CEC_ADAP_S_LOG_ADDRS", NR: 4, Dir: DirInOut, Arg: "cec_log_addrs", Blocks: 8,
+			Gates: []FieldGate{{Field: "num_log_addrs", Op: GateInRange, Value: 1, Max: 4, Blocks: 6}},
+			Bug: &Bug{
+				Title: "INFO: task hung in cec_claim_log_addrs", Class: BugTaskHung,
+				Cmd:          "CEC_ADAP_S_LOG_ADDRS",
+				TriggerField: "num_log_addrs",
+				Trigger:      FieldGate{Field: "num_log_addrs", Op: GateEq, Value: 4},
+			}},
+		{Name: "CEC_TRANSMIT", NR: 5, Dir: DirInOut, Arg: "cec_msg", Blocks: 9,
+			Gates: []FieldGate{{Field: "len", Op: GateInRange, Value: 1, Max: 16, Blocks: 5}},
+			Bug: &Bug{
+				Title: "ODEBUG bug in cec_transmit_msg_fh", Class: BugODebug,
+				Cmd:       "CEC_TRANSMIT",
+				Confirmed: true, Fixed: true,
+				TriggerField: "timeout",
+				Trigger:      FieldGate{Field: "timeout", Op: GateEq, Value: 0},
+				PriorCmds:    []string{"CEC_ADAP_S_LOG_ADDRS"},
+			}},
+		{Name: "CEC_RECEIVE", NR: 6, Dir: DirInOut, Arg: "cec_msg", Blocks: 6,
+			Bug: &Bug{
+				Title: "KASAN: slab-use-after-free Read in cec_queue_msg_fh", Class: BugKASANUAF,
+				Cmd: "CEC_RECEIVE",
+				CVE: "CVE-2024-23848", Confirmed: true, Fixed: true,
+				PriorCmds: []string{"CEC_ADAP_S_LOG_ADDRS", "CEC_S_MODE"},
+			}},
+		{Name: "CEC_G_MODE", NR: 7, Dir: DirOut, Arg: "cec_mode", Blocks: 3},
+		{Name: "CEC_S_MODE", NR: 8, Dir: DirIn, Arg: "cec_mode", Blocks: 5,
+			Gates: []FieldGate{{Field: "follower", Op: GateEq, Value: 3, Blocks: 4}},
+			Bug: &Bug{
+				Title: "WARNING in cec_data_cancel", Class: BugWarning,
+				Cmd:       "CEC_S_MODE",
+				Confirmed: true, Fixed: true,
+				PriorCmds: []string{"CEC_TRANSMIT"},
+			}},
+		{Name: "CEC_DQEVENT", NR: 9, Dir: DirInOut, Arg: "cec_msg", Blocks: 5,
+			Bug: &Bug{
+				Title: "general protection fault in cec_transmit_done_ts", Class: BugGPF,
+				Cmd:       "CEC_DQEVENT",
+				Confirmed: true, Fixed: true,
+				PriorCmds: []string{"CEC_TRANSMIT", "CEC_S_MODE"},
+			}},
+		{Name: "CEC_ADAP_G_CONNECTOR_INFO", NR: 10, Dir: DirOut, Arg: "cec_caps", Blocks: 3},
+	}
+	return h
+}
+
+// buildUBI models the UBI volume-management driver (two memory bugs).
+func buildUBI() *Handler {
+	h := genDriver("ubi_ctrl", 7, QuirkLenRelation|QuirkDispatch)
+	h.DevPath = "/dev/ubi_ctrl"
+	h.MiscName = "ubi_ctrl"
+	h.DispatchDepth = 2
+	h.Cmds[0].Bug = &Bug{
+		Title: "zero-size vmalloc in ubi_read_volume_table", Class: BugWarning,
+		Cmd: h.Cmds[0].Name, CVE: "CVE-2024-25739", Confirmed: true, Fixed: true,
+	}
+	if h.Cmds[0].Arg != "" {
+		if f := firstScalarField(h.StructByName(h.Cmds[0].Arg)); f != "" {
+			h.Cmds[0].Bug.TriggerField = f
+			h.Cmds[0].Bug.Trigger = FieldGate{Field: f, Op: GateEq, Value: 0}
+		}
+	}
+	h.Cmds[2].Bug = &Bug{
+		Title: "memory leak in ubi_attach", Class: BugMemLeak,
+		Cmd: h.Cmds[2].Name, CVE: "CVE-2024-25740", Confirmed: true,
+	}
+	return h
+}
+
+// buildPosixClock models the PTP clock character device.
+func buildPosixClock() *Handler {
+	h := genDriver("ptp0", 6, QuirkCharDev|QuirkDispatch)
+	h.DispatchDepth = 2
+	h.Cmds[1].Bug = &Bug{
+		Title: "memory leak in posix_clock_open", Class: BugMemLeak,
+		Cmd: h.Cmds[1].Name, CVE: "CVE-2024-26655", Confirmed: true, Fixed: true,
+	}
+	return h
+}
+
+// buildDVB models the DVB demux device family (four Table 4 bugs).
+func buildDVB() *Handler {
+	h := genDriver("dvb_demux", 12, QuirkNodename|QuirkDispatch|QuirkLenRelation)
+	h.DevPath = "/dev/dvb/adapter0/demux0"
+	h.MiscName = "dvb"
+	h.DispatchDepth = 2
+	bugs := []*Bug{
+		{Title: "possible deadlock in dvb_demux_release", Class: BugDeadlock},
+		{Title: "memory leak in dvb_dmxdev_add_pid", Class: BugMemLeak, Confirmed: true},
+		{Title: "memory leak in dvb_dvr_do_ioctl", Class: BugMemLeak},
+		{Title: "general protection fault in dvb_vb2_expbuf", Class: BugGPF,
+			CVE: "CVE-2024-50291", Confirmed: true, Fixed: true},
+	}
+	for i, b := range bugs {
+		idx := (i*3 + 1) % len(h.Cmds)
+		b.Cmd = h.Cmds[idx].Name
+		if i > 0 {
+			b.PriorCmds = []string{h.Cmds[0].Name}
+		}
+		h.Cmds[idx].Bug = b
+	}
+	return h
+}
+
+// buildVEP models the USB gadget endpoint driver (vep_queue bugs).
+func buildVEP() *Handler {
+	h := genDriver("vep", 8, QuirkDispatch)
+	h.DispatchDepth = 2
+	h.DevPath = "/dev/vep0"
+	h.MiscName = "vep0"
+	h.Cmds[2].Bug = &Bug{
+		Title: "WARNING in usb_ep_queue", Class: BugWarning,
+		Cmd: h.Cmds[2].Name, CVE: "CVE-2024-25741", Confirmed: true,
+	}
+	h.Cmds[5].Bug = &Bug{
+		Title: "BUG: corrupted list in vep_queue", Class: BugListCorrupt,
+		Cmd: h.Cmds[5].Name, Confirmed: true,
+		PriorCmds: []string{h.Cmds[2].Name},
+	}
+	return h
+}
+
+// buildUVC models the UVC video driver — partially described by
+// Syzkaller, so its two bugs sit in the "incomplete" category.
+func buildUVC() *Handler {
+	h := genDriver("uvcvideo", 10, QuirkLenRelation|QuirkDispatch)
+	h.DispatchDepth = 2
+	h.DevPath = "/dev/video0"
+	h.MiscName = "video0"
+	withSyzkallerCoverage(h, 5)
+	// Both bugs live in commands 5+ (outside the described prefix).
+	h.Cmds[6].Bug = &Bug{
+		Title: "WARNING in vb2_core_reqbufs", Class: BugWarning,
+		Cmd: h.Cmds[6].Name, Confirmed: true,
+	}
+	if h.Cmds[7].Arg != "" {
+		if f := firstScalarField(h.StructByName(h.Cmds[7].Arg)); f != "" {
+			h.Cmds[7].Bug = &Bug{
+				Title: "divide error in uvc_queue_setup", Class: BugDivide,
+				Cmd: h.Cmds[7].Name, Confirmed: true,
+				TriggerField: f,
+				Trigger:      FieldGate{Field: f, Op: GateEq, Value: 0},
+			}
+		}
+	}
+	if h.Cmds[7].Bug == nil {
+		h.Cmds[7].Bug = &Bug{
+			Title: "divide error in uvc_queue_setup", Class: BugDivide,
+			Cmd: h.Cmds[7].Name, Confirmed: true,
+		}
+	}
+	return h
+}
+
+// buildBugDrivers returns every hand-modeled new-spec driver.
+func buildBugDrivers() []*Handler {
+	return []*Handler{
+		buildDeviceMapper(),
+		buildCEC(),
+		buildUBI(),
+		buildPosixClock(),
+		buildDVB(),
+		buildVEP(),
+		buildUVC(),
+	}
+}

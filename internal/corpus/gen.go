@@ -1,0 +1,246 @@
+package corpus
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Deterministic handler synthesis. Every procedurally generated
+// handler derives from a seed (hash of its name), so the corpus is
+// identical across runs and machines — a requirement for reproducible
+// tables.
+
+// hash64 is FNV-1a.
+func hash64(s string) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// rng is a tiny splitmix64 generator for corpus synthesis.
+type rng struct{ state uint64 }
+
+func newRng(seed uint64) *rng { return &rng{state: seed} }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *rng) intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.next() % uint64(n))
+}
+
+func (r *rng) pick(opts []string) string { return opts[r.intn(len(opts))] }
+
+var (
+	cmdVerbs    = []string{"GET", "SET", "START", "STOP", "RESET", "QUERY", "ENABLE", "DISABLE", "READ", "WRITE", "ADD", "DEL", "FLUSH", "SYNC", "BIND", "ALLOC", "FREE", "MAP", "UNMAP", "WAIT"}
+	cmdNouns    = []string{"CONFIG", "STATUS", "MODE", "BUFFER", "CHANNEL", "TIMER", "IRQ", "QUEUE", "STATE", "PARAMS", "INFO", "STATS", "REGION", "FEATURES", "VERSION", "CAPS", "EVENT", "RING", "FILTER", "LIMIT"}
+	structKinds = []string{"config", "info", "params", "status", "req", "desc", "range", "entry", "state", "caps"}
+	fieldNames  = []string{"flags", "mode", "index", "offset", "length", "count", "value", "mask", "id", "size", "level", "channel", "timeout", "threshold", "rate", "depth", "width", "num", "base", "limit"}
+	fieldCTypes = []string{"__u32", "__u32", "__u32", "__u64", "__u16", "__u8", "__s32"}
+)
+
+// genStruct synthesizes a payload struct with nfields fields; with
+// lenRel it gets a trailing flexible array plus a count field bound
+// to it.
+func genStruct(name string, r *rng, nfields int, lenRel bool) StructModel {
+	sm := StructModel{Name: name, Comment: "userspace parameter block for " + name}
+	used := map[string]bool{}
+	for i := 0; i < nfields; i++ {
+		fn := fieldNames[r.intn(len(fieldNames))]
+		for used[fn] {
+			fn = fmt.Sprintf("%s%d", fieldNames[r.intn(len(fieldNames))], i)
+		}
+		used[fn] = true
+		f := FieldModel{Name: fn, CType: fieldCTypes[r.intn(len(fieldCTypes))]}
+		switch r.intn(8) {
+		case 0:
+			f.Array = 4 + r.intn(4)*4
+		case 1:
+			f.Ranged = true
+			f.Min = 0
+			f.Max = uint64(1 + r.intn(63))
+			f.Comment = fmt.Sprintf("valid range 0..%d", f.Max)
+		case 2:
+			f.Out = true
+		}
+		sm.Fields = append(sm.Fields, f)
+	}
+	if lenRel {
+		sm.Fields = append(sm.Fields,
+			FieldModel{Name: "n_entries", CType: "__u32", LenOf: "entries"},
+			FieldModel{Name: "entries", CType: "__u64", Array: -1},
+		)
+	}
+	return sm
+}
+
+// genCmdName builds a unique command macro name.
+func genCmdName(prefix string, r *rng, used map[string]bool) string {
+	for {
+		name := fmt.Sprintf("%s_%s_%s", prefix, r.pick(cmdVerbs), r.pick(cmdNouns))
+		if !used[name] {
+			used[name] = true
+			return name
+		}
+	}
+}
+
+// genDriver synthesizes a driver handler with ncmds commands. The
+// quirks parameter layers in the adversarial patterns.
+func genDriver(name string, ncmds int, quirks Quirk) *Handler {
+	r := newRng(hash64(name))
+	u := up(name)
+	h := &Handler{
+		Name:       name,
+		Kind:       KindDriver,
+		DevPath:    "/dev/" + name,
+		MiscName:   name,
+		Quirks:     quirks,
+		IoctlChar:  byte(0x20 + r.intn(0x5f)),
+		OpenBlocks: 3 + r.intn(5),
+		Loaded:     true,
+	}
+	if quirks.Has(QuirkNodename) {
+		h.DevPath = fmt.Sprintf("/dev/%s/%s", name, "ctl")
+		h.MiscName = name + "-legacy"
+	}
+	if quirks.Has(QuirkDispatch) {
+		h.DispatchDepth = 1 + r.intn(2)
+	}
+	if quirks.Has(QuirkCharDev) {
+		h.DevPath = "/dev/" + name
+	}
+	// Shared struct pool.
+	nstructs := 1 + ncmds/4
+	if nstructs > 5 {
+		nstructs = 5
+	}
+	var structNames []string
+	for i := 0; i < nstructs; i++ {
+		sname := fmt.Sprintf("%s_%s", strings.ReplaceAll(name, "-", "_"), structKinds[(i+r.intn(3))%len(structKinds)])
+		if h.StructByName(sname) != nil {
+			sname = fmt.Sprintf("%s%d", sname, i)
+		}
+		lenRel := quirks.Has(QuirkLenRelation) && i == 0
+		h.Structs = append(h.Structs, genStruct(sname, r, 3+r.intn(5), lenRel))
+		structNames = append(structNames, sname)
+	}
+	used := map[string]bool{}
+	for i := 0; i < ncmds; i++ {
+		c := Cmd{
+			Name:   genCmdName(u, r, used),
+			NR:     i,
+			Dir:    ArgDir(1 + r.intn(3)),
+			Blocks: 3 + r.intn(8),
+		}
+		switch r.intn(5) {
+		case 0:
+			c.ArgInt = true
+		case 1:
+			c.Dir = DirNone
+		default:
+			c.Arg = structNames[r.intn(len(structNames))]
+		}
+		if c.Arg != "" && r.intn(3) == 0 {
+			// Deeper blocks behind a field gate.
+			sm := h.StructByName(c.Arg)
+			f := sm.Fields[r.intn(len(sm.Fields))]
+			if f.Array == 0 && f.LenOf == "" && !f.Out {
+				g := FieldGate{Field: f.Name, Op: GateEq, Value: uint64(r.intn(8)), Blocks: 4 + r.intn(8)}
+				if f.Ranged {
+					g.Value = f.Min + uint64(r.intn(int(f.Max-f.Min+1)))
+				}
+				c.Gates = append(c.Gates, g)
+			}
+		}
+		h.Cmds = append(h.Cmds, c)
+	}
+	return h
+}
+
+// genSocket synthesizes a socket handler with nopts sockopt options
+// and a standard complement of socket calls.
+func genSocket(name string, domainVal, nopts int, quirks Quirk) *Handler {
+	r := newRng(hash64("sock:" + name))
+	u := up(name)
+	h := &Handler{
+		Name:       name,
+		Kind:       KindSocket,
+		Quirks:     quirks,
+		OpenBlocks: 4 + r.intn(5),
+		Loaded:     true,
+		Socket: SocketInfo{
+			Domain:    "AF_" + u,
+			DomainVal: domainVal,
+			Type:      "SOCK_DGRAM",
+			TypeVal:   2,
+			Protocol:  0,
+			Level:     "SOL_" + u,
+			LevelVal:  200 + domainVal,
+		},
+	}
+	sname := strings.ReplaceAll(name, "-", "_") + "_opts"
+	h.Structs = append(h.Structs, genStruct(sname, r, 3+r.intn(3), quirks.Has(QuirkLenRelation)))
+	addrName := "sockaddr_" + strings.ReplaceAll(name, "-", "_")
+	h.Structs = append(h.Structs, StructModel{
+		Name:    addrName,
+		Comment: "address format for the " + name + " family",
+		Fields: []FieldModel{
+			{Name: "family", CType: "__u16"},
+			{Name: "port", CType: "__u16"},
+			{Name: "addr", CType: "__u32", Array: 4},
+		},
+	})
+	used := map[string]bool{}
+	for i := 0; i < nopts; i++ {
+		c := Cmd{
+			Name:   genCmdName(u, r, used),
+			NR:     i + 1,
+			Dir:    DirIn,
+			Plain:  true,
+			Blocks: 2 + r.intn(6),
+		}
+		switch r.intn(3) {
+		case 0:
+			c.Arg = sname
+		default:
+			c.ArgInt = true
+		}
+		h.Cmds = append(h.Cmds, c)
+	}
+	if !quirks.Has(QuirkIndirectCall) {
+		h.Socket.Calls = []SockCall{
+			{Kind: SockBind, Addr: addrName, Blocks: 4 + r.intn(4)},
+			{Kind: SockConnect, Addr: addrName, Blocks: 4 + r.intn(4)},
+			{Kind: SockSendto, Addr: addrName, Buf: true, Blocks: 5 + r.intn(5)},
+			{Kind: SockRecvfrom, Addr: addrName, Buf: true, Blocks: 3 + r.intn(4)},
+		}
+	}
+	return h
+}
+
+// withSyzkallerCoverage marks the first n commands as described by the
+// existing human suite (n<0 marks the handler complete).
+func withSyzkallerCoverage(h *Handler, n int) *Handler {
+	if n < 0 {
+		h.SyzkallerComplete = true
+		h.SyzkallerCmds = allCmdNames(h)
+		return h
+	}
+	if n > len(h.Cmds) {
+		n = len(h.Cmds)
+	}
+	h.SyzkallerCmds = allCmdNames(h)[:n]
+	return h
+}

@@ -1,0 +1,141 @@
+package corpus
+
+// Ground-truth memory layout of model structs, using the same C
+// layout rules as the ccode size calculator and the prog encoder
+// (little-endian scalars, natural alignment, trailing flexible arrays
+// contribute no size). The virtual kernel decodes syscall payloads at
+// these offsets — which is exactly why a generator that recovered the
+// wrong struct shape feeds garbage into field-gated branches.
+
+// FieldOffset locates one field inside an encoded struct.
+type FieldOffset struct {
+	Name string
+	// Off is the byte offset; Width the scalar width (1,2,4,8).
+	Off, Width int
+	// Count is the element count for fixed arrays (1 for scalars);
+	// Flexible marks a trailing variable array.
+	Count    int
+	Flexible bool
+	// Nested is non-nil for embedded struct fields.
+	Nested *Layout
+}
+
+// Layout is the computed layout of a struct model.
+type Layout struct {
+	Name    string
+	Size    int
+	Align   int
+	Offsets []FieldOffset
+}
+
+// Field returns the offset entry with the given name, or nil.
+func (l *Layout) Field(name string) *FieldOffset {
+	for i := range l.Offsets {
+		if l.Offsets[i].Name == name {
+			return &l.Offsets[i]
+		}
+	}
+	return nil
+}
+
+// scalarWidth maps model C types to byte widths.
+func scalarWidth(ctype string) int {
+	switch ctype {
+	case "char", "__u8", "__s8", "u8", "s8":
+		return 1
+	case "__u16", "__s16", "u16", "s16", "short":
+		return 2
+	case "__u64", "__s64", "u64", "s64", "long", "unsigned long":
+		return 8
+	default:
+		return 4
+	}
+}
+
+// LayoutOf computes the layout of the named struct within handler h.
+// Returns nil if the struct is unknown.
+func (h *Handler) LayoutOf(name string) *Layout {
+	return h.layoutRec(name, map[string]bool{})
+}
+
+func (h *Handler) layoutRec(name string, seen map[string]bool) *Layout {
+	sm := h.StructByName(name)
+	if sm == nil || seen[name] {
+		return nil
+	}
+	seen[name] = true
+	defer delete(seen, name)
+	l := &Layout{Name: name, Align: 1}
+	off := 0
+	for _, f := range sm.Fields {
+		fo := FieldOffset{Name: f.Name, Count: 1}
+		width := 0
+		align := 1
+		if inner, ok := cutStructPrefix(f.CType); ok {
+			nested := h.layoutRec(inner, seen)
+			if nested == nil {
+				continue
+			}
+			fo.Nested = nested
+			width = nested.Size
+			align = nested.Align
+		} else {
+			width = scalarWidth(f.CType)
+			align = width
+		}
+		fo.Width = width
+		switch {
+		case f.Array > 0:
+			fo.Count = f.Array
+		case f.Array < 0:
+			fo.Flexible = true
+			fo.Count = 0
+		}
+		if align > l.Align {
+			l.Align = align
+		}
+		if rem := off % align; rem != 0 {
+			off += align - rem
+		}
+		fo.Off = off
+		if !fo.Flexible {
+			off += width * fo.Count
+		}
+		l.Offsets = append(l.Offsets, fo)
+	}
+	if rem := off % l.Align; rem != 0 {
+		off += l.Align - rem
+	}
+	l.Size = off
+	return l
+}
+
+func cutStructPrefix(ctype string) (string, bool) {
+	const p = "struct "
+	if len(ctype) > len(p) && ctype[:len(p)] == p {
+		return ctype[len(p):], true
+	}
+	return "", false
+}
+
+// ReadField decodes the named scalar field from an encoded payload.
+// For array fields it reads the first element. Returns 0, false when
+// the payload is too short or the field is unknown.
+func (l *Layout) ReadField(data []byte, name string) (uint64, bool) {
+	fo := l.Field(name)
+	if fo == nil || fo.Nested != nil {
+		return 0, false
+	}
+	return readScalar(data, fo.Off, fo.Width)
+}
+
+func readScalar(data []byte, off, width int) (uint64, bool) {
+	if off+width > len(data) || width == 0 {
+		return 0, false
+	}
+	var v uint64
+	for i := width - 1; i >= 0; i-- {
+		v = v<<8 | uint64(data[off+i])
+	}
+	return v, true
+}

@@ -1,0 +1,108 @@
+package corpus
+
+import (
+	"encoding/binary"
+	"testing"
+	"testing/quick"
+)
+
+func TestLayoutDMIoctl(t *testing.T) {
+	dm := fullCorpus.Handler("dm")
+	l := dm.LayoutOf("dm_ioctl")
+	if l == nil {
+		t.Fatal("no layout")
+	}
+	// version[3]@0, data_size@12, data_start@16, target_count@20,
+	// open_count@24, flags@28, event_nr@32, dev@40 (8-align),
+	// name[128]@48, uuid[129]@176, data[]@305 → size padded to 312.
+	cases := map[string]int{
+		"version": 0, "data_size": 12, "data_start": 16,
+		"target_count": 20, "open_count": 24, "flags": 28,
+		"event_nr": 32, "dev": 40, "name": 48, "uuid": 176,
+	}
+	for field, off := range cases {
+		fo := l.Field(field)
+		if fo == nil {
+			t.Fatalf("field %s missing", field)
+		}
+		if fo.Off != off {
+			t.Errorf("field %s at %d, want %d", field, fo.Off, off)
+		}
+	}
+	if data := l.Field("data"); data == nil || !data.Flexible {
+		t.Fatal("data must be a flexible array")
+	}
+	if l.Size%8 != 0 {
+		t.Fatalf("size %d not 8-aligned", l.Size)
+	}
+}
+
+func TestLayoutMatchesCcodeSizeof(t *testing.T) {
+	// The ground-truth layout and the extractor's sizeof must agree
+	// (the prog encoder and the vkernel decoder both rely on it).
+	for _, h := range fullCorpus.Handlers {
+		if !h.Loaded {
+			continue
+		}
+		for i := range h.Structs {
+			name := h.Structs[i].Name
+			l := h.LayoutOf(name)
+			want := fullCorpus.Index.Sizeof("struct " + name)
+			if l.Size != want {
+				t.Fatalf("%s/%s: layout size %d != ccode sizeof %d",
+					h.Name, name, l.Size, want)
+			}
+		}
+	}
+}
+
+func TestReadFieldDecodesEncodedScalars(t *testing.T) {
+	dm := fullCorpus.Handler("dm")
+	l := dm.LayoutOf("dm_ioctl")
+	buf := make([]byte, l.Size)
+	binary.LittleEndian.PutUint32(buf[l.Field("data_size").Off:], 0xdeadbeef)
+	binary.LittleEndian.PutUint64(buf[l.Field("dev").Off:], 0x1122334455667788)
+	if v, ok := l.ReadField(buf, "data_size"); !ok || v != 0xdeadbeef {
+		t.Fatalf("data_size = %#x, %v", v, ok)
+	}
+	if v, ok := l.ReadField(buf, "dev"); !ok || v != 0x1122334455667788 {
+		t.Fatalf("dev = %#x, %v", v, ok)
+	}
+	if _, ok := l.ReadField(buf[:4], "dev"); ok {
+		t.Fatal("short buffer must fail")
+	}
+	if _, ok := l.ReadField(buf, "nonexistent"); ok {
+		t.Fatal("unknown field must fail")
+	}
+}
+
+func TestQuickLayoutFieldsDisjoint(t *testing.T) {
+	// Non-flexible fields never overlap and stay within the struct.
+	f := func(seed uint64) bool {
+		h := genDriver("lay"+randName(seed), 4, QuirkLenRelation)
+		for i := range h.Structs {
+			l := h.LayoutOf(h.Structs[i].Name)
+			type span struct{ lo, hi int }
+			var spans []span
+			for _, fo := range l.Offsets {
+				if fo.Flexible {
+					continue
+				}
+				s := span{fo.Off, fo.Off + fo.Width*fo.Count}
+				if s.hi > l.Size {
+					return false
+				}
+				for _, o := range spans {
+					if s.lo < o.hi && o.lo < s.hi {
+						return false
+					}
+				}
+				spans = append(spans, s)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

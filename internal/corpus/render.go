@@ -1,0 +1,549 @@
+package corpus
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RenderC emits the synthetic kernel C source for a handler. The
+// output is what the extractor indexes and the analysis LLM reads; it
+// reproduces the real kernel's implementation patterns, with the
+// handler's quirks selecting between the common and the adversarial
+// variants the paper discusses.
+func RenderC(h *Handler) string {
+	var b strings.Builder
+	if h.Kind == KindSocket {
+		renderSocket(&b, h)
+		return b.String()
+	}
+	renderDriver(&b, h)
+	return b.String()
+}
+
+func up(s string) string {
+	return strings.ToUpper(strings.NewReplacer("-", "_", "#", "N", "/", "_").Replace(s))
+}
+
+func cmdNrMacro(cmdName string) string { return cmdName + "_CMD" }
+
+func renderDriver(b *strings.Builder, h *Handler) {
+	u := up(h.Ident())
+	fmt.Fprintf(b, "/* %s driver — auto-modeled synthetic kernel module. */\n\n", h.Ident())
+
+	// Device-name macros.
+	if h.Parent == "" {
+		if h.Quirks.Has(QuirkNodename) {
+			dir, node := splitDevPath(h.DevPath)
+			fmt.Fprintf(b, "#define %s_NAME \"%s\"\n", u, h.MiscName)
+			fmt.Fprintf(b, "#define %s_DIR \"%s\"\n", u, dir)
+			fmt.Fprintf(b, "#define %s_NODE \"%s\"\n", u, node)
+		} else {
+			fmt.Fprintf(b, "#define %s_NAME \"%s\"\n", u, h.MiscName)
+		}
+	}
+	if h.IoctlChar != 0 {
+		fmt.Fprintf(b, "#define %s_IOC_MAGIC 0x%02x\n", u, h.IoctlChar)
+	}
+	b.WriteByte('\n')
+
+	// Command macros.
+	for i := range h.Cmds {
+		c := &h.Cmds[i]
+		if c.Plain {
+			fmt.Fprintf(b, "#define %s %d\n", c.Name, c.NR)
+			continue
+		}
+		fmt.Fprintf(b, "#define %s %d\n", cmdNrMacro(c.Name), c.NR)
+		ioc := "_IO"
+		argText := ""
+		switch c.Dir {
+		case DirIn:
+			ioc = "_IOW"
+		case DirOut:
+			ioc = "_IOR"
+		case DirInOut:
+			ioc = "_IOWR"
+		}
+		switch {
+		case c.Arg != "":
+			argText = ", struct " + c.Arg
+		case c.ArgInt:
+			argText = ", int"
+		default:
+			ioc = "_IO"
+		}
+		fmt.Fprintf(b, "#define %s %s(%s_IOC_MAGIC, %s%s)\n",
+			c.Name, ioc, u, cmdNrMacro(c.Name), argText)
+	}
+	b.WriteByte('\n')
+
+	renderStructs(b, h)
+	renderSubHandlers(b, h)
+	renderDispatch(b, h)
+	renderRegistration(b, h)
+}
+
+func splitDevPath(p string) (dir, node string) {
+	p = strings.TrimPrefix(p, "/dev/")
+	if i := strings.LastIndex(p, "/"); i >= 0 {
+		return p[:i], p[i+1:]
+	}
+	return "", p
+}
+
+func renderStructs(b *strings.Builder, h *Handler) {
+	for i := range h.Structs {
+		s := &h.Structs[i]
+		if s.Comment != "" {
+			fmt.Fprintf(b, "/* %s */\n", s.Comment)
+		}
+		fmt.Fprintf(b, "struct %s {\n", s.Name)
+		for _, f := range s.Fields {
+			decl := fmt.Sprintf("\t%s %s", f.CType, f.Name)
+			switch {
+			case f.Array > 0:
+				decl += fmt.Sprintf("[%d]", f.Array)
+			case f.Array < 0:
+				decl += "[]"
+			}
+			decl += ";"
+			comment := f.Comment
+			if f.LenOf != "" && comment == "" {
+				comment = "number of entries in " + f.LenOf
+			}
+			if f.Out && comment == "" {
+				comment = "written back to userspace"
+			}
+			if comment != "" {
+				decl += "\t/* " + comment + " */"
+			}
+			b.WriteString(decl)
+			b.WriteByte('\n')
+		}
+		b.WriteString("};\n\n")
+	}
+}
+
+// subHandlerName is the per-command worker function name.
+func subHandlerName(h *Handler, c *Cmd) string {
+	return fmt.Sprintf("%s_do_%s", h.Ident(), strings.ToLower(c.Name))
+}
+
+func renderSubHandlers(b *strings.Builder, h *Handler) {
+	for i := range h.Cmds {
+		c := &h.Cmds[i]
+		if c.Comment != "" {
+			fmt.Fprintf(b, "/* %s */\n", c.Comment)
+		}
+		argDecl := "void *argp"
+		if c.Arg != "" {
+			argDecl = fmt.Sprintf("struct %s *param", c.Arg)
+		} else if c.ArgInt {
+			argDecl = "int val"
+		}
+		fmt.Fprintf(b, "static int %s(%s)\n{\n", subHandlerName(h, c), argDecl)
+		renderWorkerBody(b, h, c)
+		b.WriteString("}\n\n")
+	}
+}
+
+// renderWorkerBody emits realistic-looking work inside a sub-handler:
+// field validation mirroring the gates, a bug site comment-free
+// trigger path, and filler statements proportional to Blocks.
+func renderWorkerBody(b *strings.Builder, h *Handler, c *Cmd) {
+	st := h.StructByName(c.Arg)
+	if st != nil {
+		for _, f := range st.Fields {
+			if f.Ranged && !h.Quirks.Has(QuirkCommentHint) {
+				fmt.Fprintf(b, "\tif (param->%s < %d || param->%s > %d)\n\t\treturn -EINVAL;\n",
+					f.Name, f.Min, f.Name, f.Max)
+			}
+			if f.LenOf != "" {
+				fmt.Fprintf(b, "\tif (param->%s > max_entries(param->%s))\n\t\treturn -EOVERFLOW;\n",
+					f.Name, f.LenOf)
+			}
+		}
+	}
+	for _, g := range c.Gates {
+		cond := gateCond("param->"+g.Field, g)
+		fmt.Fprintf(b, "\tif (%s) {\n\t\t%s_process(param);\n\t}\n", cond, h.Ident())
+	}
+	if c.Bug != nil {
+		renderBugSite(b, h, c)
+	}
+	if c.MakesRes != "" {
+		fmt.Fprintf(b, "\treturn anon_inode_getfd(\"%s\", &%s_fops, ctx, O_RDWR);\n", c.MakesRes, c.MakesRes)
+		return
+	}
+	b.WriteString("\treturn 0;\n")
+}
+
+func gateCond(lhs string, g FieldGate) string {
+	switch g.Op {
+	case GateEq:
+		return fmt.Sprintf("%s == %d", lhs, g.Value)
+	case GateNe:
+		return fmt.Sprintf("%s != %d", lhs, g.Value)
+	case GateLt:
+		return fmt.Sprintf("%s < %d", lhs, g.Value)
+	case GateGt:
+		return fmt.Sprintf("%s > %d", lhs, g.Value)
+	case GateInRange:
+		return fmt.Sprintf("%s >= %d && %s <= %d", lhs, g.Value, lhs, g.Max)
+	case GateNonZero:
+		return fmt.Sprintf("%s != 0", lhs)
+	}
+	return "0"
+}
+
+func renderBugSite(b *strings.Builder, h *Handler, c *Cmd) {
+	bug := c.Bug
+	if bug.TriggerField != "" {
+		cond := gateCond("param->"+bug.TriggerField, bug.Trigger)
+		fmt.Fprintf(b, "\tif (%s) {\n", cond)
+		fmt.Fprintf(b, "\t\t/* BUG SITE: %s */\n", bug.Title)
+		fmt.Fprintf(b, "\t\tbuf = kvmalloc(param->%s, GFP_KERNEL);\n", bug.TriggerField)
+		b.WriteString("\t}\n")
+		return
+	}
+	fmt.Fprintf(b, "\t/* BUG SITE: %s */\n", bug.Title)
+}
+
+// dispatchFnName returns the function name at dispatch-chain depth d
+// (0 = the fops-registered entry point).
+func dispatchFnName(h *Handler, d int) string {
+	depth := 0
+	if h.Quirks.Has(QuirkDispatch) {
+		depth = h.DispatchDepth
+	}
+	switch {
+	case d == 0 && depth > 0:
+		return h.Ident() + "_unlocked_ioctl"
+	case d == depth:
+		return h.Ident() + "_ioctl"
+	default:
+		return fmt.Sprintf("%s_ioctl_step%d", h.Ident(), d)
+	}
+}
+
+func renderDispatch(b *strings.Builder, h *Handler) {
+	depth := 0
+	if h.Quirks.Has(QuirkDispatch) {
+		depth = h.DispatchDepth
+	}
+	// Delegation chain, rendered top-down so the analyzer must follow
+	// hops exactly as the paper's Figure 6 shows.
+	for d := 0; d < depth; d++ {
+		fmt.Fprintf(b, "static long %s(struct file *file, unsigned int command, unsigned long u)\n{\n",
+			dispatchFnName(h, d))
+		fmt.Fprintf(b, "\treturn %s(file, command, u);\n}\n\n", dispatchFnName(h, d+1))
+	}
+	if h.Quirks.Has(QuirkLookupTable) {
+		renderLookupDispatch(b, h)
+		return
+	}
+	renderSwitchDispatch(b, h)
+}
+
+// renderSwitchDispatch renders the final dispatch function with a
+// switch over the command. With QuirkIOCNR the switch variable is
+// first rewritten with _IOC_NR, and the case labels are the *_CMD nr
+// macros (so raw labels are not valid command values).
+func renderSwitchDispatch(b *strings.Builder, h *Handler) {
+	fmt.Fprintf(b, "static long %s(struct file *file, unsigned int command, unsigned long u)\n{\n",
+		dispatchFnName(b2depth(h), depthOf(h)))
+	switchVar := "command"
+	if h.Quirks.Has(QuirkIOCNR) {
+		b.WriteString("\tunsigned int cmd;\n\n")
+		b.WriteString("\t/* strip the size/dir bits; sub-commands are keyed on the nr only */\n")
+		b.WriteString("\tcmd = _IOC_NR(command);\n")
+		switchVar = "cmd"
+	}
+	fmt.Fprintf(b, "\tswitch (%s) {\n", switchVar)
+	hasIndirect := false
+	for i := range h.Cmds {
+		c := &h.Cmds[i]
+		if c.Indirect {
+			hasIndirect = true
+			continue
+		}
+		label := c.Name
+		if h.Quirks.Has(QuirkIOCNR) && !c.Plain {
+			label = cmdNrMacro(c.Name)
+		}
+		fmt.Fprintf(b, "\tcase %s: {\n", label)
+		renderCaseBody(b, h, c)
+		b.WriteString("\t}\n")
+	}
+	if hasIndirect {
+		// Dynamically registered sub-commands fall through to the
+		// runtime dispatch table; no static analysis can connect the
+		// command values to their workers from here.
+		fmt.Fprintf(b, "\tdefault:\n\t\treturn %s_dispatch_dynamic(%s, u);\n\t}\n}\n\n", h.Ident(), switchVar)
+		renderDynamicRegistry(b, h)
+		return
+	}
+	b.WriteString("\tdefault:\n\t\treturn -ENOTTY;\n\t}\n}\n\n")
+}
+
+// renderDynamicRegistry emits the module-init-time registration of
+// indirect commands into an opaque dispatch table.
+func renderDynamicRegistry(b *strings.Builder, h *Handler) {
+	fmt.Fprintf(b, "static void %s_register_ops(void)\n{\n", h.Ident())
+	for i := range h.Cmds {
+		c := &h.Cmds[i]
+		if !c.Indirect {
+			continue
+		}
+		fmt.Fprintf(b, "\tregister_op(&%s_op_table, %s, %s);\n", h.Ident(), c.Name, subHandlerName(h, c))
+	}
+	b.WriteString("}\n\n")
+}
+
+func depthOf(h *Handler) int {
+	if h.Quirks.Has(QuirkDispatch) {
+		return h.DispatchDepth
+	}
+	return 0
+}
+
+// b2depth is an identity helper kept for symmetry in call sites.
+func b2depth(h *Handler) *Handler { return h }
+
+func renderCaseBody(b *strings.Builder, h *Handler, c *Cmd) {
+	switch {
+	case c.Arg != "":
+		fmt.Fprintf(b, "\t\tstruct %s req;\n", c.Arg)
+		fmt.Fprintf(b, "\t\tif (copy_from_user(&req, (struct %s __user *)u, sizeof(struct %s)))\n", c.Arg, c.Arg)
+		b.WriteString("\t\t\treturn -EFAULT;\n")
+		fmt.Fprintf(b, "\t\treturn %s(&req);\n", subHandlerName(h, c))
+	case c.ArgInt:
+		b.WriteString("\t\tint val;\n")
+		b.WriteString("\t\tif (get_user(val, (int __user *)u))\n\t\t\treturn -EFAULT;\n")
+		fmt.Fprintf(b, "\t\treturn %s(val);\n", subHandlerName(h, c))
+	default:
+		fmt.Fprintf(b, "\t\treturn %s((void *)u);\n", subHandlerName(h, c))
+	}
+}
+
+// renderLookupDispatch renders the dm-style table lookup: the final
+// dispatch function strips the nr, looks the worker up in a static
+// table, and copies the (single shared) param struct.
+func renderLookupDispatch(b *strings.Builder, h *Handler) {
+	// Table of {nr, fn}.
+	fmt.Fprintf(b, "static struct {\n\tunsigned int cmd;\n\tioctl_fn fn;\n} _%s_ioctls[] = {\n", h.Ident())
+	for i := range h.Cmds {
+		c := &h.Cmds[i]
+		if c.Indirect {
+			continue
+		}
+		nr := cmdNrMacro(c.Name)
+		if c.Plain {
+			nr = c.Name
+		}
+		fmt.Fprintf(b, "\t{%s, %s},\n", nr, subHandlerName(h, c))
+	}
+	b.WriteString("};\n\n")
+	fmt.Fprintf(b, "static ioctl_fn %s_lookup_ioctl(unsigned int cmd)\n{\n", h.Ident())
+	fmt.Fprintf(b, "\tunsigned int i;\n\tfor (i = 0; i < ARRAY_SIZE(_%s_ioctls); i++)\n", h.Ident())
+	fmt.Fprintf(b, "\t\tif (_%s_ioctls[i].cmd == cmd)\n\t\t\treturn _%s_ioctls[i].fn;\n", h.Ident(), h.Ident())
+	b.WriteString("\treturn NULL;\n}\n\n")
+
+	arg := sharedArg(h)
+	fmt.Fprintf(b, "static long %s(struct file *file, unsigned int command, unsigned long u)\n{\n",
+		dispatchFnName(h, depthOf(h)))
+	b.WriteString("\tunsigned int cmd;\n\tioctl_fn fn;\n\n")
+	b.WriteString("\tcmd = _IOC_NR(command);\n")
+	fmt.Fprintf(b, "\tfn = %s_lookup_ioctl(cmd);\n", h.Ident())
+	b.WriteString("\tif (!fn)\n\t\treturn -ENOTTY;\n")
+	if arg != "" {
+		fmt.Fprintf(b, "\tstruct %s param;\n", arg)
+		fmt.Fprintf(b, "\tif (copy_from_user(&param, (struct %s __user *)u, sizeof(struct %s)))\n", arg, arg)
+		b.WriteString("\t\treturn -EFAULT;\n")
+		b.WriteString("\treturn fn(&param);\n}\n\n")
+		return
+	}
+	b.WriteString("\treturn fn((void *)u);\n}\n\n")
+}
+
+// sharedArg returns the single payload struct used by lookup-table
+// handlers (dm's pattern: one dm_ioctl struct for every command).
+func sharedArg(h *Handler) string {
+	arg := ""
+	for i := range h.Cmds {
+		if h.Cmds[i].Arg != "" {
+			if arg == "" {
+				arg = h.Cmds[i].Arg
+			}
+			if arg != h.Cmds[i].Arg {
+				return arg // mixed; first wins for the copy stub
+			}
+		}
+	}
+	return arg
+}
+
+func renderRegistration(b *strings.Builder, h *Handler) {
+	u := up(h.Ident())
+	entry := dispatchFnName(h, 0)
+	fopsVar := h.Ident() + "_fops"
+	if h.Parent != "" {
+		fopsVar = h.Ident() + "_fops"
+	}
+	fmt.Fprintf(b, "static const struct file_operations %s = {\n", fopsVar)
+	b.WriteString("\t.owner = THIS_MODULE,\n")
+	fmt.Fprintf(b, "\t.open = %s_open,\n", h.Ident())
+	fmt.Fprintf(b, "\t.unlocked_ioctl = %s,\n", entry)
+	fmt.Fprintf(b, "\t.compat_ioctl = %s,\n", entry)
+	b.WriteString("\t.llseek = noop_llseek,\n};\n\n")
+
+	if h.Parent != "" {
+		// Secondary handlers (kvm_vm_fops style) have no device node;
+		// their fd comes from anon_inode_getfd in the parent.
+		return
+	}
+	if h.Quirks.Has(QuirkCharDev) {
+		fmt.Fprintf(b, "static int __init %s_init(void)\n{\n", h.Ident())
+		fmt.Fprintf(b, "\treturn register_chrdev(%s_MAJOR, \"%s\", &%s);\n}\n\n",
+			u, strings.TrimPrefix(h.DevPath, "/dev/"), fopsVar)
+		return
+	}
+	fmt.Fprintf(b, "static struct miscdevice %s_misc = {\n", h.Ident())
+	b.WriteString("\t.minor = MISC_DYNAMIC_MINOR,\n")
+	fmt.Fprintf(b, "\t.name = %s_NAME,\n", u)
+	if h.Quirks.Has(QuirkNodename) {
+		fmt.Fprintf(b, "\t.nodename = %s_DIR \"/\" %s_NODE,\n", u, u)
+	}
+	fmt.Fprintf(b, "\t.fops = &%s,\n};\n", fopsVar)
+}
+
+// renderSocket emits the socket-family source: address struct,
+// sockopt macros + dispatch, per-call handlers, proto_ops and
+// net_proto_family registrations.
+func renderSocket(b *strings.Builder, h *Handler) {
+	si := &h.Socket
+	fmt.Fprintf(b, "/* %s protocol family — synthetic socket module. */\n\n", h.Ident())
+	fmt.Fprintf(b, "#define %s %d\n", si.Domain, si.DomainVal)
+	fmt.Fprintf(b, "#define %s %d\n", si.Level, si.LevelVal)
+	for i := range h.Cmds {
+		fmt.Fprintf(b, "#define %s %d\n", h.Cmds[i].Name, h.Cmds[i].NR)
+	}
+	b.WriteByte('\n')
+	renderStructs(b, h)
+
+	// Sockopt worker per option.
+	for i := range h.Cmds {
+		c := &h.Cmds[i]
+		if c.Comment != "" {
+			fmt.Fprintf(b, "/* %s */\n", c.Comment)
+		}
+		argDecl := "sockptr_t optval, unsigned int optlen"
+		fmt.Fprintf(b, "static int %s_set_%s(struct sock *sk, %s)\n{\n",
+			h.Ident(), strings.ToLower(c.Name), argDecl)
+		if c.Arg != "" {
+			fmt.Fprintf(b, "\tstruct %s val;\n", c.Arg)
+			fmt.Fprintf(b, "\tif (optlen < sizeof(struct %s))\n\t\treturn -EINVAL;\n", c.Arg)
+			fmt.Fprintf(b, "\tif (copy_from_sockptr(&val, optval, sizeof(struct %s)))\n\t\treturn -EFAULT;\n", c.Arg)
+		} else if c.ArgInt {
+			b.WriteString("\tint val;\n\tif (copy_from_sockptr(&val, optval, sizeof(int)))\n\t\treturn -EFAULT;\n")
+		}
+		renderSocketGates(b, h, c)
+		b.WriteString("\treturn 0;\n}\n\n")
+	}
+
+	// setsockopt dispatch: a switch normally, or an opaque dynamic
+	// registry for indirect-dispatch families (invisible to any
+	// static or LLM analysis).
+	fmt.Fprintf(b, "static int %s_setsockopt(struct socket *sock, int level, int optname, sockptr_t optval, unsigned int optlen)\n{\n", h.Ident())
+	fmt.Fprintf(b, "\tif (level != %s)\n\t\treturn -ENOPROTOOPT;\n", si.Level)
+	if h.Quirks.Has(QuirkIndirectCall) {
+		fmt.Fprintf(b, "\treturn %s_dispatch_dynamic(sock, optname, optval, optlen);\n}\n\n", h.Ident())
+		fmt.Fprintf(b, "static void %s_register_opts(void)\n{\n", h.Ident())
+		for i := range h.Cmds {
+			c := &h.Cmds[i]
+			fmt.Fprintf(b, "\tregister_op(&%s_opt_table, %s, %s_set_%s);\n",
+				h.Ident(), c.Name, h.Ident(), strings.ToLower(c.Name))
+		}
+		b.WriteString("}\n\n")
+		renderSocketRegs(b, h)
+		return
+	}
+	b.WriteString("\tswitch (optname) {\n")
+	for i := range h.Cmds {
+		c := &h.Cmds[i]
+		fmt.Fprintf(b, "\tcase %s:\n\t\treturn %s_set_%s(sk, optval, optlen);\n",
+			c.Name, h.Ident(), strings.ToLower(c.Name))
+	}
+	b.WriteString("\tdefault:\n\t\treturn -ENOPROTOOPT;\n\t}\n}\n\n")
+
+	// Non-sockopt calls.
+	for i := range si.Calls {
+		sc := &si.Calls[i]
+		fn := fmt.Sprintf("%s_%s", h.Ident(), sc.Kind)
+		switch sc.Kind {
+		case SockBind, SockConnect:
+			fmt.Fprintf(b, "static int %s(struct socket *sock, struct sockaddr *uaddr, int addr_len)\n{\n", fn)
+			if sc.Addr != "" {
+				fmt.Fprintf(b, "\tstruct %s *addr = (struct %s *)uaddr;\n", sc.Addr, sc.Addr)
+				fmt.Fprintf(b, "\tif (addr_len < sizeof(struct %s))\n\t\treturn -EINVAL;\n", sc.Addr)
+				fmt.Fprintf(b, "\tif (addr->family != %s)\n\t\treturn -EAFNOSUPPORT;\n", si.Domain)
+			}
+			b.WriteString("\treturn 0;\n}\n\n")
+		case SockSendto, SockSendmsg:
+			fmt.Fprintf(b, "static int %s(struct socket *sock, struct msghdr *msg, size_t len)\n{\n", fn)
+			if sc.Addr != "" {
+				fmt.Fprintf(b, "\tstruct %s *addr = (struct %s *)msg->msg_name;\n", sc.Addr, sc.Addr)
+				fmt.Fprintf(b, "\tif (msg->msg_namelen < sizeof(struct %s))\n\t\treturn -EINVAL;\n", sc.Addr)
+				fmt.Fprintf(b, "\tif (addr->family != %s)\n\t\treturn -EAFNOSUPPORT;\n", si.Domain)
+			}
+			if sc.Bug != nil {
+				fmt.Fprintf(b, "\t/* BUG SITE: %s */\n", sc.Bug.Title)
+			}
+			b.WriteString("\treturn len;\n}\n\n")
+		default:
+			fmt.Fprintf(b, "static int %s(struct socket *sock)\n{\n\treturn 0;\n}\n\n", fn)
+		}
+	}
+
+	renderSocketRegs(b, h)
+}
+
+// renderSocketRegs emits the proto_ops and net_proto_family
+// registrations.
+func renderSocketRegs(b *strings.Builder, h *Handler) {
+	si := &h.Socket
+	// proto_ops registration.
+	fmt.Fprintf(b, "static const struct proto_ops %s_proto_ops = {\n", h.Ident())
+	fmt.Fprintf(b, "\t.family = %s,\n", si.Domain)
+	fmt.Fprintf(b, "\t.setsockopt = %s_setsockopt,\n", h.Ident())
+	fmt.Fprintf(b, "\t.getsockopt = %s_getsockopt,\n", h.Ident())
+	for i := range si.Calls {
+		sc := &si.Calls[i]
+		field := sc.Kind.String()
+		if sc.Kind == SockSendto {
+			field = "sendmsg"
+		}
+		if sc.Kind == SockRecvfrom {
+			field = "recvmsg"
+		}
+		fmt.Fprintf(b, "\t.%s = %s_%s,\n", field, h.Ident(), sc.Kind)
+	}
+	b.WriteString("};\n\n")
+	fmt.Fprintf(b, "static const struct net_proto_family %s_family_ops = {\n", h.Ident())
+	fmt.Fprintf(b, "\t.family = %s,\n", si.Domain)
+	fmt.Fprintf(b, "\t.create = %s_create,\n", h.Ident())
+	b.WriteString("\t.owner = THIS_MODULE,\n};\n")
+}
+
+func renderSocketGates(b *strings.Builder, h *Handler, c *Cmd) {
+	for _, g := range c.Gates {
+		lhs := "val." + g.Field
+		if c.ArgInt {
+			lhs = "val"
+		}
+		fmt.Fprintf(b, "\tif (%s) {\n\t\t%s_apply(sk);\n\t}\n", gateCond(lhs, g), h.Ident())
+	}
+	if c.Bug != nil {
+		fmt.Fprintf(b, "\t/* BUG SITE: %s */\n", c.Bug.Title)
+	}
+}

@@ -1,0 +1,109 @@
+package corpus
+
+// Hand-modeled sockets: the 10 Table 6 families plus the two
+// bug-hosting socket behaviors (the RDS sendto out-of-bounds and the
+// ipv6 append-data leak on l2tp_ip6).
+
+type table6Config struct {
+	name      string
+	domainVal int
+	// nopts approximates KernelGPT's sockopt count.
+	nopts int
+	// syzN: existing Syzkaller sockopt coverage (same encoding as
+	// table5Config.syzN).
+	syzN int
+	// syzCalls reports whether the human suite also describes the
+	// non-sockopt calls (bind/connect/sendto/recvfrom).
+	syzCalls bool
+}
+
+var table6Configs = []table6Config{
+	{name: "caif_stream", domainVal: 37, nopts: 4, syzN: 2, syzCalls: false},
+	{name: "l2tp_ip6", domainVal: 10, nopts: 45, syzN: 30, syzCalls: false},
+	{name: "llc_ui", domainVal: 26, nopts: 16, syzN: 6, syzCalls: false},
+	{name: "mptcp", domainVal: 2, nopts: 40, syzN: 15, syzCalls: false},
+	{name: "packet", domainVal: 17, nopts: 20, syzN: 16, syzCalls: true},
+	{name: "phonet_dgram", domainVal: 35, nopts: 8, syzN: 4, syzCalls: false},
+	{name: "pppol2tp", domainVal: 24, nopts: 10, syzN: 7, syzCalls: false},
+	{name: "rds", domainVal: 21, nopts: 12, syzN: 8, syzCalls: false},
+	{name: "rfcomm_sock", domainVal: 31, nopts: 12, syzN: 12, syzCalls: true},
+	{name: "sco_sock", domainVal: 31, nopts: 13, syzN: 12, syzCalls: true},
+}
+
+// Table6Names lists the Table 6 socket names in paper order.
+func Table6Names() []string {
+	names := make([]string, len(table6Configs))
+	for i, c := range table6Configs {
+		names[i] = c.name
+	}
+	return names
+}
+
+func buildTable6Sockets() []*Handler {
+	var out []*Handler
+	for i, cfg := range table6Configs {
+		h := genSocket(cfg.name, cfg.domainVal+i, cfg.nopts, QuirkLenRelation)
+		switch {
+		case cfg.syzN < 0:
+			withSyzkallerCoverage(h, -1)
+		case cfg.syzN == 0:
+			h.SyzkallerCmds = []string{}
+		default:
+			withSyzkallerCoverage(h, cfg.syzN)
+		}
+		// Human-described socket calls: every family has its receive
+		// path covered; the configured ones also have the full
+		// bind/connect/send surface.
+		h.SyzkallerCalls = []SockCallKind{SockRecvfrom}
+		if cfg.syzCalls {
+			h.SyzkallerCalls = []SockCallKind{SockBind, SockConnect, SockSendto, SockRecvfrom}
+		}
+		// Background (already-known) bugs reachable through the
+		// human-described options give Table 6 its non-zero baseline
+		// crash column.
+		if i%2 == 0 && len(h.SyzkallerCmds) > 0 {
+			c := h.CmdByName(h.SyzkallerCmds[0])
+			if c != nil && c.Bug == nil {
+				c.Bug = &Bug{
+					Title: "WARNING in " + h.Ident() + "_set_" + lower(c.Name),
+					Class: BugWarning, Cmd: c.Name, Known: true,
+				}
+			}
+		}
+		switch cfg.name {
+		case "rds":
+			attachRDS(h)
+		case "l2tp_ip6":
+			attachL2TP(h)
+		}
+		out = append(out, h)
+	}
+	return out
+}
+
+func attachRDS(h *Handler) {
+	// Syzkaller's RDS descriptions cover only recvmsg; the generated
+	// sendto specification exposes the out-of-bounds read in
+	// rds_cmsg_recv (§5.1.4).
+	for i := range h.Socket.Calls {
+		if h.Socket.Calls[i].Kind == SockSendto {
+			h.Socket.Calls[i].Bug = &Bug{
+				Title: "UBSAN: array-index-out-of-bounds in rds_cmsg_recv",
+				Class: BugUBSANArray,
+				Cmd:   "sendto",
+				CVE:   "CVE-2024-23849", Confirmed: true, Fixed: true,
+			}
+		}
+	}
+}
+
+func attachL2TP(h *Handler) {
+	for i := range h.Socket.Calls {
+		if h.Socket.Calls[i].Kind == SockSendto {
+			h.Socket.Calls[i].Bug = &Bug{
+				Title: "memory leak in __ip6_append_data", Class: BugMemLeak,
+				Cmd: "sendto", Confirmed: true,
+			}
+		}
+	}
+}

@@ -1,0 +1,225 @@
+// Package fuzz is the Syzkaller-equivalent fuzzing loop: a
+// coverage-guided campaign that generates and mutates syscall
+// programs from compiled specifications, executes them on the virtual
+// kernel, keeps coverage-increasing programs as seeds, and
+// deduplicates crashes by title. Campaign length is measured in
+// executed programs rather than wall-clock hours, which maps the
+// paper's fixed CPU-hour sessions onto a deterministic budget.
+package fuzz
+
+import (
+	"sort"
+
+	"kernelgpt/internal/prog"
+	"kernelgpt/internal/vkernel"
+)
+
+// Config parameterizes a campaign.
+type Config struct {
+	// Execs is the program-execution budget.
+	Execs int
+	// Seed drives all randomness (one seed per repetition).
+	Seed int64
+	// MaxCalls bounds generated program length.
+	MaxCalls int
+	// MutateBias is the fraction of iterations that mutate a corpus
+	// seed instead of generating fresh programs (Syzkaller's default
+	// behavior mutates most of the time once a corpus exists).
+	MutateBias float64
+	// Enabled restricts the syscall set (per-driver runs in Tables
+	// 5/6 enable only the driver's own syscalls, per §5.2).
+	Enabled map[string]bool
+	// NoLocality disables the generator's resource-locality bias
+	// (design-choice ablation).
+	NoLocality bool
+}
+
+// DefaultConfig returns a campaign configuration with the standard
+// knobs.
+func DefaultConfig(execs int, seed int64) Config {
+	return Config{Execs: execs, Seed: seed, MaxCalls: 8, MutateBias: 0.7}
+}
+
+// CrashReport is a deduplicated crash with discovery metadata.
+type CrashReport struct {
+	Title string
+	// FirstExec is the execution index that first hit the crash.
+	FirstExec int
+	// Count is the number of times the crash reproduced.
+	Count int
+	// Repro is the crashing program text.
+	Repro string
+}
+
+// Stats is the outcome of one campaign.
+type Stats struct {
+	// Cover is the set of covered basic blocks.
+	Cover map[vkernel.BlockID]struct{}
+	// Crashes maps crash title → report.
+	Crashes map[string]*CrashReport
+	// Execs is the number of executed programs.
+	Execs int
+	// CorpusSize is the number of retained seeds.
+	CorpusSize int
+}
+
+// CoverCount returns the number of covered blocks.
+func (s *Stats) CoverCount() int { return len(s.Cover) }
+
+// UniqueCrashes returns the number of distinct crash titles.
+func (s *Stats) UniqueCrashes() int { return len(s.Crashes) }
+
+// CrashTitles returns the sorted crash titles.
+func (s *Stats) CrashTitles() []string {
+	out := make([]string, 0, len(s.Crashes))
+	for t := range s.Crashes {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Fuzzer runs campaigns.
+type Fuzzer struct {
+	Target *prog.Target
+	Kernel *vkernel.Kernel
+}
+
+// New constructs a fuzzer for a compiled spec suite and kernel.
+func New(t *prog.Target, k *vkernel.Kernel) *Fuzzer {
+	return &Fuzzer{Target: t, Kernel: k}
+}
+
+// seedEntry is one corpus program with its coverage signal.
+type seedEntry struct {
+	p   *prog.Prog
+	cov int
+}
+
+// Run executes one campaign.
+func (f *Fuzzer) Run(cfg Config) *Stats {
+	if cfg.MaxCalls == 0 {
+		cfg.MaxCalls = 8
+	}
+	g := prog.NewGen(f.Target, cfg.Seed)
+	g.Enabled = cfg.Enabled
+	g.NoLocality = cfg.NoLocality
+	stats := &Stats{
+		Cover:   map[vkernel.BlockID]struct{}{},
+		Crashes: map[string]*CrashReport{},
+	}
+	var corpus []seedEntry
+	for i := 0; i < cfg.Execs; i++ {
+		var p *prog.Prog
+		if len(corpus) > 0 && g.R.Float64() < cfg.MutateBias {
+			seed := corpus[g.R.Intn(len(corpus))]
+			p = g.Mutate(seed.p, cfg.MaxCalls)
+		} else {
+			p = g.Generate(cfg.MaxCalls)
+		}
+		res := f.Kernel.Run(p)
+		stats.Execs++
+		newBlocks := 0
+		for _, b := range res.Cov {
+			if _, ok := stats.Cover[b]; !ok {
+				stats.Cover[b] = struct{}{}
+				newBlocks++
+			}
+		}
+		if newBlocks > 0 {
+			corpus = append(corpus, seedEntry{p: p, cov: newBlocks})
+			// Bound the corpus: drop the weakest seeds when large.
+			if len(corpus) > 512 {
+				sort.SliceStable(corpus, func(a, b int) bool {
+					return corpus[a].cov > corpus[b].cov
+				})
+				corpus = corpus[:384]
+			}
+		}
+		if res.Crash != nil {
+			cr := stats.Crashes[res.Crash.Title]
+			if cr == nil {
+				cr = &CrashReport{
+					Title:     res.Crash.Title,
+					FirstExec: i,
+					Repro:     p.Serialize(),
+				}
+				stats.Crashes[res.Crash.Title] = cr
+			}
+			cr.Count++
+		}
+	}
+	stats.CorpusSize = len(corpus)
+	return stats
+}
+
+// RunRepetitions executes n independent campaigns with derived seeds
+// and returns per-rep stats (the paper reports 3-repetition
+// averages).
+func (f *Fuzzer) RunRepetitions(cfg Config, n int) []*Stats {
+	out := make([]*Stats, n)
+	for i := 0; i < n; i++ {
+		c := cfg
+		c.Seed = cfg.Seed + int64(i)*1000003
+		out[i] = f.Run(c)
+	}
+	return out
+}
+
+// MeanCover averages covered-block counts over repetitions.
+func MeanCover(reps []*Stats) float64 {
+	if len(reps) == 0 {
+		return 0
+	}
+	sum := 0
+	for _, s := range reps {
+		sum += s.CoverCount()
+	}
+	return float64(sum) / float64(len(reps))
+}
+
+// MeanCrashes averages unique-crash counts over repetitions.
+func MeanCrashes(reps []*Stats) float64 {
+	if len(reps) == 0 {
+		return 0
+	}
+	sum := 0
+	for _, s := range reps {
+		sum += s.UniqueCrashes()
+	}
+	return float64(sum) / float64(len(reps))
+}
+
+// UnionCover unions coverage across repetitions.
+func UnionCover(reps []*Stats) map[vkernel.BlockID]struct{} {
+	out := map[vkernel.BlockID]struct{}{}
+	for _, s := range reps {
+		for b := range s.Cover {
+			out[b] = struct{}{}
+		}
+	}
+	return out
+}
+
+// UnionCrashTitles unions crash titles across repetitions.
+func UnionCrashTitles(reps []*Stats) map[string]bool {
+	out := map[string]bool{}
+	for _, s := range reps {
+		for t := range s.Crashes {
+			out[t] = true
+		}
+	}
+	return out
+}
+
+// UniqueTo returns the blocks covered by a but not b (Table 3's
+// "Unique Cov" column).
+func UniqueTo(a, b map[vkernel.BlockID]struct{}) int {
+	n := 0
+	for blk := range a {
+		if _, ok := b[blk]; !ok {
+			n++
+		}
+	}
+	return n
+}

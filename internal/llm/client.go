@@ -1,0 +1,99 @@
+// Package llm provides the analysis-LLM abstraction KernelGPT queries
+// (§4 "Analysis LLM") and a deterministic simulated implementation.
+//
+// The paper drives GPT-4 through the OpenAI chat API; this
+// reproduction is offline, so the Client interface is implemented by
+// a simulated model that genuinely analyzes the C source embedded in
+// each prompt (using the ccode parser), but through a capability
+// profile that controls which kernel implementation patterns the
+// model understands (nodename registration, _IOC_NR identifier
+// modification, table dispatch, len-relations, comment reading) and a
+// seeded fallibility model that injects the specification errors
+// (wrong macro names, undefined types, bad len targets) the
+// validation-and-repair phase (§3.2) exists to fix. Profiles for
+// gpt-4, gpt-4o and gpt-3.5 reproduce the §5.2.3 model ablation.
+package llm
+
+import "strings"
+
+// Message is one chat message.
+type Message struct {
+	Role    string // "system" or "user"
+	Content string
+}
+
+// Usage accumulates token accounting, mirroring the paper's cost
+// report (§5.1.1: ~5.56M input tokens, ~400K output, $34).
+type Usage struct {
+	PromptTokens     int
+	CompletionTokens int
+	Calls            int
+}
+
+// Add merges another usage record.
+func (u *Usage) Add(o Usage) {
+	u.PromptTokens += o.PromptTokens
+	u.CompletionTokens += o.CompletionTokens
+	u.Calls += o.Calls
+}
+
+// CostUSD estimates the API cost at GPT-4-turbo-era prices
+// ($10/M input, $30/M output), the pricing the paper's $34 figure
+// reflects.
+func (u *Usage) CostUSD() float64 {
+	return float64(u.PromptTokens)*10/1e6 + float64(u.CompletionTokens)*30/1e6
+}
+
+// Client is the chat-completion interface KernelGPT consumes.
+type Client interface {
+	// Complete sends a conversation and returns the model's reply.
+	Complete(msgs []Message) (string, error)
+	// Usage reports cumulative token accounting.
+	Usage() Usage
+	// Name identifies the model (for tables and ablations).
+	Name() string
+}
+
+// CountTokens approximates tokenization at 4 characters per token,
+// the standard rough estimate for code-heavy English text.
+func CountTokens(s string) int { return (len(s) + 3) / 4 }
+
+// Section markers form the prompt contract between KernelGPT's
+// prompt builder and any model: the same structured template the
+// paper shows in Figure 6.
+const (
+	SecInstruction = "## Instruction"
+	SecUnknown     = "## Unknown"
+	SecUsage       = "## Usage"
+	SecSource      = "## Source Code of Relative Functions"
+	SecFewShot     = "## Examples"
+	SecErrors      = "## Validation Errors"
+	SecSpec        = "## Current Specification"
+)
+
+// ExtractSection returns the body of the named section in a prompt
+// or response (text between the marker line and the next "## "
+// heading).
+func ExtractSection(text, marker string) string {
+	// Match the marker only at the start of a line, so example
+	// blocks quoting the protocol (indented) are not picked up.
+	idx := -1
+	if strings.HasPrefix(text, marker) {
+		idx = 0
+	} else if i := strings.Index(text, "\n"+marker); i >= 0 {
+		idx = i + 1
+	}
+	if idx < 0 {
+		return ""
+	}
+	body := text[idx+len(marker):]
+	if nl := strings.IndexByte(body, '\n'); nl >= 0 {
+		body = body[nl+1:]
+	} else {
+		return ""
+	}
+	if end := strings.Index(body, "\n## "); end >= 0 {
+		body = body[:end]
+	}
+	return strings.TrimSpace(body)
+}

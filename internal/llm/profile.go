@@ -1,0 +1,85 @@
+package llm
+
+// Capability is a model's pattern-understanding profile. Each flag
+// corresponds to a kernel implementation pattern discussed in the
+// paper; a model lacking a capability behaves like the rule-based
+// baseline on that pattern (it misreads the code in the
+// characteristic way).
+type Capability struct {
+	// Nodename: understands that miscdevice.nodename, when set,
+	// overrides .name as the device path (Figure 2's dm example).
+	Nodename bool
+	// IdentifierMod: understands identifier-value modification such
+	// as cmd = _IOC_NR(command) and inverts it to recover the real
+	// userspace command value.
+	IdentifierMod bool
+	// LookupTable: can follow table-based dispatch (dm's
+	// lookup_ioctl) instead of a switch.
+	LookupTable bool
+	// LenRelation: infers len[field] semantics between count fields
+	// and sibling arrays (Figure 5).
+	LenRelation bool
+	// CommentHints: reads constraints that appear only in comments
+	// (the L-3 textual-comprehension advantage).
+	CommentHints bool
+	// Dependencies: recognizes anon_inode_getfd-style secondary
+	// handler creation and reports the resource dependency.
+	Dependencies bool
+	// ContextTokens models the usable context window: prompt content
+	// beyond it is truncated before analysis, and large prompts
+	// dilute attention (the all-in-one ablation's failure mode).
+	ContextTokens int
+	// ErrorRate is the per-handler probability of injecting one
+	// specification error that validation will catch (driving the
+	// repair loop).
+	ErrorRate float64
+	// HardErrorRate is the probability that an injected error is
+	// unrepairable (the model repeats it under repair), producing the
+	// paper's residual invalid specs.
+	HardErrorRate float64
+	// DropRate is the per-command probability of silently omitting a
+	// syscall from the response (GPT-3.5's dominant failure).
+	DropRate float64
+	// RepairSkill is the probability a repair query fixes the
+	// reported error.
+	RepairSkill float64
+}
+
+// Profiles for the evaluated models. GPT-4 and GPT-4o are nearly
+// equivalent (the paper found comparable syscall counts and
+// coverage); GPT-3.5 misses patterns and drops syscalls.
+var profiles = map[string]Capability{
+	"gpt-4": {
+		Nodename: true, IdentifierMod: true, LookupTable: true,
+		LenRelation: true, CommentHints: true, Dependencies: true,
+		ContextTokens: 32000,
+		ErrorRate:     0.30, HardErrorRate: 0, DropRate: 0.015,
+		RepairSkill: 1.0,
+	},
+	"gpt-4o": {
+		Nodename: true, IdentifierMod: true, LookupTable: true,
+		LenRelation: true, CommentHints: true, Dependencies: true,
+		ContextTokens: 32000,
+		ErrorRate:     0.28, HardErrorRate: 0, DropRate: 0.02,
+		RepairSkill: 1.0,
+	},
+	"gpt-3.5": {
+		Nodename: true, IdentifierMod: false, LookupTable: false,
+		LenRelation: false, CommentHints: false, Dependencies: false,
+		ContextTokens: 3000,
+		ErrorRate:     0.65, HardErrorRate: 0.25, DropRate: 0.35,
+		RepairSkill: 0.6,
+	},
+}
+
+// ProfileFor returns the capability profile for a model name,
+// defaulting to gpt-4.
+func ProfileFor(model string) Capability {
+	if p, ok := profiles[model]; ok {
+		return p
+	}
+	return profiles["gpt-4"]
+}
+
+// ModelNames lists the simulated models.
+func ModelNames() []string { return []string{"gpt-4", "gpt-4o", "gpt-3.5"} }

@@ -1,0 +1,235 @@
+package prog
+
+import "math/rand"
+
+// Gen generates and mutates programs for a Target. All randomness
+// flows through the seeded source, so campaigns are reproducible.
+type Gen struct {
+	T *Target
+	R *rand.Rand
+	// Enabled restricts generation to a syscall subset; nil enables
+	// all.
+	Enabled map[string]bool
+	// NoLocality disables the resource-locality call bias (for the
+	// design-choice ablation; stateful bug chains become essentially
+	// unreachable without it).
+	NoLocality bool
+}
+
+// NewGen returns a generator with the given seed.
+func NewGen(t *Target, seed int64) *Gen {
+	return &Gen{T: t, R: rand.New(rand.NewSource(seed))}
+}
+
+// enabledSyscalls returns the usable syscall set.
+func (g *Gen) enabledSyscalls() []*Syscall {
+	if g.Enabled == nil {
+		return g.T.Syscalls
+	}
+	var out []*Syscall
+	for _, s := range g.T.Syscalls {
+		if g.Enabled[s.Name] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Generate produces a program of up to maxCalls calls, inserting
+// resource-creator calls as needed so dependencies are satisfied.
+func (g *Gen) Generate(maxCalls int) *Prog {
+	p := &Prog{}
+	calls := g.enabledSyscalls()
+	if len(calls) == 0 {
+		return p
+	}
+	n := 1 + g.R.Intn(maxCalls)
+	for len(p.Calls) < n {
+		sc := g.chooseCall(p, calls)
+		g.appendCall(p, sc, 0)
+		if len(p.Calls) > maxCalls+4 {
+			break
+		}
+	}
+	return p
+}
+
+// chooseCall picks the next syscall, biased toward calls that consume
+// resources the program already produces — Syzkaller's choice-table
+// locality, without which multi-step handler state (the CEC
+// use-after-free chain) is essentially unreachable in large suites.
+func (g *Gen) chooseCall(p *Prog, calls []*Syscall) *Syscall {
+	if !g.NoLocality && len(p.Calls) > 0 && g.R.Intn(3) != 0 {
+		var related []*Syscall
+		seen := map[int]bool{}
+		for _, c := range p.Calls {
+			if c.Sc.Ret == "" {
+				continue
+			}
+			for _, sc := range g.T.Consumers(c.Sc.Ret) {
+				if seen[sc.ID] || (g.Enabled != nil && !g.Enabled[sc.Name]) {
+					continue
+				}
+				seen[sc.ID] = true
+				related = append(related, sc)
+			}
+		}
+		if len(related) > 0 {
+			return related[g.R.Intn(len(related))]
+		}
+	}
+	return calls[g.R.Intn(len(calls))]
+}
+
+const maxCreatorDepth = 6
+
+// appendCall appends a call to sc, first ensuring creators exist for
+// its resource arguments.
+func (g *Gen) appendCall(p *Prog, sc *Syscall, depth int) int {
+	if depth > maxCreatorDepth {
+		return -1
+	}
+	args := make([]*Value, len(sc.Args))
+	for i, f := range sc.Args {
+		args[i] = g.genValue(p, f.Type, depth)
+	}
+	call := &Call{Sc: sc, Args: args}
+	call.FixupLens()
+	p.Calls = append(p.Calls, call)
+	return len(p.Calls) - 1
+}
+
+// genValue builds a random value for ty, possibly appending creator
+// calls to p first (so resource ResultOf indices stay valid).
+func (g *Gen) genValue(p *Prog, ty *Type, depth int) *Value {
+	v := &Value{Type: ty, ResultOf: -1}
+	switch ty.Kind {
+	case KindConst:
+		v.Scalar = ty.Val
+	case KindInt:
+		v.Scalar = g.genInt(ty)
+	case KindFlags:
+		if len(ty.Vals) > 0 {
+			v.Scalar = ty.Vals[g.R.Intn(len(ty.Vals))]
+		}
+	case KindLen:
+		// Filled by FixupLens.
+	case KindResource:
+		v.ResultOf = g.findOrMakeResource(p, ty.Res, depth)
+	case KindPtr:
+		if g.R.Intn(50) == 0 {
+			return v // occasional NULL pointer
+		}
+		v.Ptr = g.genValue(p, ty.Elem, depth)
+	case KindString:
+		if ty.Str != "" {
+			v.Data = []byte(ty.Str)
+		} else {
+			v.Data = g.randBytes(1 + g.R.Intn(16))
+		}
+	case KindBuffer:
+		v.Data = g.randBytes(g.R.Intn(64))
+	case KindArray:
+		count := ty.FixedLen
+		if count < 0 {
+			if ty.Ranged {
+				count = int(ty.Min) + g.R.Intn(int(ty.Max-ty.Min)+1)
+			} else {
+				count = g.R.Intn(8)
+			}
+		}
+		for i := 0; i < count; i++ {
+			v.Fields = append(v.Fields, g.genValue(p, ty.Elem, depth))
+		}
+	case KindStruct:
+		for i := range ty.Fields {
+			v.Fields = append(v.Fields, g.genValue(p, ty.Fields[i].Type, depth))
+		}
+	case KindUnion:
+		if len(ty.Fields) > 0 {
+			v.UnionIdx = g.R.Intn(len(ty.Fields))
+			v.Fields = []*Value{g.genValue(p, ty.Fields[v.UnionIdx].Type, depth)}
+		}
+	}
+	return v
+}
+
+// genInt picks an integer: mostly small/boundary values (which is
+// what makes range-gated kernel paths reachable at all), sometimes
+// fully random.
+func (g *Gen) genInt(ty *Type) uint64 {
+	if ty.Ranged {
+		span := ty.Max - ty.Min + 1
+		if span <= 0 {
+			return uint64(ty.Min)
+		}
+		return uint64(ty.Min + g.R.Int63n(span))
+	}
+	switch g.R.Intn(10) {
+	case 0:
+		return 0
+	case 1:
+		return 1
+	case 2:
+		return uint64(g.R.Intn(8))
+	case 3:
+		return 0xffffffff
+	case 4:
+		return 0xffffffffffffffff
+	case 5:
+		return 1 << uint(g.R.Intn(32))
+	default:
+		return g.R.Uint64() >> uint(g.R.Intn(33))
+	}
+}
+
+func (g *Gen) randBytes(n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(g.R.Intn(256))
+	}
+	return b
+}
+
+// findOrMakeResource returns the index of a call producing a value
+// compatible with res, creating one (recursively) if none exists.
+// Occasionally it deliberately returns -1 (bad fd) to probe error
+// paths.
+func (g *Gen) findOrMakeResource(p *Prog, res string, depth int) int {
+	if g.R.Intn(40) == 0 {
+		return -1
+	}
+	var candidates []int
+	for i, c := range p.Calls {
+		if c.Sc.Ret != "" && g.T.compatible(c.Sc.Ret, res) {
+			candidates = append(candidates, i)
+		}
+	}
+	if len(candidates) > 0 && g.R.Intn(4) != 0 {
+		return candidates[g.R.Intn(len(candidates))]
+	}
+	creators := g.creatorsEnabled(res)
+	if len(creators) == 0 {
+		if len(candidates) > 0 {
+			return candidates[g.R.Intn(len(candidates))]
+		}
+		return -1
+	}
+	sc := creators[g.R.Intn(len(creators))]
+	idx := g.appendCall(p, sc, depth+1)
+	return idx
+}
+
+func (g *Gen) creatorsEnabled(res string) []*Syscall {
+	all := g.T.Creators(res)
+	if g.Enabled == nil {
+		return all
+	}
+	var out []*Syscall
+	for _, s := range all {
+		if g.Enabled[s.Name] {
+			out = append(out, s)
+		}
+	}
+	return out
+}

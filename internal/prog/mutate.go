@@ -1,0 +1,232 @@
+package prog
+
+// Mutation operators mirror Syzkaller's core set: tweak a scalar,
+// reselect a flags value, resize an array, corrupt a buffer, insert a
+// freshly generated call, or drop a call whose result is unused.
+
+// Mutate returns a mutated copy of p (p itself is never modified).
+func (g *Gen) Mutate(p *Prog, maxCalls int) *Prog {
+	m := p.Clone()
+	if len(m.Calls) == 0 {
+		return g.Generate(maxCalls)
+	}
+	nops := 1 + g.R.Intn(3)
+	for i := 0; i < nops; i++ {
+		switch g.R.Intn(6) {
+		case 0, 1, 2:
+			g.mutateArg(m)
+		case 3:
+			g.insertCall(m, maxCalls)
+		case 4:
+			g.removeCall(m)
+		case 5:
+			g.duplicateCall(m, maxCalls)
+		}
+	}
+	for _, c := range m.Calls {
+		c.FixupLens()
+	}
+	if len(m.Calls) == 0 {
+		return g.Generate(maxCalls)
+	}
+	return m
+}
+
+// mutateArg tweaks one randomly chosen value inside one call.
+func (g *Gen) mutateArg(p *Prog) {
+	call := p.Calls[g.R.Intn(len(p.Calls))]
+	var mutable []*Value
+	call.ForEachValue(func(v *Value) {
+		switch v.Type.Kind {
+		case KindInt, KindFlags, KindString, KindBuffer, KindArray, KindUnion:
+			mutable = append(mutable, v)
+		case KindConst:
+			// Corrupting consts is allowed but rare: it probes the
+			// kernel's invalid-command handling without destroying
+			// most of the program's validity.
+			if g.R.Intn(20) == 0 {
+				mutable = append(mutable, v)
+			}
+		}
+	})
+	if len(mutable) == 0 {
+		return
+	}
+	v := mutable[g.R.Intn(len(mutable))]
+	switch v.Type.Kind {
+	case KindInt, KindConst:
+		switch g.R.Intn(4) {
+		case 0:
+			v.Scalar = g.genInt(v.Type)
+		case 1:
+			v.Scalar++
+		case 2:
+			v.Scalar ^= 1 << uint(g.R.Intn(64))
+		case 3:
+			v.Scalar = ^v.Scalar
+		}
+	case KindFlags:
+		if len(v.Type.Vals) > 0 {
+			v.Scalar = v.Type.Vals[g.R.Intn(len(v.Type.Vals))]
+		}
+	case KindString, KindBuffer:
+		if len(v.Data) > 0 && v.Type.Str == "" {
+			v.Data[g.R.Intn(len(v.Data))] = byte(g.R.Intn(256))
+		}
+	case KindArray:
+		g.mutateArray(p, v)
+	case KindUnion:
+		if len(v.Type.Fields) > 1 {
+			v.UnionIdx = g.R.Intn(len(v.Type.Fields))
+			v.Fields = []*Value{g.genValue(p, v.Type.Fields[v.UnionIdx].Type, maxCreatorDepth)}
+		}
+	}
+}
+
+func (g *Gen) mutateArray(p *Prog, v *Value) {
+	if v.Type.FixedLen >= 0 {
+		// Fixed arrays only mutate elements.
+		if len(v.Fields) > 0 {
+			idx := g.R.Intn(len(v.Fields))
+			v.Fields[idx] = g.genValue(p, v.Type.Elem, maxCreatorDepth)
+		}
+		return
+	}
+	switch g.R.Intn(3) {
+	case 0: // grow
+		v.Fields = append(v.Fields, g.genValue(p, v.Type.Elem, maxCreatorDepth))
+	case 1: // shrink
+		if len(v.Fields) > 0 {
+			v.Fields = v.Fields[:len(v.Fields)-1]
+		}
+	case 2: // mutate element
+		if len(v.Fields) > 0 {
+			idx := g.R.Intn(len(v.Fields))
+			v.Fields[idx] = g.genValue(p, v.Type.Elem, maxCreatorDepth)
+		}
+	}
+}
+
+// insertCall appends a new call (appending keeps every existing
+// ResultOf index valid).
+func (g *Gen) insertCall(p *Prog, maxCalls int) {
+	if len(p.Calls) >= maxCalls+4 {
+		return
+	}
+	calls := g.enabledSyscalls()
+	if len(calls) == 0 {
+		return
+	}
+	g.appendCall(p, calls[g.R.Intn(len(calls))], 0)
+}
+
+// removeCall drops a call whose result no later call references.
+func (g *Gen) removeCall(p *Prog) {
+	if len(p.Calls) <= 1 {
+		return
+	}
+	used := make([]bool, len(p.Calls))
+	for _, c := range p.Calls {
+		c.ForEachValue(func(v *Value) {
+			if v.Type.Kind == KindResource && v.ResultOf >= 0 && v.ResultOf < len(used) {
+				used[v.ResultOf] = true
+			}
+		})
+	}
+	var removable []int
+	for i := range p.Calls {
+		if !used[i] {
+			removable = append(removable, i)
+		}
+	}
+	if len(removable) == 0 {
+		return
+	}
+	idx := removable[g.R.Intn(len(removable))]
+	p.Calls = append(p.Calls[:idx], p.Calls[idx+1:]...)
+	// Reindex references past the removal point.
+	for _, c := range p.Calls {
+		c.ForEachValue(func(v *Value) {
+			if v.Type.Kind == KindResource && v.ResultOf > idx {
+				v.ResultOf--
+			}
+		})
+	}
+}
+
+// duplicateCall re-appends a copy of a random call (same resource
+// bindings), probing repeated-operation state bugs like the CEC UAF.
+func (g *Gen) duplicateCall(p *Prog, maxCalls int) {
+	if len(p.Calls) >= maxCalls+4 {
+		return
+	}
+	src := p.Calls[g.R.Intn(len(p.Calls))]
+	nc := &Call{Sc: src.Sc, Args: make([]*Value, len(src.Args))}
+	for i, a := range src.Args {
+		nc.Args[i] = a.clone()
+	}
+	p.Calls = append(p.Calls, nc)
+}
+
+// Validate checks internal consistency of a program: every ResultOf
+// points at an earlier call with a compatible resource. Used by tests
+// and as a fuzzer-side assertion.
+func (p *Prog) Validate(t *Target) error {
+	for i, c := range p.Calls {
+		var err error
+		c.ForEachValue(func(v *Value) {
+			if err != nil || v.Type.Kind != KindResource || v.ResultOf < 0 {
+				return
+			}
+			if v.ResultOf >= i {
+				err = errIndex{call: i, ref: v.ResultOf}
+				return
+			}
+			ret := p.Calls[v.ResultOf].Sc.Ret
+			if ret == "" || !t.compatible(ret, v.Type.Res) {
+				err = errCompat{call: i, ref: v.ResultOf, want: v.Type.Res, have: ret}
+			}
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type errIndex struct{ call, ref int }
+
+func (e errIndex) Error() string {
+	return "call " + itoa(e.call) + " references non-earlier result r" + itoa(e.ref)
+}
+
+type errCompat struct {
+	call, ref  int
+	want, have string
+}
+
+func (e errCompat) Error() string {
+	return "call " + itoa(e.call) + " wants resource " + e.want + " but r" + itoa(e.ref) + " makes " + e.have
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,395 @@
+package prog
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Program text serialization, in the spirit of Syzkaller's repro
+// format: one call per line,
+//
+//	r0 = openat$dm(0xffffff9c, &"/dev/mapper/control", 0x2, 0x0)
+//	ioctl$DM_LIST_VERSIONS(r0, 0xc0c0fd0d, &{0x0, 0xffffffff, ...})
+//
+// Serialize/Deserialize round-trip exactly, which lets crash repros
+// travel between the fuzzer, files on disk, and the syzfuzz -repro
+// flag.
+
+// Serialize renders the program as repro text.
+func (p *Prog) Serialize() string {
+	var b strings.Builder
+	for i, c := range p.Calls {
+		if c.Sc.Ret != "" {
+			fmt.Fprintf(&b, "r%d = ", i)
+		}
+		b.WriteString(c.Sc.Name)
+		b.WriteByte('(')
+		for j, a := range c.Args {
+			if j > 0 {
+				b.WriteString(", ")
+			}
+			serializeValue(&b, a)
+		}
+		b.WriteString(")\n")
+	}
+	return b.String()
+}
+
+func serializeValue(b *strings.Builder, v *Value) {
+	if v == nil {
+		b.WriteString("nil")
+		return
+	}
+	switch v.Type.Kind {
+	case KindInt, KindConst, KindFlags, KindLen:
+		fmt.Fprintf(b, "0x%x", v.Scalar)
+	case KindResource:
+		if v.ResultOf >= 0 {
+			fmt.Fprintf(b, "r%d", v.ResultOf)
+		} else {
+			b.WriteString("0xffffffffffffffff")
+		}
+	case KindString:
+		fmt.Fprintf(b, "%q", string(v.Data))
+	case KindBuffer:
+		fmt.Fprintf(b, "#%s#", hexBytes(v.Data))
+	case KindPtr:
+		if v.Ptr == nil {
+			b.WriteString("0x0")
+			return
+		}
+		b.WriteByte('&')
+		serializeValue(b, v.Ptr)
+	case KindStruct:
+		b.WriteByte('{')
+		for i, f := range v.Fields {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			serializeValue(b, f)
+		}
+		b.WriteByte('}')
+	case KindUnion:
+		fmt.Fprintf(b, "@%d{", v.UnionIdx)
+		if len(v.Fields) > 0 {
+			serializeValue(b, v.Fields[0])
+		}
+		b.WriteByte('}')
+	case KindArray:
+		b.WriteByte('[')
+		for i, f := range v.Fields {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			serializeValue(b, f)
+		}
+		b.WriteByte(']')
+	default:
+		b.WriteString("?")
+	}
+}
+
+func hexBytes(data []byte) string {
+	const hexdigits = "0123456789abcdef"
+	out := make([]byte, 0, len(data)*2)
+	for _, c := range data {
+		out = append(out, hexdigits[c>>4], hexdigits[c&0xf])
+	}
+	return string(out)
+}
+
+// Deserialize parses repro text back into a program against the
+// target. Unknown syscalls or malformed values are errors (a repro is
+// useless if reinterpreted loosely).
+func Deserialize(t *Target, text string) (*Prog, error) {
+	p := &Prog{}
+	for lineNo, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		call, err := parseCallLine(t, p, line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo+1, err)
+		}
+		p.Calls = append(p.Calls, call)
+	}
+	if err := p.Validate(t); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func parseCallLine(t *Target, p *Prog, line string) (*Call, error) {
+	// Optional "rN = " prefix.
+	if eq := strings.Index(line, " = "); eq > 0 && strings.HasPrefix(line, "r") {
+		idxText := line[1:eq]
+		if n, err := strconv.Atoi(idxText); err == nil {
+			if n != len(p.Calls) {
+				return nil, fmt.Errorf("result index r%d out of order (expected r%d)", n, len(p.Calls))
+			}
+			line = line[eq+3:]
+		}
+	}
+	open := strings.IndexByte(line, '(')
+	if open < 0 || !strings.HasSuffix(line, ")") {
+		return nil, fmt.Errorf("malformed call %q", line)
+	}
+	name := strings.TrimSpace(line[:open])
+	sc := t.ByName[name]
+	if sc == nil {
+		return nil, fmt.Errorf("unknown syscall %q", name)
+	}
+	d := &deserializer{src: line[open+1 : len(line)-1]}
+	call := &Call{Sc: sc}
+	for i, f := range sc.Args {
+		if i > 0 {
+			if err := d.expect(','); err != nil {
+				return nil, err
+			}
+		}
+		v, err := d.value(f.Type)
+		if err != nil {
+			return nil, fmt.Errorf("arg %s: %w", f.Name, err)
+		}
+		call.Args = append(call.Args, v)
+	}
+	d.skipSpace()
+	if d.i < len(d.src) {
+		return nil, fmt.Errorf("trailing garbage %q", d.src[d.i:])
+	}
+	return call, nil
+}
+
+type deserializer struct {
+	src string
+	i   int
+}
+
+func (d *deserializer) skipSpace() {
+	for d.i < len(d.src) && (d.src[d.i] == ' ' || d.src[d.i] == '\t') {
+		d.i++
+	}
+}
+
+func (d *deserializer) expect(c byte) error {
+	d.skipSpace()
+	if d.i >= len(d.src) || d.src[d.i] != c {
+		return fmt.Errorf("expected %q at %q", string(c), d.rest())
+	}
+	d.i++
+	return nil
+}
+
+func (d *deserializer) rest() string {
+	if d.i >= len(d.src) {
+		return "<eol>"
+	}
+	r := d.src[d.i:]
+	if len(r) > 24 {
+		r = r[:24] + "..."
+	}
+	return r
+}
+
+func (d *deserializer) value(ty *Type) (*Value, error) {
+	d.skipSpace()
+	v := &Value{Type: ty, ResultOf: -1}
+	switch ty.Kind {
+	case KindInt, KindConst, KindFlags, KindLen:
+		n, err := d.number()
+		if err != nil {
+			return nil, err
+		}
+		v.Scalar = n
+		return v, nil
+	case KindResource:
+		if d.i < len(d.src) && d.src[d.i] == 'r' {
+			d.i++
+			n, err := d.number()
+			if err != nil {
+				return nil, err
+			}
+			v.ResultOf = int(n)
+			return v, nil
+		}
+		if _, err := d.number(); err != nil {
+			return nil, err
+		}
+		return v, nil // bad-fd sentinel
+	case KindString:
+		s, err := d.quoted()
+		if err != nil {
+			return nil, err
+		}
+		v.Data = []byte(s)
+		return v, nil
+	case KindBuffer:
+		data, err := d.hexBlob()
+		if err != nil {
+			return nil, err
+		}
+		v.Data = data
+		return v, nil
+	case KindPtr:
+		if d.i < len(d.src) && d.src[d.i] == '0' {
+			if _, err := d.number(); err != nil {
+				return nil, err
+			}
+			return v, nil // NULL
+		}
+		if err := d.expect('&'); err != nil {
+			return nil, err
+		}
+		inner, err := d.value(ty.Elem)
+		if err != nil {
+			return nil, err
+		}
+		v.Ptr = inner
+		return v, nil
+	case KindStruct:
+		if err := d.expect('{'); err != nil {
+			return nil, err
+		}
+		for i := range ty.Fields {
+			if i > 0 {
+				if err := d.expect(','); err != nil {
+					return nil, err
+				}
+			}
+			f, err := d.value(ty.Fields[i].Type)
+			if err != nil {
+				return nil, err
+			}
+			v.Fields = append(v.Fields, f)
+		}
+		return v, d.expect('}')
+	case KindUnion:
+		if err := d.expect('@'); err != nil {
+			return nil, err
+		}
+		idx, err := d.number()
+		if err != nil {
+			return nil, err
+		}
+		if int(idx) >= len(ty.Fields) {
+			return nil, fmt.Errorf("union index %d out of range", idx)
+		}
+		v.UnionIdx = int(idx)
+		if err := d.expect('{'); err != nil {
+			return nil, err
+		}
+		f, err := d.value(ty.Fields[v.UnionIdx].Type)
+		if err != nil {
+			return nil, err
+		}
+		v.Fields = []*Value{f}
+		return v, d.expect('}')
+	case KindArray:
+		if err := d.expect('['); err != nil {
+			return nil, err
+		}
+		d.skipSpace()
+		for d.i < len(d.src) && d.src[d.i] != ']' {
+			if len(v.Fields) > 0 {
+				if err := d.expect(','); err != nil {
+					return nil, err
+				}
+			}
+			f, err := d.value(ty.Elem)
+			if err != nil {
+				return nil, err
+			}
+			v.Fields = append(v.Fields, f)
+			d.skipSpace()
+		}
+		return v, d.expect(']')
+	}
+	return nil, fmt.Errorf("unsupported type %v", ty)
+}
+
+func (d *deserializer) number() (uint64, error) {
+	d.skipSpace()
+	start := d.i
+	if strings.HasPrefix(d.src[d.i:], "0x") {
+		d.i += 2
+		for d.i < len(d.src) && isHex(d.src[d.i]) {
+			d.i++
+		}
+		v, err := strconv.ParseUint(d.src[start+2:d.i], 16, 64)
+		return v, err
+	}
+	for d.i < len(d.src) && d.src[d.i] >= '0' && d.src[d.i] <= '9' {
+		d.i++
+	}
+	if d.i == start {
+		return 0, fmt.Errorf("expected number at %q", d.rest())
+	}
+	return strconv.ParseUint(d.src[start:d.i], 10, 64)
+}
+
+func isHex(c byte) bool {
+	return c >= '0' && c <= '9' || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F'
+}
+
+func (d *deserializer) quoted() (string, error) {
+	d.skipSpace()
+	if d.i >= len(d.src) || d.src[d.i] != '"' {
+		return "", fmt.Errorf("expected string at %q", d.rest())
+	}
+	end := d.i + 1
+	for end < len(d.src) {
+		if d.src[end] == '\\' {
+			end += 2
+			continue
+		}
+		if d.src[end] == '"' {
+			break
+		}
+		end++
+	}
+	if end >= len(d.src) {
+		return "", fmt.Errorf("unterminated string")
+	}
+	s, err := strconv.Unquote(d.src[d.i : end+1])
+	if err != nil {
+		return "", err
+	}
+	d.i = end + 1
+	return s, nil
+}
+
+func (d *deserializer) hexBlob() ([]byte, error) {
+	if err := d.expect('#'); err != nil {
+		return nil, err
+	}
+	start := d.i
+	for d.i < len(d.src) && isHex(d.src[d.i]) {
+		d.i++
+	}
+	hexText := d.src[start:d.i]
+	if err := d.expect('#'); err != nil {
+		return nil, err
+	}
+	if len(hexText)%2 != 0 {
+		return nil, fmt.Errorf("odd hex blob length")
+	}
+	out := make([]byte, len(hexText)/2)
+	for i := 0; i < len(out); i++ {
+		hi, lo := unhex(hexText[2*i]), unhex(hexText[2*i+1])
+		out[i] = hi<<4 | lo
+	}
+	return out, nil
+}
+
+func unhex(c byte) byte {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0'
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10
+	default:
+		return c - 'A' + 10
+	}
+}

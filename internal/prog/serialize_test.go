@@ -1,0 +1,124 @@
+package prog
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSerializeRoundTrip(t *testing.T) {
+	tgt := testTarget(t)
+	g := NewGen(tgt, 21)
+	for i := 0; i < 100; i++ {
+		p := g.Generate(6)
+		text := p.Serialize()
+		q, err := Deserialize(tgt, text)
+		if err != nil {
+			t.Fatalf("deserialize failed: %v\n%s", err, text)
+		}
+		if q.Serialize() != text {
+			t.Fatalf("round trip differs:\n--- a\n%s\n--- b\n%s", text, q.Serialize())
+		}
+	}
+}
+
+func TestSerializeEncodingEquivalence(t *testing.T) {
+	// The deserialized program must encode to the same bytes (the
+	// repro must behave identically in the kernel).
+	tgt := testTarget(t)
+	g := NewGen(tgt, 22)
+	for i := 0; i < 50; i++ {
+		p := g.Generate(6)
+		q, err := Deserialize(tgt, p.Serialize())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(q.Calls) != len(p.Calls) {
+			t.Fatal("call count changed")
+		}
+		for ci := range p.Calls {
+			for ai := range p.Calls[ci].Args {
+				a, b := p.Calls[ci].Args[ai], q.Calls[ci].Args[ai]
+				if a.Type.Kind == KindPtr && a.Ptr != nil {
+					if string(a.Ptr.Encode()) != string(b.Ptr.Encode()) {
+						t.Fatalf("payload bytes differ for call %d arg %d", ci, ai)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestDeserializeRejectsUnknownSyscall(t *testing.T) {
+	tgt := testTarget(t)
+	if _, err := Deserialize(tgt, "frob$x(0x1)\n"); err == nil {
+		t.Fatal("unknown syscall accepted")
+	}
+}
+
+func TestDeserializeRejectsForwardReference(t *testing.T) {
+	tgt := testTarget(t)
+	text := "ioctl$SET_CFG(r5, 0x7002, 0x0)\n"
+	if _, err := Deserialize(tgt, text); err == nil {
+		t.Fatal("forward resource reference accepted")
+	}
+}
+
+func TestDeserializeComments(t *testing.T) {
+	tgt := testTarget(t)
+	text := `# repro for test
+r0 = openat$dev(0xffffff9c, &"/dev/testdev", 0x2, 0x0)
+
+ioctl$MAKE_SUB(r0, 0x7001)
+`
+	p, err := Deserialize(tgt, text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Calls) != 2 {
+		t.Fatalf("want 2 calls, got %d", len(p.Calls))
+	}
+}
+
+func TestDeserializeBadFdSentinel(t *testing.T) {
+	tgt := testTarget(t)
+	text := "ioctl$MAKE_SUB(0xffffffffffffffff, 0x7001)\n"
+	p, err := Deserialize(tgt, text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Calls[0].Args[0].ResultOf != -1 {
+		t.Fatal("bad-fd sentinel not preserved")
+	}
+}
+
+func TestQuickSerializeRoundTrip(t *testing.T) {
+	tgt := testTarget(t)
+	f := func(seed int64) bool {
+		g := NewGen(tgt, seed)
+		p := g.Generate(5)
+		for i := 0; i < 3; i++ {
+			p = g.Mutate(p, 6)
+		}
+		q, err := Deserialize(tgt, p.Serialize())
+		return err == nil && q.Serialize() == p.Serialize()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSerializeMarksResults(t *testing.T) {
+	tgt := testTarget(t)
+	g := NewGen(tgt, 23)
+	g.Enabled = map[string]bool{"openat$dev": true, "ioctl$SET_CFG": true}
+	for i := 0; i < 50; i++ {
+		p := g.Generate(4)
+		text := p.Serialize()
+		for _, line := range strings.Split(text, "\n") {
+			if strings.HasPrefix(line, "r") && !strings.Contains(line, " = ") {
+				t.Fatalf("malformed result line: %q", line)
+			}
+		}
+	}
+}

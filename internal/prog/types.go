@@ -1,0 +1,264 @@
+// Package prog is the executable-program layer of the fuzzer: it
+// compiles validated syzlang descriptions into typed syscall
+// descriptors, generates and mutates syscall programs with resource
+// tracking, and encodes pointer payloads into raw bytes using C
+// layout rules. The byte encoding is what makes specification quality
+// matter in this reproduction: the virtual kernel decodes payload
+// fields at its ground-truth offsets, so a generator with the wrong
+// struct layout feeds the kernel garbage field values and almost
+// never satisfies deep-path conditions.
+package prog
+
+import "fmt"
+
+// TypeKind enumerates compiled type categories.
+type TypeKind int
+
+// Compiled type kinds.
+const (
+	KindInt TypeKind = iota
+	KindConst
+	KindFlags
+	KindPtr
+	KindArray
+	KindString
+	KindLen      // len/bytesize of a sibling field
+	KindResource // resource use (fd etc.)
+	KindStruct
+	KindUnion
+	KindBuffer // opaque byte buffer with direction
+)
+
+// Dir is pointer/buffer direction.
+type Dir int
+
+// Directions.
+const (
+	DirIn Dir = iota
+	DirOut
+	DirInOut
+)
+
+// Type is a compiled type descriptor. Exactly the fields relevant to
+// Kind are set.
+type Type struct {
+	Kind TypeKind
+	// Bytes is the scalar width for Int/Const/Flags/Len (1,2,4,8).
+	Bytes int
+	// Val is the constant value for Const.
+	Val uint64
+	// Vals are the allowed values for Flags.
+	Vals []uint64
+	// Min/Max bound Int when Ranged.
+	Ranged   bool
+	Min, Max int64
+	// Dir applies to Ptr and Buffer.
+	Dir Dir
+	// Elem is the pointee (Ptr) or element (Array) type.
+	Elem *Type
+	// FixedLen is the array length; -1 means variable.
+	FixedLen int
+	// Str is the literal for String (empty = arbitrary).
+	Str string
+	// LenTarget is the sibling field name for Len; InBytes selects
+	// byte semantics (bytesize / non-array targets).
+	LenTarget string
+	InBytes   bool
+	// Res is the resource name for Resource.
+	Res string
+	// StructName and Fields describe Struct/Union.
+	StructName string
+	Fields     []Field
+	// Out marks kernel-written struct fields.
+	Out bool
+}
+
+// Field is a named member of a struct, union, or argument list.
+type Field struct {
+	Name string
+	Type *Type
+}
+
+// Syscall is a compiled syscall descriptor.
+type Syscall struct {
+	// Name is the full name (callname$variant); CallName the base.
+	Name     string
+	CallName string
+	Args     []Field
+	// Ret is the resource the call creates ("" if none).
+	Ret string
+	// ID is the index in Target.Syscalls.
+	ID int
+}
+
+// ResourceDesc describes a resource kind.
+type ResourceDesc struct {
+	Name string
+	// Base is the parent resource or builtin type name.
+	Base string
+}
+
+// Target is the compiled description set a fuzzer runs against (the
+// analogue of Syzkaller's prog.Target).
+type Target struct {
+	Syscalls  []*Syscall
+	ByName    map[string]*Syscall
+	Resources map[string]*ResourceDesc
+	// creators maps resource name → syscall IDs producing it.
+	creators map[string][]int
+	// consumers maps resource name → syscall IDs taking it as an
+	// argument.
+	consumers map[string][]int
+}
+
+// Consumers returns the syscalls that can consume a value of the
+// given resource kind (direct consumers plus consumers of any
+// ancestor resource the value is compatible with).
+func (t *Target) Consumers(res string) []*Syscall {
+	var out []*Syscall
+	seen := map[int]bool{}
+	for cur := res; cur != ""; {
+		for _, id := range t.consumers[cur] {
+			if !seen[id] {
+				seen[id] = true
+				out = append(out, t.Syscalls[id])
+			}
+		}
+		r := t.Resources[cur]
+		if r == nil {
+			break
+		}
+		cur = r.Base
+	}
+	return out
+}
+
+// Creators returns the syscalls whose return value satisfies the
+// given resource (the resource itself or any derived resource).
+func (t *Target) Creators(res string) []*Syscall {
+	var out []*Syscall
+	for _, id := range t.creators[res] {
+		out = append(out, t.Syscalls[id])
+	}
+	return out
+}
+
+// compatible reports whether a value of resource kind "have" can be
+// used where "want" is expected (have == want or have derives from
+// want through base links).
+func (t *Target) compatible(have, want string) bool {
+	for cur := have; cur != ""; {
+		if cur == want {
+			return true
+		}
+		r := t.Resources[cur]
+		if r == nil {
+			return false
+		}
+		cur = r.Base
+	}
+	return false
+}
+
+// Size returns the encoded byte size of a value of this type; for
+// variable arrays it needs the instance value, so this returns the
+// minimum size (elements 0).
+func (ty *Type) Size() int {
+	switch ty.Kind {
+	case KindInt, KindConst, KindFlags, KindLen:
+		if ty.Bytes == 0 {
+			return 4
+		}
+		return ty.Bytes
+	case KindPtr, KindResource:
+		return 8
+	case KindString:
+		return len(ty.Str) + 1
+	case KindArray:
+		if ty.FixedLen > 0 {
+			return ty.FixedLen * ty.Elem.Size()
+		}
+		return 0
+	case KindStruct:
+		size := 0
+		for _, f := range ty.Fields {
+			a := f.Type.align()
+			if rem := size % a; rem != 0 {
+				size += a - rem
+			}
+			size += f.Type.Size()
+		}
+		if a := ty.align(); a > 0 {
+			if rem := size % a; rem != 0 {
+				size += a - rem
+			}
+		}
+		return size
+	case KindUnion:
+		max := 0
+		for _, f := range ty.Fields {
+			if s := f.Type.Size(); s > max {
+				max = s
+			}
+		}
+		return max
+	case KindBuffer:
+		return 0
+	}
+	return 0
+}
+
+// align returns the natural alignment of the type under C rules.
+func (ty *Type) align() int {
+	switch ty.Kind {
+	case KindInt, KindConst, KindFlags, KindLen:
+		if ty.Bytes == 0 {
+			return 4
+		}
+		return ty.Bytes
+	case KindPtr, KindResource:
+		return 8
+	case KindString, KindBuffer:
+		return 1
+	case KindArray:
+		return ty.Elem.align()
+	case KindStruct, KindUnion:
+		a := 1
+		for _, f := range ty.Fields {
+			if fa := f.Type.align(); fa > a {
+				a = fa
+			}
+		}
+		return a
+	}
+	return 1
+}
+
+// String renders a compact type description for diagnostics.
+func (ty *Type) String() string {
+	switch ty.Kind {
+	case KindInt:
+		return fmt.Sprintf("int%d", ty.Bytes*8)
+	case KindConst:
+		return fmt.Sprintf("const[%d]", ty.Val)
+	case KindFlags:
+		return fmt.Sprintf("flags[%d vals]", len(ty.Vals))
+	case KindPtr:
+		return fmt.Sprintf("ptr[%v]", ty.Elem)
+	case KindArray:
+		return fmt.Sprintf("array[%v]", ty.Elem)
+	case KindString:
+		return fmt.Sprintf("string[%q]", ty.Str)
+	case KindLen:
+		return fmt.Sprintf("len[%s]", ty.LenTarget)
+	case KindResource:
+		return fmt.Sprintf("res[%s]", ty.Res)
+	case KindStruct:
+		return "struct " + ty.StructName
+	case KindUnion:
+		return "union " + ty.StructName
+	case KindBuffer:
+		return "buffer"
+	}
+	return "?"
+}

@@ -1,0 +1,221 @@
+package syzlang
+
+import "strings"
+
+// File is a parsed syzlang description file.
+type File struct {
+	Resources []*ResourceDef
+	Syscalls  []*SyscallDef
+	Structs   []*StructDef
+	Unions    []*UnionDef
+	Flags     []*FlagsDef
+}
+
+// ResourceDef declares a resource kind, e.g. "resource fd_dm[fd]".
+type ResourceDef struct {
+	Name string
+	Base string // underlying type or parent resource name
+	Pos  Pos
+}
+
+// SyscallDef describes one syscall variant, e.g.
+// "ioctl$DM_DEV_CREATE(fd fd_dm, cmd const[DM_DEV_CREATE], arg ptr[in, dm_ioctl]) fd_dm".
+type SyscallDef struct {
+	CallName string // base syscall, e.g. "ioctl"
+	Variant  string // after '$', may be empty
+	Args     []*Field
+	Ret      string // resource name or empty
+	Pos      Pos
+}
+
+// Name returns the full syscall name including the variant suffix.
+func (s *SyscallDef) Name() string {
+	if s.Variant == "" {
+		return s.CallName
+	}
+	return s.CallName + "$" + s.Variant
+}
+
+// Field is a named, typed slot: a syscall argument or a struct/union
+// member.
+type Field struct {
+	Name string
+	Type *TypeExpr
+	// Attrs holds trailing parenthesized attributes such as (out) on
+	// struct fields.
+	Attrs []string
+	Pos   Pos
+}
+
+// StructDef describes a struct type: "name { fields... }".
+type StructDef struct {
+	Name   string
+	Fields []*Field
+	// Attrs holds trailing attributes such as [packed].
+	Attrs []string
+	Pos   Pos
+}
+
+// UnionDef describes a union type: "name [ options... ]".
+type UnionDef struct {
+	Name   string
+	Fields []*Field
+	Pos    Pos
+}
+
+// FlagsDef describes a flag-set definition: "name = A, B, C".
+type FlagsDef struct {
+	Name   string
+	Values []FlagValue
+	Pos    Pos
+}
+
+// FlagValue is one member of a flags definition: either a named
+// constant or an integer literal.
+type FlagValue struct {
+	Name  string // empty for integer literals
+	Value uint64 // used when Name is empty
+}
+
+// TypeExpr is a (possibly parameterized) type expression such as
+// int32, const[DM_VERSION], ptr[in, dm_ioctl], array[int8, 16],
+// string["/dev/msm"], int32[0:3], len[devices, int32], flags[f, int32].
+type TypeExpr struct {
+	Ident string
+	// Args holds bracketed arguments; each is a type expression,
+	// an integer, a string, or a range.
+	Args []*TypeArg
+	Pos  Pos
+}
+
+// TypeArg is one bracketed argument of a type expression.
+type TypeArg struct {
+	// Exactly one of the following is meaningful.
+	Type     *TypeExpr // nested type or bare identifier
+	HasInt   bool
+	Int      uint64
+	HasStr   bool
+	Str      string
+	HasRange bool
+	Min, Max int64
+	Pos      Pos
+}
+
+// String renders the type expression in canonical syzlang syntax.
+func (t *TypeExpr) String() string {
+	if t == nil {
+		return "<nil>"
+	}
+	if len(t.Args) == 0 {
+		return t.Ident
+	}
+	parts := make([]string, len(t.Args))
+	for i, a := range t.Args {
+		parts[i] = a.String()
+	}
+	return t.Ident + "[" + strings.Join(parts, ", ") + "]"
+}
+
+// String renders the type argument in canonical syntax.
+func (a *TypeArg) String() string {
+	switch {
+	case a.HasRange:
+		return itoa(a.Min) + ":" + itoa(a.Max)
+	case a.HasInt:
+		return utoa(a.Int)
+	case a.HasStr:
+		return "\"" + a.Str + "\""
+	case a.Type != nil:
+		return a.Type.String()
+	}
+	return "?"
+}
+
+func itoa(v int64) string {
+	if v < 0 {
+		return "-" + utoa(uint64(-v))
+	}
+	return utoa(uint64(v))
+}
+
+func utoa(v uint64) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// Merge appends the contents of other into f.
+func (f *File) Merge(other *File) {
+	if other == nil {
+		return
+	}
+	f.Resources = append(f.Resources, other.Resources...)
+	f.Syscalls = append(f.Syscalls, other.Syscalls...)
+	f.Structs = append(f.Structs, other.Structs...)
+	f.Unions = append(f.Unions, other.Unions...)
+	f.Flags = append(f.Flags, other.Flags...)
+}
+
+// Clone returns a deep copy of the file.
+func (f *File) Clone() *File {
+	c := &File{}
+	for _, r := range f.Resources {
+		rc := *r
+		c.Resources = append(c.Resources, &rc)
+	}
+	for _, s := range f.Syscalls {
+		sc := *s
+		sc.Args = cloneFields(s.Args)
+		c.Syscalls = append(c.Syscalls, &sc)
+	}
+	for _, s := range f.Structs {
+		sc := *s
+		sc.Fields = cloneFields(s.Fields)
+		c.Structs = append(c.Structs, &sc)
+	}
+	for _, u := range f.Unions {
+		uc := *u
+		uc.Fields = cloneFields(u.Fields)
+		c.Unions = append(c.Unions, &uc)
+	}
+	for _, fl := range f.Flags {
+		flc := *fl
+		flc.Values = append([]FlagValue(nil), fl.Values...)
+		c.Flags = append(c.Flags, &flc)
+	}
+	return c
+}
+
+func cloneFields(fields []*Field) []*Field {
+	out := make([]*Field, len(fields))
+	for i, f := range fields {
+		fc := *f
+		fc.Type = f.Type.Clone()
+		fc.Attrs = append([]string(nil), f.Attrs...)
+		out[i] = &fc
+	}
+	return out
+}
+
+// Clone returns a deep copy of the type expression.
+func (t *TypeExpr) Clone() *TypeExpr {
+	if t == nil {
+		return nil
+	}
+	c := *t
+	c.Args = make([]*TypeArg, len(t.Args))
+	for i, a := range t.Args {
+		ac := *a
+		ac.Type = a.Type.Clone()
+		c.Args[i] = &ac
+	}
+	return &c
+}

@@ -1,0 +1,114 @@
+package syzlang
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Format renders a description file back to canonical syzlang text.
+// The output is stable: resources, then syscalls, then flags, then
+// structs/unions, each in declaration order. Readability of the
+// generated text is a first-class goal of the paper (§5.1.1), so the
+// formatter takes care to produce output matching the hand-written
+// Syzkaller style.
+func Format(f *File) string {
+	var b strings.Builder
+	for _, r := range f.Resources {
+		fmt.Fprintf(&b, "resource %s[%s]\n", r.Name, r.Base)
+	}
+	if len(f.Resources) > 0 && len(f.Syscalls) > 0 {
+		b.WriteByte('\n')
+	}
+	for _, s := range f.Syscalls {
+		b.WriteString(FormatSyscall(s))
+		b.WriteByte('\n')
+	}
+	if len(f.Flags) > 0 {
+		b.WriteByte('\n')
+		for _, fl := range f.Flags {
+			b.WriteString(FormatFlags(fl))
+			b.WriteByte('\n')
+		}
+	}
+	for _, st := range f.Structs {
+		b.WriteByte('\n')
+		b.WriteString(FormatStruct(st))
+	}
+	for _, u := range f.Unions {
+		b.WriteByte('\n')
+		b.WriteString(FormatUnion(u))
+	}
+	return b.String()
+}
+
+// FormatSyscall renders one syscall description line.
+func FormatSyscall(s *SyscallDef) string {
+	var b strings.Builder
+	b.WriteString(s.Name())
+	b.WriteByte('(')
+	for i, a := range s.Args {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(a.Name)
+		b.WriteByte(' ')
+		b.WriteString(a.Type.String())
+		writeAttrs(&b, a.Attrs)
+	}
+	b.WriteByte(')')
+	if s.Ret != "" {
+		b.WriteByte(' ')
+		b.WriteString(s.Ret)
+	}
+	return b.String()
+}
+
+// FormatStruct renders a struct definition block.
+func FormatStruct(st *StructDef) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s {\n", st.Name)
+	for _, f := range st.Fields {
+		fmt.Fprintf(&b, "\t%s\t%s", f.Name, f.Type)
+		writeAttrs(&b, f.Attrs)
+		b.WriteByte('\n')
+	}
+	b.WriteString("}")
+	if len(st.Attrs) > 0 {
+		fmt.Fprintf(&b, " [%s]", strings.Join(st.Attrs, ", "))
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// FormatUnion renders a union definition block.
+func FormatUnion(u *UnionDef) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s [\n", u.Name)
+	for _, f := range u.Fields {
+		fmt.Fprintf(&b, "\t%s\t%s", f.Name, f.Type)
+		writeAttrs(&b, f.Attrs)
+		b.WriteByte('\n')
+	}
+	b.WriteString("]\n")
+	return b.String()
+}
+
+// FormatFlags renders a flag-set definition line.
+func FormatFlags(fl *FlagsDef) string {
+	parts := make([]string, len(fl.Values))
+	for i, v := range fl.Values {
+		if v.Name != "" {
+			parts[i] = v.Name
+		} else {
+			parts[i] = utoa(v.Value)
+		}
+	}
+	return fl.Name + " = " + strings.Join(parts, ", ")
+}
+
+func writeAttrs(b *strings.Builder, attrs []string) {
+	if len(attrs) == 0 {
+		return
+	}
+	fmt.Fprintf(b, " (%s)", strings.Join(attrs, ", "))
+}

@@ -1,0 +1,50 @@
+package syzlang
+
+// MergeDedup combines description files into one, keeping the first
+// occurrence of every named declaration. Suites assembled from
+// multiple generators overlap on handlers the human suite partially
+// covers; Syzkaller resolves such collisions by name identity, which
+// this mirrors.
+func MergeDedup(files ...*File) *File {
+	out := &File{}
+	seenRes := map[string]bool{}
+	seenCall := map[string]bool{}
+	seenType := map[string]bool{}
+	seenFlags := map[string]bool{}
+	for _, f := range files {
+		if f == nil {
+			continue
+		}
+		for _, r := range f.Resources {
+			if !seenRes[r.Name] {
+				seenRes[r.Name] = true
+				out.Resources = append(out.Resources, r)
+			}
+		}
+		for _, s := range f.Syscalls {
+			if !seenCall[s.Name()] {
+				seenCall[s.Name()] = true
+				out.Syscalls = append(out.Syscalls, s)
+			}
+		}
+		for _, s := range f.Structs {
+			if !seenType[s.Name] {
+				seenType[s.Name] = true
+				out.Structs = append(out.Structs, s)
+			}
+		}
+		for _, u := range f.Unions {
+			if !seenType[u.Name] {
+				seenType[u.Name] = true
+				out.Unions = append(out.Unions, u)
+			}
+		}
+		for _, fl := range f.Flags {
+			if !seenFlags[fl.Name] {
+				seenFlags[fl.Name] = true
+				out.Flags = append(out.Flags, fl)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,78 @@
+// Package syzlang implements the subset of Syzkaller's description
+// language (syzlang) that KernelGPT generates: resource declarations,
+// syscall descriptions, struct/union/flags definitions, and the type
+// expressions they use. It provides a lexer, parser, semantic
+// validator with structured errors (the equivalent of Syzkaller's
+// syz-extract/syz-generate validation the paper relies on for the
+// repair loop), a formatter, and a compiler into the executable
+// representation used by the prog package.
+package syzlang
+
+import "fmt"
+
+// TokenKind enumerates lexical token categories.
+type TokenKind int
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokNewline
+	TokIdent
+	TokInt
+	TokString
+	TokLParen
+	TokRParen
+	TokLBrack
+	TokRBrack
+	TokLBrace
+	TokRBrace
+	TokComma
+	TokColon
+	TokEquals
+	TokDollar
+	TokComment
+)
+
+var tokenNames = map[TokenKind]string{
+	TokEOF:     "EOF",
+	TokNewline: "newline",
+	TokIdent:   "identifier",
+	TokInt:     "integer",
+	TokString:  "string",
+	TokLParen:  "'('",
+	TokRParen:  "')'",
+	TokLBrack:  "'['",
+	TokRBrack:  "']'",
+	TokLBrace:  "'{'",
+	TokRBrace:  "'}'",
+	TokComma:   "','",
+	TokColon:   "':'",
+	TokEquals:  "'='",
+	TokDollar:  "'$'",
+	TokComment: "comment",
+}
+
+// String returns a human-readable name for the token kind.
+func (k TokenKind) String() string {
+	if s, ok := tokenNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("token(%d)", int(k))
+}
+
+// Pos identifies a location in a syzlang source buffer.
+type Pos struct {
+	Line int // 1-based
+	Col  int // 1-based
+}
+
+// String renders the position as "line:col".
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is a single lexical token.
+type Token struct {
+	Kind  TokenKind
+	Text  string
+	Value uint64 // for TokInt
+	Pos   Pos
+}

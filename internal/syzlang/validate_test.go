@@ -1,0 +1,224 @@
+package syzlang
+
+import (
+	"strings"
+	"testing"
+)
+
+// validateSrc parses src (must be syntactically clean) and validates
+// it against testEnv.
+func validateSrc(t *testing.T, src string) []*ValidationError {
+	t.Helper()
+	f, errs := Parse(src)
+	if len(errs) > 0 {
+		t.Fatalf("unexpected parse errors: %v", errs)
+	}
+	return Validate(f, testEnv())
+}
+
+func wantErrKind(t *testing.T, errs []*ValidationError, kind ErrKind, ref string) {
+	t.Helper()
+	for _, e := range errs {
+		if e.Kind == kind && (ref == "" || e.Ref == ref) {
+			return
+		}
+	}
+	t.Fatalf("missing %s error for %q, got: %v", kind, ref, errs)
+}
+
+func TestValidateUndefinedType(t *testing.T) {
+	errs := validateSrc(t, "ioctl$X(fd fd, cmd const[1], arg ptr[in, no_such_struct])\n")
+	wantErrKind(t, errs, ErrUndefinedType, "no_such_struct")
+}
+
+func TestValidateUnknownConst(t *testing.T) {
+	errs := validateSrc(t, "ioctl$X(fd fd, cmd const[NO_SUCH_MACRO])\n")
+	wantErrKind(t, errs, ErrUnknownConst, "NO_SUCH_MACRO")
+}
+
+func TestValidateUnknownSyscall(t *testing.T) {
+	errs := validateSrc(t, "frobnicate$X(a int32)\n")
+	wantErrKind(t, errs, ErrUnknownSyscall, "frobnicate")
+}
+
+func TestValidateUnknownResourceReturn(t *testing.T) {
+	errs := validateSrc(t, "openat$x(fd const[AT_FDCWD]) fd_missing\n")
+	wantErrKind(t, errs, ErrUnknownResource, "fd_missing")
+}
+
+func TestValidateUnusedResource(t *testing.T) {
+	errs := validateSrc(t, "resource fd_lonely[fd]\n")
+	wantErrKind(t, errs, ErrUnusedResource, "fd_lonely")
+}
+
+func TestValidateBadResourceBase(t *testing.T) {
+	errs := validateSrc(t, "resource fd_x[nonbase]\nioctl$A(fd fd_x, cmd const[1])\n")
+	wantErrKind(t, errs, ErrBadResourceBase, "nonbase")
+}
+
+func TestValidateResourceChainBase(t *testing.T) {
+	src := `
+resource fd_a[fd]
+resource fd_b[fd_a]
+ioctl$A(fd fd_a, cmd const[1]) fd_b
+ioctl$B(fd fd_b, cmd const[2])
+`
+	if errs := validateSrc(t, src); len(errs) > 0 {
+		t.Fatalf("resource chains should validate: %v", errs)
+	}
+}
+
+func TestValidateBadLenTarget(t *testing.T) {
+	src := `
+vec {
+	count	len[elems, int32]
+	other	int32
+}
+ioctl$V(fd fd, cmd const[1], arg ptr[in, vec])
+`
+	errs := validateSrc(t, src)
+	wantErrKind(t, errs, ErrBadLenTarget, "elems")
+}
+
+func TestValidateGoodLenTarget(t *testing.T) {
+	src := `
+vec {
+	count	len[elems, int32]
+	elems	array[int64]
+}
+ioctl$V(fd fd, cmd const[1], arg ptr[in, vec])
+`
+	if errs := validateSrc(t, src); len(errs) > 0 {
+		t.Fatalf("valid len target rejected: %v", errs)
+	}
+}
+
+func TestValidateDuplicateSyscall(t *testing.T) {
+	src := "ioctl$A(fd fd, cmd const[1])\nioctl$A(fd fd, cmd const[2])\n"
+	errs := validateSrc(t, src)
+	wantErrKind(t, errs, ErrDuplicateDecl, "ioctl$A")
+}
+
+func TestValidateDuplicateStructField(t *testing.T) {
+	src := `
+s {
+	x	int32
+	x	int64
+}
+ioctl$A(fd fd, cmd const[1], arg ptr[in, s])
+`
+	errs := validateSrc(t, src)
+	wantErrKind(t, errs, ErrDuplicateDecl, "x")
+}
+
+func TestValidateEmptyStruct(t *testing.T) {
+	src := "s {\n}\nioctl$A(fd fd, cmd const[1], arg ptr[in, s])\n"
+	errs := validateSrc(t, src)
+	wantErrKind(t, errs, ErrEmptyDecl, "s")
+}
+
+func TestValidateBadDirection(t *testing.T) {
+	errs := validateSrc(t, "ioctl$A(fd fd, cmd const[1], arg ptr[sideways, array[int8]])\n")
+	wantErrKind(t, errs, ErrBadDirection, "")
+}
+
+func TestValidateRecursiveStruct(t *testing.T) {
+	src := `
+node {
+	next	node
+	val	int32
+}
+ioctl$A(fd fd, cmd const[1], arg ptr[in, node])
+`
+	errs := validateSrc(t, src)
+	wantErrKind(t, errs, ErrRecursiveType, "node")
+}
+
+func TestValidateRecursionThroughPointerOK(t *testing.T) {
+	src := `
+node {
+	next	ptr[in, node]
+	val	int32
+}
+ioctl$A(fd fd, cmd const[1], arg ptr[in, node])
+`
+	if errs := validateSrc(t, src); len(errs) > 0 {
+		t.Fatalf("pointer recursion should be allowed: %v", errs)
+	}
+}
+
+func TestValidateMutualRecursion(t *testing.T) {
+	src := `
+a_t {
+	b	b_t
+}
+b_t {
+	a	a_t
+}
+ioctl$A(fd fd, cmd const[1], arg ptr[in, a_t])
+`
+	errs := validateSrc(t, src)
+	wantErrKind(t, errs, ErrRecursiveType, "")
+}
+
+func TestValidateBadRange(t *testing.T) {
+	errs := validateSrc(t, "ioctl$A(fd fd, cmd const[1], arg int32[5:1])\n")
+	wantErrKind(t, errs, ErrBadRange, "int32")
+}
+
+func TestValidateTooManyArgs(t *testing.T) {
+	args := make([]string, 10)
+	for i := range args {
+		args[i] = "a" + string(rune('a'+i)) + " int32"
+	}
+	errs := validateSrc(t, "ioctl$A("+strings.Join(args, ", ")+")\n")
+	wantErrKind(t, errs, ErrTooManyArgs, "")
+}
+
+func TestValidateUndefinedFlagsSet(t *testing.T) {
+	errs := validateSrc(t, "ioctl$A(fd fd, cmd const[1], arg flags[nothere, int32])\n")
+	wantErrKind(t, errs, ErrUndefinedType, "nothere")
+}
+
+func TestValidateFlagsUnknownConst(t *testing.T) {
+	src := "myflags = BAD_CONST\nioctl$A(fd fd, cmd const[1], arg flags[myflags, int32])\n"
+	errs := validateSrc(t, src)
+	wantErrKind(t, errs, ErrUnknownConst, "BAD_CONST")
+}
+
+func TestValidateErrorAttribution(t *testing.T) {
+	// Each error must carry the declaration it belongs to so the
+	// repair loop can route it.
+	src := `
+ioctl$GOOD(fd fd, cmd const[1])
+ioctl$BAD(fd fd, cmd const[NOT_A_MACRO], arg ptr[in, ghost_t])
+`
+	errs := validateSrc(t, src)
+	if len(errs) != 2 {
+		t.Fatalf("want 2 errors, got %v", errs)
+	}
+	for _, e := range errs {
+		if e.Decl != "ioctl$BAD" {
+			t.Fatalf("error attributed to %q, want ioctl$BAD", e.Decl)
+		}
+	}
+}
+
+func TestValidateConstWithSize(t *testing.T) {
+	if errs := validateSrc(t, "ioctl$A(fd fd, cmd const[DM_VERSION, int64])\n"); len(errs) > 0 {
+		t.Fatalf("const with size rejected: %v", errs)
+	}
+	errs := validateSrc(t, "ioctl$A(fd fd, cmd const[DM_VERSION, ptr[in, fd]])\n")
+	wantErrKind(t, errs, ErrBadTypeArgs, "const")
+}
+
+func TestValidateStringArg(t *testing.T) {
+	errs := validateSrc(t, "openat$x(fd const[AT_FDCWD], file ptr[in, string[notaliteral]])\n")
+	wantErrKind(t, errs, ErrBadStringLiteral, "")
+}
+
+func TestValidateNamedIntConst(t *testing.T) {
+	if errs := validateSrc(t, "ioctl$A(fd fd, cmd const[1], arg int32[DM_VERSION])\n"); len(errs) > 0 {
+		t.Fatalf("int with named const value rejected: %v", errs)
+	}
+}

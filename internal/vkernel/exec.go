@@ -1,0 +1,408 @@
+package vkernel
+
+import (
+	"kernelgpt/internal/corpus"
+	"kernelgpt/internal/prog"
+)
+
+// Crash is a sanitizer report from the virtual kernel.
+type Crash struct {
+	// Title is the dedup key, e.g. "kmalloc bug in ctl_ioctl".
+	Title string
+	Bug   *corpus.Bug
+}
+
+// Result is the outcome of executing one program.
+type Result struct {
+	// Cov lists the basic blocks covered, deduplicated and sorted.
+	Cov []BlockID
+	// Crash is non-nil if a planted bug fired; execution stops at the
+	// crashing call.
+	Crash *Crash
+	// Errno counts calls that failed (bad fd, unknown command, ...).
+	Errno int
+}
+
+// exec carries per-program mutable state (one "VM instance").
+type exec struct {
+	k   *Kernel
+	cov map[BlockID]struct{}
+	// fds maps call index → the handler whose fd that call returned.
+	fds []*khandler
+	// history records commands issued per handler during this
+	// program, for stateful bug preconditions.
+	history map[string]map[string]bool
+	crash   *Crash
+	errs    int
+}
+
+// Run executes a program against the kernel and reports coverage and
+// crashes. Execution is deterministic.
+func (k *Kernel) Run(p *prog.Prog) *Result {
+	e := &exec{
+		k:       k,
+		cov:     map[BlockID]struct{}{},
+		fds:     make([]*khandler, len(p.Calls)),
+		history: map[string]map[string]bool{},
+	}
+	for i, c := range p.Calls {
+		e.runCall(i, c)
+		if e.crash != nil {
+			break
+		}
+	}
+	res := &Result{Crash: e.crash, Errno: e.errs}
+	res.Cov = make([]BlockID, 0, len(e.cov))
+	for b := range e.cov {
+		res.Cov = append(res.Cov, b)
+	}
+	sortBlocks(res.Cov)
+	return res
+}
+
+func sortBlocks(b []BlockID) {
+	// Insertion sort is fine at typical coverage sizes; avoids an
+	// import for a hot path that is usually short.
+	for i := 1; i < len(b); i++ {
+		for j := i; j > 0 && b[j-1] > b[j]; j-- {
+			b[j-1], b[j] = b[j], b[j-1]
+		}
+	}
+}
+
+func (e *exec) cover(blocks ...BlockID) {
+	for _, b := range blocks {
+		e.cov[b] = struct{}{}
+	}
+}
+
+func (e *exec) record(h *corpus.Handler, op string) {
+	m := e.history[h.Name]
+	if m == nil {
+		m = map[string]bool{}
+		e.history[h.Name] = m
+	}
+	m[op] = true
+}
+
+func (e *exec) seen(h *corpus.Handler, ops []string) bool {
+	m := e.history[h.Name]
+	for _, op := range ops {
+		if !m[op] {
+			return false
+		}
+	}
+	return true
+}
+
+// scalar evaluates an argument to its runtime scalar (resources are
+// not scalars here; use fd()).
+func scalar(v *prog.Value) uint64 {
+	if v == nil {
+		return 0
+	}
+	return v.Scalar
+}
+
+// fd resolves a resource argument to the handler its fd belongs to.
+func (e *exec) fd(v *prog.Value) *khandler {
+	if v == nil || v.Type.Kind != prog.KindResource || v.ResultOf < 0 || v.ResultOf >= len(e.fds) {
+		return nil
+	}
+	return e.fds[v.ResultOf]
+}
+
+// blob returns the encoded payload behind a pointer argument.
+func blob(v *prog.Value) []byte {
+	if v == nil || v.Type.Kind != prog.KindPtr || v.Ptr == nil {
+		return nil
+	}
+	return v.Ptr.Encode()
+}
+
+// str returns the string behind a pointer argument.
+func str(v *prog.Value) string {
+	if v == nil || v.Type.Kind != prog.KindPtr || v.Ptr == nil {
+		return ""
+	}
+	if v.Ptr.Type.Kind == prog.KindString || v.Ptr.Type.Kind == prog.KindBuffer {
+		return string(v.Ptr.Data)
+	}
+	return ""
+}
+
+func arg(c *prog.Call, i int) *prog.Value {
+	if i < len(c.Args) {
+		return c.Args[i]
+	}
+	return nil
+}
+
+func (e *exec) runCall(idx int, c *prog.Call) {
+	if g, ok := e.k.genericBlocks[c.Sc.CallName]; ok {
+		e.cover(g)
+	}
+	switch c.Sc.CallName {
+	case "openat", "open", "syz_open_dev":
+		e.runOpen(idx, c)
+	case "socket":
+		e.runSocket(idx, c)
+	case "ioctl":
+		e.runIoctl(idx, c)
+	case "setsockopt", "getsockopt":
+		e.runSockopt(c)
+	case "bind", "connect":
+		e.runAddrCall(c, kindOf(c.Sc.CallName))
+	case "sendto":
+		e.runSendRecv(c, corpus.SockSendto, 4, 5)
+	case "recvfrom":
+		e.runSendRecv(c, corpus.SockRecvfrom, 4, 5)
+	case "sendmsg":
+		e.runSimpleSock(c, corpus.SockSendmsg)
+	case "recvmsg":
+		e.runSimpleSock(c, corpus.SockRecvmsg)
+	case "listen":
+		e.runSimpleSock(c, corpus.SockListen)
+	case "accept":
+		e.runAccept(idx, c)
+	default:
+		// read/write/close/mmap/poll: generic entry only.
+	}
+}
+
+func kindOf(call string) corpus.SockCallKind {
+	if call == "bind" {
+		return corpus.SockBind
+	}
+	return corpus.SockConnect
+}
+
+func (e *exec) runOpen(idx int, c *prog.Call) {
+	// The path is the first string-pointer argument.
+	var path string
+	for _, a := range c.Args {
+		if s := str(a); s != "" {
+			path = s
+			break
+		}
+	}
+	kh := e.k.byPath[path]
+	if kh == nil {
+		e.errs++
+		return
+	}
+	e.cover(kh.open...)
+	e.fds[idx] = kh
+	e.record(kh.h, "open")
+}
+
+func (e *exec) runSocket(idx int, c *prog.Call) {
+	domain := int(scalar(arg(c, 0)))
+	kh := e.k.byDomain[domain]
+	if kh == nil {
+		e.errs++
+		return
+	}
+	e.cover(kh.open...)
+	e.fds[idx] = kh
+	e.record(kh.h, "socket")
+}
+
+func (e *exec) runIoctl(idx int, c *prog.Call) {
+	kh := e.fd(arg(c, 0))
+	if kh == nil {
+		e.errs++
+		return
+	}
+	cmdVal := scalar(arg(c, 1))
+	kc := kh.cmds[cmdVal]
+	if kc == nil {
+		e.errs++
+		return
+	}
+	e.cover(kc.entry)
+	e.cover(kc.body...)
+	payload := blob(arg(c, 2))
+	e.record(kh.h, kc.c.Name)
+	e.evalGatesAndBug(kh, kc, payload)
+	if e.crash != nil {
+		return
+	}
+	if kc.c.MakesRes != "" {
+		child := e.k.byName[kc.c.MakesRes]
+		if child != nil {
+			e.cover(child.open...)
+			e.fds[idx] = child
+			e.record(child.h, "open")
+		}
+	}
+}
+
+// evalGatesAndBug decodes payload fields at the ground-truth offsets,
+// covers gated blocks whose conditions hold, and fires the planted
+// bug when its precondition and trigger are met.
+func (e *exec) evalGatesAndBug(kh *khandler, kc *kcmd, payload []byte) {
+	for _, g := range kc.gates {
+		if kc.layout == nil {
+			continue
+		}
+		v, ok := kc.layout.ReadField(payload, g.g.Field)
+		if ok && g.g.Eval(v) {
+			e.cover(g.blocks...)
+		}
+	}
+	bug := kc.c.Bug
+	if bug == nil {
+		return
+	}
+	if len(bug.PriorCmds) > 0 && !e.seen(kh.h, bug.PriorCmds) {
+		return
+	}
+	if bug.TriggerField != "" {
+		if kc.layout == nil {
+			return
+		}
+		v, ok := kc.layout.ReadField(payload, bug.TriggerField)
+		if !ok || !bug.Trigger.Eval(v) {
+			return
+		}
+	}
+	e.cover(kc.bugBlk)
+	e.crash = &Crash{Title: bug.Title, Bug: bug}
+}
+
+func (e *exec) runSockopt(c *prog.Call) {
+	kh := e.fd(arg(c, 0))
+	if kh == nil || kh.h.Kind != corpus.KindSocket {
+		e.errs++
+		return
+	}
+	level := int(scalar(arg(c, 1)))
+	if level != kh.h.Socket.LevelVal {
+		e.errs++
+		return
+	}
+	opt := scalar(arg(c, 2))
+	kc := kh.cmds[opt]
+	if kc == nil {
+		e.errs++
+		return
+	}
+	e.cover(kc.entry)
+	payload := blob(arg(c, 3))
+	optlen := scalar(arg(c, 4))
+	if kc.layout != nil && int(optlen) < kc.layout.Size {
+		// The rendered sockopt worker rejects short optlen before
+		// doing any work.
+		e.errs++
+		return
+	}
+	e.cover(kc.body...)
+	e.record(kh.h, kc.c.Name)
+	e.evalGatesAndBug(kh, kc, payload)
+}
+
+func (e *exec) runAddrCall(c *prog.Call, kind corpus.SockCallKind) {
+	kh := e.fd(arg(c, 0))
+	if kh == nil {
+		e.errs++
+		return
+	}
+	kc := kh.calls[kind]
+	if kc == nil {
+		e.errs++
+		return
+	}
+	e.cover(kc.entry)
+	addr := blob(arg(c, 1))
+	addrlen := scalar(arg(c, 2))
+	if !e.addrValid(kh, kc, addr, addrlen) {
+		e.errs++
+		return
+	}
+	e.cover(kc.body...)
+	e.record(kh.h, kind.String())
+	e.fireSockBug(kh, kc)
+}
+
+func (e *exec) runSendRecv(c *prog.Call, kind corpus.SockCallKind, addrIdx, lenIdx int) {
+	kh := e.fd(arg(c, 0))
+	if kh == nil {
+		e.errs++
+		return
+	}
+	kc := kh.calls[kind]
+	if kc == nil {
+		e.errs++
+		return
+	}
+	e.cover(kc.entry)
+	addr := blob(arg(c, addrIdx))
+	addrlen := scalar(arg(c, lenIdx))
+	if !e.addrValid(kh, kc, addr, addrlen) {
+		e.errs++
+		return
+	}
+	e.cover(kc.body...)
+	e.record(kh.h, kind.String())
+	e.fireSockBug(kh, kc)
+}
+
+func (e *exec) runSimpleSock(c *prog.Call, kind corpus.SockCallKind) {
+	kh := e.fd(arg(c, 0))
+	if kh == nil {
+		e.errs++
+		return
+	}
+	kc := kh.calls[kind]
+	if kc == nil {
+		e.errs++
+		return
+	}
+	e.cover(kc.entry)
+	e.cover(kc.body...)
+	e.record(kh.h, kind.String())
+	e.fireSockBug(kh, kc)
+}
+
+func (e *exec) runAccept(idx int, c *prog.Call) {
+	kh := e.fd(arg(c, 0))
+	if kh == nil {
+		e.errs++
+		return
+	}
+	kc := kh.calls[corpus.SockAccept]
+	if kc == nil {
+		e.errs++
+		return
+	}
+	e.cover(kc.entry)
+	e.cover(kc.body...)
+	e.fds[idx] = kh
+	e.record(kh.h, corpus.SockAccept.String())
+}
+
+// addrValid models the kernel's sockaddr validation: length at least
+// the family's address size and the family field (offset 0, u16)
+// matching the domain.
+func (e *exec) addrValid(kh *khandler, kc *kcall, addr []byte, addrlen uint64) bool {
+	if kc.layout == nil {
+		return true
+	}
+	if int(addrlen) < kc.layout.Size || len(addr) < 2 {
+		return false
+	}
+	fam := uint64(addr[0]) | uint64(addr[1])<<8
+	return fam == uint64(kh.h.Socket.DomainVal) || fam == 0
+}
+
+func (e *exec) fireSockBug(kh *khandler, kc *kcall) {
+	bug := kc.sc.Bug
+	if bug == nil {
+		return
+	}
+	if len(bug.PriorCmds) > 0 && !e.seen(kh.h, bug.PriorCmds) {
+		return
+	}
+	e.crash = &Crash{Title: bug.Title, Bug: bug}
+}

@@ -1,0 +1,217 @@
+// Package vkernel is the virtual Linux kernel the fuzzer executes
+// against: syscall dispatch for the synthetic drivers and sockets,
+// per-handler basic-block coverage, stateful planted bugs, and
+// sanitizer-style crash reports. It plays the role of the paper's
+// QEMU-booted kernel: coverage and crashes are mediated entirely by
+// how well the fuzzer's specifications match the handlers' ground
+// truth (device paths, command values, payload layouts, resource
+// dependencies).
+package vkernel
+
+import (
+	"fmt"
+	"sort"
+
+	"kernelgpt/internal/corpus"
+)
+
+// BlockID identifies one basic block in the virtual kernel.
+type BlockID = uint32
+
+// Kernel is the immutable, shareable kernel image: block numbering,
+// per-handler dispatch tables, and ground-truth layouts. Executors
+// (one per fuzzing "VM") carry the mutable state.
+type Kernel struct {
+	c *corpus.Corpus
+	// byPath maps device paths to driver handlers.
+	byPath map[string]*khandler
+	// byDomain maps socket domain values to socket handlers.
+	byDomain map[int]*khandler
+	// byName maps handler names (for secondary-resource creation).
+	byName map[string]*khandler
+	// TotalBlocks is the number of assigned basic blocks.
+	TotalBlocks uint32
+	// genericBlocks cover the shared syscall-entry paths.
+	genericBlocks map[string]BlockID
+}
+
+// khandler is the kernel-side view of one operation handler.
+type khandler struct {
+	h *corpus.Handler
+	// lo/hi bound the handler's contiguous block range.
+	lo, hi BlockID
+	open   []BlockID
+	// cmds maps the userspace command value (ioctl encoded value or
+	// raw sockopt option) to the command's runtime info.
+	cmds map[uint64]*kcmd
+	// calls maps socket call kinds to runtime info.
+	calls map[corpus.SockCallKind]*kcall
+	// layouts caches ground-truth layouts by struct name.
+	layouts map[string]*corpus.Layout
+}
+
+// kcmd is the runtime info of one command.
+type kcmd struct {
+	c      *corpus.Cmd
+	entry  BlockID
+	body   []BlockID
+	gates  []kgate
+	bugBlk BlockID
+	layout *corpus.Layout // payload layout, nil if no struct arg
+}
+
+type kgate struct {
+	g      corpus.FieldGate
+	blocks []BlockID
+}
+
+// kcall is the runtime info of one non-sockopt socket call.
+type kcall struct {
+	sc     *corpus.SockCall
+	entry  BlockID
+	body   []BlockID
+	layout *corpus.Layout // sockaddr layout
+}
+
+// New builds the kernel image for a corpus. Block numbering is
+// deterministic: handlers in corpus order, commands in declaration
+// order.
+func New(c *corpus.Corpus) *Kernel {
+	k := &Kernel{
+		c:             c,
+		byPath:        map[string]*khandler{},
+		byDomain:      map[int]*khandler{},
+		byName:        map[string]*khandler{},
+		genericBlocks: map[string]BlockID{},
+	}
+	var next uint32
+	alloc := func(n int) []BlockID {
+		out := make([]BlockID, n)
+		for i := range out {
+			out[i] = next
+			next++
+		}
+		return out
+	}
+	// Generic syscall-entry blocks.
+	for _, name := range []string{
+		"openat", "open", "close", "read", "write", "ioctl", "mmap", "poll",
+		"socket", "bind", "connect", "accept", "listen", "sendto",
+		"recvfrom", "sendmsg", "recvmsg", "setsockopt", "getsockopt",
+	} {
+		k.genericBlocks[name] = alloc(1)[0]
+	}
+	for _, h := range c.Handlers {
+		if !h.Loaded {
+			continue
+		}
+		kh := &khandler{
+			h:       h,
+			lo:      next,
+			open:    alloc(h.OpenBlocks),
+			cmds:    map[uint64]*kcmd{},
+			calls:   map[corpus.SockCallKind]*kcall{},
+			layouts: map[string]*corpus.Layout{},
+		}
+		layout := func(name string) *corpus.Layout {
+			if name == "" {
+				return nil
+			}
+			if l, ok := kh.layouts[name]; ok {
+				return l
+			}
+			l := h.LayoutOf(name)
+			kh.layouts[name] = l
+			return l
+		}
+		for i := range h.Cmds {
+			cmd := &h.Cmds[i]
+			kc := &kcmd{
+				c:      cmd,
+				entry:  alloc(1)[0],
+				body:   alloc(cmd.Blocks),
+				layout: layout(cmd.Arg),
+			}
+			for _, g := range cmd.Gates {
+				kc.gates = append(kc.gates, kgate{g: g, blocks: alloc(g.Blocks)})
+			}
+			if cmd.Bug != nil {
+				kc.bugBlk = alloc(1)[0]
+			}
+			val := h.CmdValue(cmd, c.Index.Sizeof)
+			kh.cmds[val] = kc
+		}
+		for i := range h.Socket.Calls {
+			sc := &h.Socket.Calls[i]
+			kh.calls[sc.Kind] = &kcall{
+				sc:     sc,
+				entry:  alloc(1)[0],
+				body:   alloc(sc.Blocks),
+				layout: layout(sc.Addr),
+			}
+		}
+		kh.hi = next
+		k.byName[h.Name] = kh
+		if h.Kind == corpus.KindDriver && h.DevPath != "" {
+			k.byPath[h.DevPath] = kh
+		}
+		if h.Kind == corpus.KindSocket {
+			k.byDomain[h.Socket.DomainVal] = kh
+		}
+	}
+	k.TotalBlocks = next
+	return k
+}
+
+// Corpus returns the corpus this kernel was built from.
+func (k *Kernel) Corpus() *corpus.Corpus { return k.c }
+
+// ReachableBlocks reports, for diagnostics, the number of blocks
+// belonging to the named handler.
+func (k *Kernel) ReachableBlocks(handler string) int {
+	kh := k.byName[handler]
+	if kh == nil {
+		return 0
+	}
+	n := len(kh.open)
+	for _, kc := range kh.cmds {
+		n += 1 + len(kc.body)
+		for _, g := range kc.gates {
+			n += len(g.blocks)
+		}
+		if kc.c.Bug != nil {
+			n++
+		}
+	}
+	for _, kc := range kh.calls {
+		n += 1 + len(kc.body)
+	}
+	return n
+}
+
+// BlockRange returns the half-open block-id range [lo, hi) assigned
+// to the named handler's code. Block numbering is contiguous per
+// handler, which gives the benchmarks cheap per-handler coverage
+// attribution.
+func (k *Kernel) BlockRange(handler string) (lo, hi BlockID) {
+	kh := k.byName[handler]
+	if kh == nil {
+		return 0, 0
+	}
+	return kh.lo, kh.hi
+}
+
+// HandlerNames lists loaded handler names in deterministic order.
+func (k *Kernel) HandlerNames() []string {
+	names := make([]string, 0, len(k.byName))
+	for n := range k.byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// String summarizes the kernel image.
+func (k *Kernel) String() string {
+	return fmt.Sprintf("vkernel{%d handlers, %d blocks}", len(k.byName), k.TotalBlocks)
+}
