@@ -9,9 +9,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"kernelgpt/internal/bench"
@@ -25,7 +27,11 @@ func main() {
 	reps := flag.Int("reps", 0, "override repetition count")
 	seed := flag.Int64("seed", 0, "override base seed")
 	model := flag.String("model", "", "analysis model (gpt-4, gpt-4o, gpt-3.5)")
+	workers := flag.Int("workers", 0, "override generation worker-pool size")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	opts := bench.DefaultOptions()
 	if *quick {
@@ -46,8 +52,12 @@ func main() {
 	if *model != "" {
 		opts.Model = *model
 	}
+	if *workers > 0 {
+		opts.Workers = *workers
+	}
 
 	r := bench.NewRunner(opts)
+	r.Ctx = ctx
 	fmt.Printf("corpus: %d handlers, kernel: %s\n\n", len(r.Corpus.Handlers), r.Kernel)
 
 	type exp struct {
@@ -79,6 +89,10 @@ func main() {
 	for _, e := range exps {
 		if len(want) > 0 && !want[e.id] {
 			continue
+		}
+		if ctx.Err() != nil {
+			fmt.Fprintln(os.Stderr, "interrupted — remaining experiments skipped; tables already printed may be partial")
+			os.Exit(1)
 		}
 		fmt.Println(e.run())
 		ran++

@@ -1,22 +1,28 @@
 // Command kernelgpt runs the specification-generation pipeline over
-// the synthetic kernel and prints the generated syzlang.
+// the synthetic kernel through the Engine facade and prints the
+// generated syzlang. Generation parallelizes across a worker pool;
+// results are identical for any -workers value. Ctrl-C cancels the
+// run cleanly.
 //
 // Usage:
 //
 //	kernelgpt -handler dm                 # one handler's spec
-//	kernelgpt -kind driver                # every incomplete driver
+//	kernelgpt -kind driver -workers 8     # every incomplete driver, pooled
 //	kernelgpt -model gpt-3.5 -handler dm  # weaker model
 //	kernelgpt -all-in-one -handler kvm    # ablation mode
 //	kernelgpt -stats -kind socket         # summary only
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"kernelgpt/internal/core"
 	"kernelgpt/internal/corpus"
+	"kernelgpt/internal/engine"
 	"kernelgpt/internal/llm"
 	"kernelgpt/internal/syzlang"
 )
@@ -32,7 +38,12 @@ func main() {
 	stats := flag.Bool("stats", false, "print summary statistics only")
 	trace := flag.Bool("trace", false, "print every LLM prompt/completion exchange")
 	scale := flag.Float64("scale", 1.0, "corpus scale")
+	workers := flag.Int("workers", 4, "generation worker-pool size")
+	cacheSize := flag.Int("cache", 4096, "LLM completion-cache entries (0 disables)")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	c := corpus.Build(corpus.Config{Scale: *scale})
 	opts := core.DefaultOptions()
@@ -40,8 +51,11 @@ func main() {
 	opts.Repair = !*noRepair
 	opts.AllInOne = *allInOne
 	opts.Trace = *trace
-	client := llm.NewSim(*model, *seed)
-	gen := core.New(client, c, opts)
+	eng := engine.New(c,
+		engine.WithClient(llm.NewSim(*model, *seed)),
+		engine.WithGeneratorOptions(opts),
+		engine.WithWorkers(*workers),
+		engine.WithCache(*cacheSize))
 
 	if *handler != "" {
 		h := c.Handler(*handler)
@@ -49,8 +63,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "unknown handler %q\n", *handler)
 			os.Exit(2)
 		}
-		res := gen.GenerateFor(h)
-		gen.FollowDependencies(res, nil)
+		res := eng.GenerateFor(ctx, h)
 		if *trace {
 			for i, ex := range res.Transcript {
 				fmt.Printf("===== exchange %d (%s) =====\n--- prompt ---\n%s\n--- completion ---\n%s\n",
@@ -58,7 +71,7 @@ func main() {
 			}
 		}
 		printResult(res, *stats)
-		reportUsage(client)
+		reportUsage(eng)
 		return
 	}
 
@@ -66,21 +79,20 @@ func main() {
 	if *kind == "socket" {
 		k = corpus.KindSocket
 	}
-	worklist := c.Incomplete(k)
-	results := gen.GenerateAll(worklist)
-	for _, res := range results {
-		gen.FollowDependencies(res, nil)
+	results, err := eng.GenerateKind(ctx, k)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "generation interrupted: %v\n", err)
 	}
 	if *stats {
 		fmt.Println(core.Summarize(results))
-		reportUsage(client)
+		reportUsage(eng)
 		return
 	}
 	for _, res := range results {
 		printResult(res, false)
 	}
 	fmt.Fprintln(os.Stderr, core.Summarize(results))
-	reportUsage(client)
+	reportUsage(eng)
 }
 
 func printResult(res *core.Result, statsOnly bool) {
@@ -101,8 +113,12 @@ func printResult(res *core.Result, statsOnly bool) {
 	fmt.Println(syzlang.Format(res.Spec))
 }
 
-func reportUsage(client *llm.SimModel) {
-	u := client.Usage()
+func reportUsage(eng *engine.Engine) {
+	u := eng.Usage()
 	fmt.Fprintf(os.Stderr, "llm usage: %d calls, %d input tokens, %d output tokens, ~$%.2f\n",
 		u.Calls, u.PromptTokens, u.CompletionTokens, u.CostUSD())
+	if st, ok := eng.CacheStats(); ok && st.Hits+st.Misses > 0 {
+		fmt.Fprintf(os.Stderr, "llm cache: %d hits, %d misses, %d evictions\n",
+			st.Hits, st.Misses, st.Evictions)
+	}
 }

@@ -1,22 +1,28 @@
 // Command syzfuzz runs a fuzzing campaign against the virtual kernel
-// with a chosen specification suite.
+// with a chosen specification suite. Campaigns run through the
+// sharded parallel fuzzer: -shards sizes the worker pool, and the
+// merged coverage/crash results are identical for any shard count.
+// Ctrl-C cancels a campaign and prints the partial results.
 //
 // Usage:
 //
-//	syzfuzz -suite kernelgpt -execs 50000
+//	syzfuzz -suite kernelgpt -execs 50000 -shards 8
 //	syzfuzz -suite syzkaller -reps 3
 //	syzfuzz -suite syzdescribe
 //	syzfuzz -suite oracle -handler dm     # ground-truth spec, one driver
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"kernelgpt/internal/baseline"
 	"kernelgpt/internal/core"
 	"kernelgpt/internal/corpus"
+	"kernelgpt/internal/engine"
 	"kernelgpt/internal/fuzz"
 	"kernelgpt/internal/llm"
 	"kernelgpt/internal/prog"
@@ -32,12 +38,17 @@ func main() {
 	seed := flag.Int64("seed", 1, "base seed")
 	scale := flag.Float64("scale", 1.0, "corpus scale")
 	model := flag.String("model", "gpt-4", "analysis model for the kernelgpt suite")
+	shards := flag.Int("shards", 1, "fuzzing worker shards per repetition (results are shard-count-invariant)")
+	progress := flag.Bool("progress", false, "print shard progress as campaigns run")
 	repro := flag.String("repro", "", "replay (and minimize) a serialized repro file instead of fuzzing")
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	c := corpus.Build(corpus.Config{Scale: *scale})
 	kernel := vkernel.New(c)
-	spec := buildSuite(c, *suite, *handler, *model, uint64(*seed))
+	spec := buildSuite(ctx, c, *suite, *handler, *model, uint64(*seed))
 	if spec == nil || len(spec.Syscalls) == 0 {
 		fmt.Fprintln(os.Stderr, "empty suite")
 		os.Exit(2)
@@ -59,7 +70,23 @@ func main() {
 	}
 
 	f := fuzz.New(tgt, kernel)
-	statsList := f.RunRepetitions(fuzz.DefaultConfig(*execs, *seed), *reps)
+	var statsList []*fuzz.Stats
+	for i := 0; i < *reps; i++ {
+		cfg := fuzz.DefaultConfig(*execs, fuzz.RepSeed(*seed, i))
+		if *progress {
+			rep := i + 1
+			cfg.Progress = func(p fuzz.Progress) {
+				fmt.Fprintf(os.Stderr, "rep %d: shard %d/%d, %d execs, cov=%d crashes=%d\n",
+					rep, p.ShardsDone, p.ShardsTotal, p.Execs, p.Cover, p.Crashes)
+			}
+		}
+		s, err := f.RunParallel(ctx, cfg, *shards)
+		statsList = append(statsList, s)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "campaign interrupted: %v\n", err)
+			break
+		}
+	}
 	for i, s := range statsList {
 		fmt.Printf("rep %d: cov=%d crashes=%d corpus=%d\n",
 			i+1, s.CoverCount(), s.UniqueCrashes(), s.CorpusSize)
@@ -103,7 +130,7 @@ func replay(c *corpus.Corpus, kernel *vkernel.Kernel, tgt *prog.Target, path str
 	fmt.Printf("minimized repro (%d calls):\n%s", len(min.Calls), min.Serialize())
 }
 
-func buildSuite(c *corpus.Corpus, suite, handler, model string, seed uint64) *syzlang.File {
+func buildSuite(ctx context.Context, c *corpus.Corpus, suite, handler, model string, seed uint64) *syzlang.File {
 	switch suite {
 	case "syzkaller":
 		return c.ExistingSuite()
@@ -112,25 +139,21 @@ func buildSuite(c *corpus.Corpus, suite, handler, model string, seed uint64) *sy
 		results := g.GenerateAll(c.Incomplete(corpus.KindDriver))
 		return syzlang.MergeDedup(c.ExistingSuite(), baseline.MergeSpecs(results))
 	case "kernelgpt":
-		gen := core.New(llm.NewSim(model, seed), c, core.DefaultOptions())
-		var results []*core.Result
-		worklist := c.Incomplete(corpus.KindDriver)
-		worklist = append(worklist, c.Incomplete(corpus.KindSocket)...)
+		eng := engine.New(c,
+			engine.WithClient(llm.NewSim(model, seed)),
+			engine.WithWorkers(4),
+			engine.WithCache(4096))
 		if handler != "" {
 			h := c.Handler(handler)
 			if h == nil {
 				return nil
 			}
-			worklist = []*corpus.Handler{h}
+			res := eng.GenerateFor(ctx, h)
+			return core.MergeSpecs([]*core.Result{res})
 		}
-		for _, h := range worklist {
-			res := gen.GenerateFor(h)
-			gen.FollowDependencies(res, nil)
-			results = append(results, res)
-		}
-		merged := core.MergeSpecs(results)
-		if handler != "" {
-			return merged
+		_, _, merged, err := eng.Suite(ctx)
+		if err != nil {
+			return nil
 		}
 		return syzlang.MergeDedup(c.ExistingSuite(), merged)
 	case "oracle":

@@ -19,12 +19,13 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"kernelgpt/internal/baseline"
-	"kernelgpt/internal/core"
 	"kernelgpt/internal/corpus"
+	"kernelgpt/internal/engine"
 	"kernelgpt/internal/fuzz"
 	"kernelgpt/internal/llm"
 	"kernelgpt/internal/prog"
@@ -58,9 +59,9 @@ func main() {
 	fmt.Println()
 	campaign("syzdescribe", c, kernel, sd.Spec)
 
-	// 3. KernelGPT.
-	gen := core.New(llm.NewSim("gpt-4", 7), c, core.DefaultOptions())
-	kg := gen.GenerateFor(dm)
+	// 3. KernelGPT, through the Engine facade.
+	eng := engine.New(c, engine.WithClient(llm.NewSim("gpt-4", 7)))
+	kg := eng.GenerateFor(context.Background(), dm)
 	if !kg.Valid {
 		log.Fatalf("kernelgpt generation failed: %v", kg.RemainingErrors)
 	}
@@ -100,7 +101,13 @@ func campaign(name string, c *corpus.Corpus, kernel *vkernel.Kernel, spec *syzla
 		fmt.Printf("  %-12s spec does not compile: %v\n", name, err)
 		return &fuzz.Stats{}
 	}
-	stats := fuzz.New(tgt, kernel).Run(fuzz.DefaultConfig(budget, 3))
+	// Shard the campaign across two workers; the merged results are
+	// identical to a single-shard run.
+	stats, err := fuzz.New(tgt, kernel).RunParallel(context.Background(), fuzz.DefaultConfig(budget, 3), 2)
+	if err != nil {
+		fmt.Printf("  %-12s campaign interrupted: %v\n", name, err)
+		return stats
+	}
 	fmt.Printf("  %-12s campaign: %d blocks covered, %d unique crashes %v\n",
 		name, stats.CoverCount(), stats.UniqueCrashes(), stats.CrashTitles())
 	return stats

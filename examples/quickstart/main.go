@@ -13,11 +13,12 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"kernelgpt/internal/core"
 	"kernelgpt/internal/corpus"
+	"kernelgpt/internal/engine"
 	"kernelgpt/internal/llm"
 	"kernelgpt/internal/syzlang"
 )
@@ -27,11 +28,12 @@ func main() {
 	// for one driver) and index it with the extractor.
 	kernel := corpus.Build(corpus.TestConfig())
 
-	// The analysis LLM: the simulated GPT-4 profile.
-	client := llm.NewSim("gpt-4", 42)
-
-	// KernelGPT with the paper's defaults: MAX_ITER=5, repair on.
-	gen := core.New(client, kernel, core.DefaultOptions())
+	// The Engine facade wires the analysis LLM (the simulated GPT-4
+	// profile), middleware, and the paper's pipeline defaults
+	// (MAX_ITER=5, repair on) behind functional options.
+	eng := engine.New(kernel,
+		engine.WithClient(llm.NewSim("gpt-4", 42)),
+		engine.WithCache(1024))
 
 	dm := kernel.Handler("dm")
 	if dm == nil {
@@ -40,8 +42,7 @@ func main() {
 	fmt.Printf("analyzing %s (device %s, %d commands in ground truth)\n\n",
 		dm.Name, dm.DevPath, len(dm.Cmds))
 
-	res := gen.GenerateFor(dm)
-	gen.FollowDependencies(res, nil)
+	res := eng.GenerateFor(context.Background(), dm)
 
 	switch {
 	case !res.Valid:
@@ -54,7 +55,7 @@ func main() {
 	fmt.Printf("LLM analysis rounds: %d\n\n", res.Iterations)
 	fmt.Println(syzlang.Format(res.Spec))
 
-	u := client.Usage()
+	u := eng.Usage()
 	fmt.Printf("# llm usage: %d calls, %d input / %d output tokens (≈$%.4f)\n",
 		u.Calls, u.PromptTokens, u.CompletionTokens, u.CostUSD())
 }

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -64,11 +65,13 @@ func main() {
 		}
 		prompt := buildRepairPrompt(syzlang.FormatErrors(syzlang.ValidationErrorsToErrors(errs)),
 			syzlang.Format(spec))
-		reply, err := client.Complete(prompt)
+		reply, err := client.Complete(context.Background(), llm.Request{
+			Messages: prompt, Purpose: "repair", Driver: "dm",
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		fixedText := llm.ExtractSection(reply, "## Repaired Specification")
+		fixedText := llm.ExtractSection(reply.Text, "## Repaired Specification")
 		fixed, perrs := syzlang.Parse(fixedText)
 		if len(perrs) > 0 {
 			log.Fatalf("repair produced unparseable output: %v", perrs)

@@ -15,12 +15,13 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
 
-	"kernelgpt/internal/core"
 	"kernelgpt/internal/corpus"
+	"kernelgpt/internal/engine"
 	"kernelgpt/internal/fuzz"
 	"kernelgpt/internal/llm"
 	"kernelgpt/internal/prog"
@@ -37,8 +38,8 @@ func main() {
 	fmt.Printf("existing Syzkaller suite for rds: %d syscalls (no sendto: %v)\n",
 		len(human.Syscalls), !hasCall(human, "sendto$rds"))
 
-	gen := core.New(llm.NewSim("gpt-4", 11), c, core.DefaultOptions())
-	res := gen.GenerateFor(rds)
+	eng := engine.New(c, engine.WithClient(llm.NewSim("gpt-4", 11)))
+	res := eng.GenerateFor(context.Background(), rds)
 	if !res.Valid {
 		log.Fatalf("generation failed: %v", res.RemainingErrors)
 	}
@@ -56,7 +57,10 @@ func main() {
 		if err != nil {
 			log.Fatalf("%s: %v", name, err)
 		}
-		stats := fuzz.New(tgt, kernel).Run(fuzz.DefaultConfig(6000, 5))
+		stats, ferr := fuzz.New(tgt, kernel).RunParallel(context.Background(), fuzz.DefaultConfig(6000, 5), 2)
+		if ferr != nil {
+			log.Fatalf("%s: %v", name, ferr)
+		}
 		fmt.Printf("\n[%s] %d blocks, crashes: %v\n", name, stats.CoverCount(), stats.CrashTitles())
 		if cr, ok := stats.Crashes["UBSAN: array-index-out-of-bounds in rds_cmsg_recv"]; ok {
 			fmt.Printf("CVE-2024-23849 reproduced at exec %d; minimized repro:\n", cr.FirstExec)

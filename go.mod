@@ -1,0 +1,3 @@
+module kernelgpt
+
+go 1.21

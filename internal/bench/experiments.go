@@ -202,7 +202,7 @@ func (r *Runner) Table4() *Table {
 	kgptT := r.compile(r.Corpus.ExistingSuite(), gen.suite)
 	longCfg := fuzz.DefaultConfig(r.Opts.Execs*4, r.Opts.Seed*7919+17)
 	longCfg.MaxCalls = 12 // deep stateful chains need longer programs
-	long := fuzz.New(kgptT, r.Kernel).RunRepetitions(longCfg, r.Opts.Reps)
+	long := fuzz.New(kgptT, r.Kernel).RunRepetitions(r.Ctx, longCfg, r.Opts.Reps)
 
 	kgptHits := fuzz.UnionCrashTitles(camps.kgpt)
 	for title := range fuzz.UnionCrashTitles(long) {
@@ -279,8 +279,7 @@ func (r *Runner) kernelGPTFamily(name string) *syzlang.File {
 	gen := r.generate(r.Opts.Model)
 	res := gen.resultFor(name)
 	if res == nil {
-		res = gen.gen.GenerateFor(r.Corpus.Handler(name))
-		gen.gen.FollowDependencies(res, nil)
+		res = gen.eng.GenerateFor(r.Ctx, r.Corpus.Handler(name))
 	}
 	var f *syzlang.File
 	if res.Valid {
@@ -425,11 +424,10 @@ func (r *Runner) AblationIterative() *Table {
 	for mi, mode := range modes {
 		opts := core.DefaultOptions()
 		opts.AllInOne = mode.allInOne
-		gen := core.New(llm.NewSim(r.Opts.Model, uint64(r.Opts.Seed)), r.Corpus, opts)
+		eng := r.engine(r.Opts.Model, opts)
 		for i, name := range r.ablationDrivers() {
 			h := r.Corpus.Handler(name)
-			gres := gen.GenerateFor(h)
-			gen.FollowDependencies(gres, nil)
+			gres := eng.GenerateFor(r.Ctx, h)
 			if !gres.Valid {
 				continue
 			}
@@ -464,13 +462,12 @@ func (r *Runner) AblationModel() *Table {
 		Header: []string{"Model", "# Syscalls", "Cov"},
 	}
 	for mi, model := range llm.ModelNames() {
-		gen := core.New(llm.NewSim(model, uint64(r.Opts.Seed)), r.Corpus, core.DefaultOptions())
+		eng := r.engine(model, core.DefaultOptions())
 		var sys float64
 		var cov float64
 		for i, name := range r.ablationDrivers() {
 			h := r.Corpus.Handler(name)
-			gres := gen.GenerateFor(h)
-			gen.FollowDependencies(gres, nil)
+			gres := eng.GenerateFor(r.Ctx, h)
 			if !gres.Valid {
 				continue
 			}
@@ -596,7 +593,7 @@ func (r *Runner) TokenCost() *Table {
 		Header: []string{"Metric", "Value"},
 	}
 	gen := r.generate(r.Opts.Model)
-	u := gen.client.Usage()
+	u := gen.eng.Usage()
 	t.AddRow("prompts (API calls)", u.Calls)
 	t.AddRow("input tokens", u.PromptTokens)
 	t.AddRow("output tokens", u.CompletionTokens)
@@ -639,15 +636,19 @@ func (r *Runner) AblationRepair() *Table {
 	}{{"Repair on", true}, {"Repair off", false}} {
 		opts := core.DefaultOptions()
 		opts.Repair = mode.repair
+		// Deliberately a bare Generator, not r.engine(): this ablation
+		// isolates the repair phase on direct generation, so dependency
+		// following (which re-validates merged family specs and would
+		// blur the repair-only signal on kvm-style chains) stays off.
 		gen := core.New(llm.NewSim(r.Opts.Model, uint64(r.Opts.Seed)), r.Corpus, opts)
 		drv, sck := 0, 0
 		for _, h := range r.Corpus.Incomplete(corpus.KindDriver) {
-			if gen.GenerateFor(h).Valid {
+			if gen.GenerateFor(r.Ctx, h).Valid {
 				drv++
 			}
 		}
 		for _, h := range r.Corpus.Incomplete(corpus.KindSocket) {
-			if gen.GenerateFor(h).Valid {
+			if gen.GenerateFor(r.Ctx, h).Valid {
 				sck++
 			}
 		}
@@ -674,7 +675,7 @@ func (r *Runner) AblationLocality() *Table {
 	}{{"Locality bias", false}, {"Uniform", true}} {
 		cfg := fuzz.DefaultConfig(r.Opts.Execs, r.Opts.Seed*7919+71)
 		cfg.NoLocality = mode.off
-		reps := fuzz.New(tgt, r.Kernel).RunRepetitions(cfg, r.Opts.Reps)
+		reps := fuzz.New(tgt, r.Kernel).RunRepetitions(r.Ctx, cfg, r.Opts.Reps)
 		hits := 0
 		for title := range fuzz.UnionCrashTitles(reps) {
 			if _, ok := newBugs[title]; ok {

@@ -12,12 +12,14 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"kernelgpt/internal/baseline"
 	"kernelgpt/internal/core"
 	"kernelgpt/internal/corpus"
+	"kernelgpt/internal/engine"
 	"kernelgpt/internal/fuzz"
 	"kernelgpt/internal/llm"
 	"kernelgpt/internal/prog"
@@ -39,16 +41,19 @@ type Options struct {
 	Seed int64
 	// Model selects the analysis LLM profile.
 	Model string
+	// Workers sizes the engine's generation worker pool (0 = serial).
+	// Results are worker-count-invariant; this is a wall-clock knob.
+	Workers int
 }
 
 // DefaultOptions sizes a full run (minutes of CPU).
 func DefaultOptions() Options {
-	return Options{Scale: 1.0, Execs: 60000, PerDriverExecs: 12000, Reps: 3, Seed: 1, Model: "gpt-4"}
+	return Options{Scale: 1.0, Execs: 60000, PerDriverExecs: 12000, Reps: 3, Seed: 1, Model: "gpt-4", Workers: 4}
 }
 
 // QuickOptions sizes a fast smoke run for tests and benchmarks.
 func QuickOptions() Options {
-	return Options{Scale: 0.05, Execs: 4000, PerDriverExecs: 1500, Reps: 2, Seed: 1, Model: "gpt-4"}
+	return Options{Scale: 0.05, Execs: 4000, PerDriverExecs: 1500, Reps: 2, Seed: 1, Model: "gpt-4", Workers: 4}
 }
 
 // Runner owns the shared state across experiments: the corpus, the
@@ -57,6 +62,9 @@ type Runner struct {
 	Opts   Options
 	Corpus *corpus.Corpus
 	Kernel *vkernel.Kernel
+	// Ctx cancels long experiment runs (benchtables wires SIGINT
+	// here); defaults to context.Background().
+	Ctx context.Context
 
 	genCache  map[string]*genRun
 	baseCache *baseRun
@@ -66,8 +74,7 @@ type Runner struct {
 
 // genRun caches one model's generation over the incomplete worklist.
 type genRun struct {
-	client  *llm.SimModel
-	gen     *core.Generator
+	eng     *engine.Engine
 	drivers []*core.Result
 	sockets []*core.Result
 	suite   *syzlang.File // merged KernelGPT specs
@@ -86,30 +93,40 @@ func NewRunner(opts Options) *Runner {
 		Opts:     opts,
 		Corpus:   c,
 		Kernel:   vkernel.New(c),
+		Ctx:      context.Background(),
 		genCache: map[string]*genRun{},
 	}
 }
 
 // generate runs (or returns the cached) KernelGPT generation for a
-// model over every incomplete handler, following dependencies.
+// model over every incomplete handler through the engine's worker
+// pool, following dependencies. Results are identical for any pool
+// size.
 func (r *Runner) generate(model string) *genRun {
 	if g, ok := r.genCache[model]; ok {
 		return g
 	}
-	client := llm.NewSim(model, uint64(r.Opts.Seed))
-	gen := core.New(client, r.Corpus, core.DefaultOptions())
-	run := &genRun{client: client, gen: gen}
-	for _, h := range r.Corpus.Incomplete(corpus.KindDriver) {
-		res := gen.GenerateFor(h)
-		gen.FollowDependencies(res, nil)
-		run.drivers = append(run.drivers, res)
+	run := &genRun{eng: r.engine(model, core.DefaultOptions())}
+	var err error
+	run.drivers, run.sockets, run.suite, err = run.eng.Suite(r.Ctx)
+	if run.suite == nil {
+		run.suite = &syzlang.File{}
 	}
-	for _, h := range r.Corpus.Incomplete(corpus.KindSocket) {
-		run.sockets = append(run.sockets, gen.GenerateFor(h))
+	if err == nil {
+		// Cache only complete runs: a cancelled generation must not
+		// poison later experiments with partial results.
+		r.genCache[model] = run
 	}
-	run.suite = core.MergeSpecs(append(append([]*core.Result{}, run.drivers...), run.sockets...))
-	r.genCache[model] = run
 	return run
+}
+
+// engine builds a pooled generation engine for one model profile.
+func (r *Runner) engine(model string, opts core.Options) *engine.Engine {
+	return engine.New(r.Corpus,
+		engine.WithClient(llm.NewSim(model, uint64(r.Opts.Seed))),
+		engine.WithGeneratorOptions(opts),
+		engine.WithWorkers(r.Opts.Workers),
+		engine.WithCache(4096))
 }
 
 // syzdescribe runs (or returns the cached) baseline generation.
@@ -136,11 +153,13 @@ func (r *Runner) compile(files ...*syzlang.File) *prog.Target {
 	return t
 }
 
-// campaign runs Reps repetitions over a target.
+// campaign runs Reps repetitions over a target (concurrently; each
+// repetition is an independent campaign, so the stats match a serial
+// run exactly).
 func (r *Runner) campaign(t *prog.Target, execs int, seedOffset int64) []*fuzz.Stats {
 	f := fuzz.New(t, r.Kernel)
 	cfg := fuzz.DefaultConfig(execs, r.Opts.Seed*7919+seedOffset)
-	return f.RunRepetitions(cfg, r.Opts.Reps)
+	return f.RunRepetitions(r.Ctx, cfg, r.Opts.Reps)
 }
 
 // handlerSpecNames collects the syscall names a suite defines for one

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -242,7 +243,7 @@ func dedupTypes(f *syzlang.File) {
 // syz-extract/syz-generate equivalent, feed error messages back to
 // the LLM for repair, and as a last resort drop declarations that
 // remain broken.
-func (g *Generator) validateAndRepair(h *corpus.Handler, fileSrc, defines string, spec *syzlang.File, res *Result) {
+func (g *Generator) validateAndRepair(ctx context.Context, h *corpus.Handler, fileSrc, defines string, spec *syzlang.File, res *Result) {
 	env := g.Corpus.Env()
 	errs := syzlang.Validate(spec, env)
 	if len(errs) == 0 {
@@ -260,7 +261,7 @@ func (g *Generator) validateAndRepair(h *corpus.Handler, fileSrc, defines string
 	cur := spec
 	for round := 0; round < g.Opts.MaxRepairRounds && len(errs) > 0; round++ {
 		res.Iterations++
-		reply, err := g.complete(res, "repair", g.pb.buildRepair(
+		reply, err := g.complete(ctx, res, h, "repair", g.pb.buildRepair(
 			syzlang.FormatErrors(syzlang.ValidationErrorsToErrors(errs)),
 			syzlang.Format(cur), source))
 		if err != nil {
@@ -331,7 +332,7 @@ func dropInvalidDecls(f *syzlang.File, errs []*syzlang.ValidationError) *syzlang
 // FollowDependencies generates specs for secondary handlers the
 // dependency stage discovered (kvm_vm / kvm_vcpu) and merges them
 // into the parent result. It recurses through chains.
-func (g *Generator) FollowDependencies(res *Result, visited map[string]bool) {
+func (g *Generator) FollowDependencies(ctx context.Context, res *Result, visited map[string]bool) {
 	if visited == nil {
 		visited = map[string]bool{}
 	}
@@ -342,8 +343,8 @@ func (g *Generator) FollowDependencies(res *Result, visited map[string]bool) {
 			continue
 		}
 		visited[name] = true
-		childRes := g.GenerateFor(child)
-		g.FollowDependencies(childRes, visited)
+		childRes := g.GenerateFor(ctx, child)
+		g.FollowDependencies(ctx, childRes, visited)
 		if childRes.Spec == nil {
 			continue
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -11,6 +12,8 @@ import (
 
 var testCorpus = corpus.Build(corpus.TestConfig())
 
+var ctx = context.Background()
+
 func gen(t *testing.T, model string, seed uint64, opts Options) *Generator {
 	t.Helper()
 	return New(llm.NewSim(model, seed), testCorpus, opts)
@@ -19,7 +22,7 @@ func gen(t *testing.T, model string, seed uint64, opts Options) *Generator {
 func TestDeviceMapperPipeline(t *testing.T) {
 	g := gen(t, "gpt-4", 1, DefaultOptions())
 	dm := testCorpus.Handler("dm")
-	res := g.GenerateFor(dm)
+	res := g.GenerateFor(ctx, dm)
 	if !res.Valid {
 		t.Fatalf("dm spec generation failed: errors=%v", res.RemainingErrors)
 	}
@@ -53,7 +56,7 @@ func TestDeviceMapperPipeline(t *testing.T) {
 
 func TestCECPipelineRangesAndComments(t *testing.T) {
 	g := gen(t, "gpt-4", 2, DefaultOptions())
-	res := g.GenerateFor(testCorpus.Handler("cec"))
+	res := g.GenerateFor(ctx, testCorpus.Handler("cec"))
 	if !res.Valid {
 		t.Fatalf("cec generation failed: %v", res.RemainingErrors)
 	}
@@ -73,7 +76,7 @@ func TestGPT35MissesPatterns(t *testing.T) {
 	g4 := gen(t, "gpt-4", 3, DefaultOptions())
 	g35 := gen(t, "gpt-3.5", 3, DefaultOptions())
 	dm := testCorpus.Handler("dm")
-	r4, r35 := g4.GenerateFor(dm), g35.GenerateFor(dm)
+	r4, r35 := g4.GenerateFor(ctx, dm), g35.GenerateFor(ctx, dm)
 	// GPT-3.5 cannot follow the lookup table: far fewer syscalls.
 	if r35.NewSyscalls() >= r4.NewSyscalls() {
 		t.Fatalf("gpt-3.5 (%d) should describe fewer dm syscalls than gpt-4 (%d)",
@@ -87,7 +90,7 @@ func TestValidationRepairLoop(t *testing.T) {
 	direct, repaired := 0, 0
 	for seed := uint64(0); seed < 12; seed++ {
 		g := gen(t, "gpt-4", seed, DefaultOptions())
-		res := g.GenerateFor(testCorpus.Handler("cec"))
+		res := g.GenerateFor(ctx, testCorpus.Handler("cec"))
 		if !res.Valid {
 			continue
 		}
@@ -107,10 +110,10 @@ func TestRepairDisabledFailsMore(t *testing.T) {
 	optsNoRepair.Repair = false
 	validWith, validWithout := 0, 0
 	for seed := uint64(0); seed < 10; seed++ {
-		if gen(t, "gpt-4", seed, DefaultOptions()).GenerateFor(testCorpus.Handler("ubi_ctrl")).Valid {
+		if gen(t, "gpt-4", seed, DefaultOptions()).GenerateFor(ctx, testCorpus.Handler("ubi_ctrl")).Valid {
 			validWith++
 		}
-		if gen(t, "gpt-4", seed, optsNoRepair).GenerateFor(testCorpus.Handler("ubi_ctrl")).Valid {
+		if gen(t, "gpt-4", seed, optsNoRepair).GenerateFor(ctx, testCorpus.Handler("ubi_ctrl")).Valid {
 			validWithout++
 		}
 	}
@@ -136,7 +139,7 @@ func TestIndirectHandlerFails(t *testing.T) {
 		t.Skip("no indirect driver in test corpus")
 	}
 	g := gen(t, "gpt-4", 4, DefaultOptions())
-	res := g.GenerateFor(target)
+	res := g.GenerateFor(ctx, target)
 	if res.Valid {
 		t.Fatalf("indirect handler %s unexpectedly produced a valid spec with %d syscalls",
 			target.Name, res.NewSyscalls())
@@ -145,7 +148,7 @@ func TestIndirectHandlerFails(t *testing.T) {
 
 func TestSocketPipeline(t *testing.T) {
 	g := gen(t, "gpt-4", 5, DefaultOptions())
-	res := g.GenerateFor(testCorpus.Handler("rds"))
+	res := g.GenerateFor(ctx, testCorpus.Handler("rds"))
 	if !res.Valid {
 		t.Fatalf("rds generation failed: %v", res.RemainingErrors)
 	}
@@ -167,8 +170,8 @@ func TestSocketPipeline(t *testing.T) {
 
 func TestKVMDependencyDiscovery(t *testing.T) {
 	g := gen(t, "gpt-4", 6, DefaultOptions())
-	res := g.GenerateFor(testCorpus.Handler("kvm"))
-	g.FollowDependencies(res, nil)
+	res := g.GenerateFor(ctx, testCorpus.Handler("kvm"))
+	g.FollowDependencies(ctx, res, nil)
 	if !res.Valid {
 		t.Fatalf("kvm generation failed: %v", res.RemainingErrors)
 	}
@@ -198,7 +201,7 @@ func TestAllInOneDegrades(t *testing.T) {
 	single := gen(t, "gpt-4", 7, one)
 	// kvm is the paper's showcase: iterative ≫ all-in-one.
 	h := testCorpus.Handler("kvm")
-	ri, rs := iter.GenerateFor(h), single.GenerateFor(h)
+	ri, rs := iter.GenerateFor(ctx, h), single.GenerateFor(ctx, h)
 	if rs.NewSyscalls() >= ri.NewSyscalls() {
 		t.Fatalf("all-in-one (%d syscalls) should underperform iterative (%d)",
 			rs.NewSyscalls(), ri.NewSyscalls())
@@ -208,7 +211,7 @@ func TestAllInOneDegrades(t *testing.T) {
 func TestGenerateAllSummary(t *testing.T) {
 	g := gen(t, "gpt-4", 8, DefaultOptions())
 	worklist := testCorpus.Incomplete(corpus.KindDriver)
-	results := g.GenerateAll(worklist)
+	results := g.GenerateAll(ctx, worklist)
 	stats := Summarize(results)
 	if stats.Total != len(worklist) {
 		t.Fatalf("stats total %d != %d", stats.Total, len(worklist))
@@ -224,8 +227,8 @@ func TestGenerateAllSummary(t *testing.T) {
 
 func TestMergeSpecsDeduplicates(t *testing.T) {
 	g := gen(t, "gpt-4", 9, DefaultOptions())
-	r1 := g.GenerateFor(testCorpus.Handler("dm"))
-	r2 := g.GenerateFor(testCorpus.Handler("dm"))
+	r1 := g.GenerateFor(ctx, testCorpus.Handler("dm"))
+	r2 := g.GenerateFor(ctx, testCorpus.Handler("dm"))
 	merged := MergeSpecs([]*Result{r1, r2})
 	seen := map[string]int{}
 	for _, s := range merged.Syscalls {
@@ -248,7 +251,7 @@ func TestGeneratedSpecValidatesAndFormats(t *testing.T) {
 		if h == nil {
 			continue
 		}
-		res := g.GenerateFor(h)
+		res := g.GenerateFor(ctx, h)
 		if res.Spec == nil {
 			t.Fatalf("%s: nil spec", name)
 		}
@@ -265,7 +268,7 @@ func TestGeneratedSpecValidatesAndFormats(t *testing.T) {
 func TestUsageAccounting(t *testing.T) {
 	client := llm.NewSim("gpt-4", 11)
 	g := New(client, testCorpus, DefaultOptions())
-	g.GenerateFor(testCorpus.Handler("dm"))
+	g.GenerateFor(ctx, testCorpus.Handler("dm"))
 	u := client.Usage()
 	if u.Calls == 0 || u.PromptTokens == 0 || u.CompletionTokens == 0 {
 		t.Fatalf("usage not accounted: %+v", u)
@@ -277,7 +280,7 @@ func TestUsageAccounting(t *testing.T) {
 
 func TestCharDevDeviceDiscovery(t *testing.T) {
 	g := gen(t, "gpt-4", 12, DefaultOptions())
-	res := g.GenerateFor(testCorpus.Handler("ptp0"))
+	res := g.GenerateFor(ctx, testCorpus.Handler("ptp0"))
 	if res.Spec == nil {
 		t.Fatal("nil spec")
 	}
@@ -291,7 +294,7 @@ func TestTraceRecordsExchanges(t *testing.T) {
 	opts := DefaultOptions()
 	opts.Trace = true
 	g := gen(t, "gpt-4", 13, opts)
-	res := g.GenerateFor(testCorpus.Handler("dm"))
+	res := g.GenerateFor(ctx, testCorpus.Handler("dm"))
 	if len(res.Transcript) == 0 {
 		t.Fatal("trace enabled but no exchanges recorded")
 	}
@@ -309,7 +312,7 @@ func TestTraceRecordsExchanges(t *testing.T) {
 	}
 	// Trace off: no transcript.
 	g2 := gen(t, "gpt-4", 13, DefaultOptions())
-	if res2 := g2.GenerateFor(testCorpus.Handler("dm")); len(res2.Transcript) != 0 {
+	if res2 := g2.GenerateFor(ctx, testCorpus.Handler("dm")); len(res2.Transcript) != 0 {
 		t.Fatal("transcript recorded without Trace")
 	}
 }

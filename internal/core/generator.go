@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -102,22 +103,22 @@ func (r *Result) NewTypes() int {
 }
 
 // GenerateFor runs the full KernelGPT pipeline for one handler.
-func (g *Generator) GenerateFor(h *corpus.Handler) *Result {
+func (g *Generator) GenerateFor(ctx context.Context, h *corpus.Handler) *Result {
 	res := &Result{Handler: h}
 	fileSrc := g.Corpus.Index.Files()[h.SourcePath()]
 	defines := definesOf(fileSrc)
 
-	ident := g.identifierStage(h, fileSrc, defines, res)
-	types := g.typeStage(h, fileSrc, defines, ident, res)
-	deps := g.dependencyStage(h, fileSrc, defines, ident, res)
+	ident := g.identifierStage(ctx, h, fileSrc, defines, res)
+	types := g.typeStage(ctx, h, fileSrc, defines, ident, res)
+	deps := g.dependencyStage(ctx, h, fileSrc, defines, ident, res)
 
 	spec := g.assemble(h, ident, types, deps, res)
-	g.validateAndRepair(h, fileSrc, defines, spec, res)
+	g.validateAndRepair(ctx, h, fileSrc, defines, spec, res)
 	return res
 }
 
 // identifierStage runs stage 1 iteratively (Algorithm 1).
-func (g *Generator) identifierStage(h *corpus.Handler, fileSrc, defines string, res *Result) *llm.IdentResult {
+func (g *Generator) identifierStage(ctx context.Context, h *corpus.Handler, fileSrc, defines string, res *Result) *llm.IdentResult {
 	merged := &llm.IdentResult{}
 	// The initial source: registrations plus the entry function —
 	// what the extractor hands over for a located operation handler.
@@ -129,7 +130,7 @@ func (g *Generator) identifierStage(h *corpus.Handler, fileSrc, defines string, 
 	fetched := map[string]bool{}
 	for iter := 0; iter < g.Opts.MaxIter; iter++ {
 		res.Iterations++
-		reply, err := g.complete(res, "identifier", g.pb.build(instrIdent, unknowns, source))
+		reply, err := g.complete(ctx, res, h, "identifier", g.pb.build(instrIdent, unknowns, source))
 		if err != nil {
 			return merged
 		}
@@ -240,7 +241,7 @@ func registrationsOf(src string) string {
 }
 
 // typeStage runs stage 2 for every struct the identifier stage named.
-func (g *Generator) typeStage(h *corpus.Handler, fileSrc, defines string, ident *llm.IdentResult, res *Result) string {
+func (g *Generator) typeStage(ctx context.Context, h *corpus.Handler, fileSrc, defines string, ident *llm.IdentResult, res *Result) string {
 	var wanted []llm.UnknownRef
 	seen := map[string]bool{}
 	add := func(name, usage string) {
@@ -263,7 +264,7 @@ func (g *Generator) typeStage(h *corpus.Handler, fileSrc, defines string, ident 
 	for iter := 0; iter < g.Opts.MaxIter && len(wanted) > 0; iter++ {
 		res.Iterations++
 		source := g.typeSource(h, fileSrc, defines, ident, wanted)
-		reply, err := g.complete(res, "type", g.pb.build(instrType, wanted, source))
+		reply, err := g.complete(ctx, res, h, "type", g.pb.build(instrType, wanted, source))
 		if err != nil {
 			break
 		}
@@ -321,7 +322,7 @@ func (g *Generator) typeSource(h *corpus.Handler, fileSrc, defines string, ident
 
 // dependencyStage runs stage 3 over the worker functions stage 1
 // marked as return-value relevant.
-func (g *Generator) dependencyStage(h *corpus.Handler, fileSrc, defines string, ident *llm.IdentResult, res *Result) *llm.DepResult {
+func (g *Generator) dependencyStage(ctx context.Context, h *corpus.Handler, fileSrc, defines string, ident *llm.IdentResult, res *Result) *llm.DepResult {
 	var refs []llm.UnknownRef
 	var parts []string
 	for _, c := range ident.Cmds {
@@ -343,7 +344,7 @@ func (g *Generator) dependencyStage(h *corpus.Handler, fileSrc, defines string, 
 	if g.Opts.AllInOne {
 		source = fileSrc
 	}
-	reply, err := g.complete(res, "dependency", g.pb.build(instrDep, refs, source))
+	reply, err := g.complete(ctx, res, h, "dependency", g.pb.build(instrDep, refs, source))
 	if err != nil {
 		return &llm.DepResult{}
 	}
@@ -353,10 +354,12 @@ func (g *Generator) dependencyStage(h *corpus.Handler, fileSrc, defines string, 
 // GenerateAll runs the pipeline over a handler worklist, following
 // dependency discoveries into secondary handlers. Results come back
 // in input order (secondary handlers merge into their parent's spec).
-func (g *Generator) GenerateAll(handlers []*corpus.Handler) []*Result {
+// For concurrent generation across a worker pool, use the engine
+// package's Engine facade instead.
+func (g *Generator) GenerateAll(ctx context.Context, handlers []*corpus.Handler) []*Result {
 	out := make([]*Result, 0, len(handlers))
 	for _, h := range handlers {
-		out = append(out, g.GenerateFor(h))
+		out = append(out, g.GenerateFor(ctx, h))
 	}
 	return out
 }
@@ -452,10 +455,12 @@ func SortResults(results []*Result) {
 	})
 }
 
-// complete sends a prompt through the client, tracing it when
-// configured.
-func (g *Generator) complete(res *Result, stage string, msgs []llm.Message) (string, error) {
-	reply, err := g.Client.Complete(msgs)
+// complete sends a prompt through the client with purpose/driver
+// metadata attached, tracing the exchange when configured.
+func (g *Generator) complete(ctx context.Context, res *Result, h *corpus.Handler, stage string, msgs []llm.Message) (string, error) {
+	resp, err := g.Client.Complete(ctx, llm.Request{
+		Messages: msgs, Purpose: stage, Driver: h.Name,
+	})
 	if g.Opts.Trace {
 		var prompt strings.Builder
 		for _, m := range msgs {
@@ -463,8 +468,8 @@ func (g *Generator) complete(res *Result, stage string, msgs []llm.Message) (str
 			prompt.WriteByte('\n')
 		}
 		res.Transcript = append(res.Transcript, Exchange{
-			Stage: stage, Prompt: prompt.String(), Completion: reply,
+			Stage: stage, Prompt: prompt.String(), Completion: resp.Text,
 		})
 	}
-	return reply, err
+	return resp.Text, err
 }

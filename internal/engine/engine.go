@@ -1,0 +1,220 @@
+// Package engine is the concurrency-ready facade over KernelGPT's
+// specification-generation pipeline. It owns the wiring the cmd/
+// binaries and benchmarks used to duplicate by hand — building the
+// analysis client, stacking middleware (cache, retry, concurrency
+// limit), and looping handlers through generation plus dependency
+// following — and runs per-driver generation through a worker pool.
+//
+// Construction uses functional options:
+//
+//	eng := engine.New(corpus,
+//		engine.WithClient(llm.NewSim("gpt-4", 1)),
+//		engine.WithWorkers(8),
+//		engine.WithCache(2048),
+//		engine.WithRepairRounds(3))
+//	results, err := eng.Generate(ctx, corpus.Incomplete(corpus.KindDriver))
+//
+// Generation results are deterministic and identical to the serial
+// core.Generator loop for any worker count: the simulated analysis
+// model is a pure function of (seed, prompt), so scheduling order
+// cannot leak into the output, and results are returned in worklist
+// order.
+package engine
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"kernelgpt/internal/core"
+	"kernelgpt/internal/corpus"
+	"kernelgpt/internal/llm"
+	"kernelgpt/internal/pool"
+	"kernelgpt/internal/syzlang"
+)
+
+// Progress is one per-handler completion update.
+type Progress struct {
+	Done, Total int
+	Handler     string
+	Valid       bool
+}
+
+// config collects the functional options.
+type config struct {
+	client       llm.Client
+	model        string
+	seed         uint64
+	workers      int
+	cacheSize    int
+	retries      int
+	retryBackoff time.Duration
+	maxInFlight  int
+	opts         core.Options
+	progress     func(Progress)
+}
+
+// Option configures an Engine.
+type Option func(*config)
+
+// WithClient supplies the analysis client. It wins over WithModel.
+func WithClient(c llm.Client) Option {
+	return func(cfg *config) { cfg.client = c }
+}
+
+// WithModel selects a simulated-model profile and fallibility seed
+// (the default is gpt-4, seed 1).
+func WithModel(name string, seed uint64) Option {
+	return func(cfg *config) { cfg.model = name; cfg.seed = seed }
+}
+
+// WithWorkers sets the generation worker-pool size (default 1:
+// serial, bit-for-bit the legacy loop).
+func WithWorkers(n int) Option {
+	return func(cfg *config) { cfg.workers = n }
+}
+
+// WithCache inserts an LRU completion cache of the given capacity in
+// front of the client, deduplicating identical analysis prompts
+// across drivers.
+func WithCache(entries int) Option {
+	return func(cfg *config) { cfg.cacheSize = entries }
+}
+
+// WithRetry inserts a retry/backoff layer (attempts total tries).
+func WithRetry(attempts int, backoff time.Duration) Option {
+	return func(cfg *config) { cfg.retries = attempts; cfg.retryBackoff = backoff }
+}
+
+// WithConcurrencyLimit bounds in-flight completions below the worker
+// count (an API-quota guard; 0 means unlimited).
+func WithConcurrencyLimit(n int) Option {
+	return func(cfg *config) { cfg.maxInFlight = n }
+}
+
+// WithRepairRounds bounds the validation-and-repair loop (§3.2).
+func WithRepairRounds(n int) Option {
+	return func(cfg *config) {
+		cfg.opts.Repair = n > 0
+		cfg.opts.MaxRepairRounds = n
+	}
+}
+
+// WithGeneratorOptions replaces the full core.Options (for ablation
+// harnesses that toggle AllInOne, MaxIter, or tracing wholesale).
+// Later fine-grained options still apply on top.
+func WithGeneratorOptions(opts core.Options) Option {
+	return func(cfg *config) { cfg.opts = opts }
+}
+
+// WithProgress installs a per-handler completion callback. Calls are
+// serialized.
+func WithProgress(fn func(Progress)) Option {
+	return func(cfg *config) { cfg.progress = fn }
+}
+
+// Engine drives specification generation for a corpus.
+type Engine struct {
+	corpus   *corpus.Corpus
+	client   llm.Client
+	gen      *core.Generator
+	workers  int
+	progress func(Progress)
+}
+
+// New builds an Engine over a corpus with the given options.
+func New(c *corpus.Corpus, options ...Option) *Engine {
+	cfg := &config{model: "gpt-4", seed: 1, workers: 1, opts: core.DefaultOptions()}
+	for _, o := range options {
+		o(cfg)
+	}
+	client := cfg.client
+	if client == nil {
+		client = llm.NewSim(cfg.model, cfg.seed)
+	}
+	var mws []llm.Middleware
+	if cfg.cacheSize > 0 {
+		mws = append(mws, llm.WithCache(cfg.cacheSize))
+	}
+	if cfg.retries > 1 {
+		mws = append(mws, llm.WithRetry(cfg.retries, cfg.retryBackoff))
+	}
+	if cfg.maxInFlight > 0 {
+		mws = append(mws, llm.WithConcurrencyLimit(cfg.maxInFlight))
+	}
+	client = llm.Chain(client, mws...)
+	return &Engine{
+		corpus:   c,
+		client:   client,
+		gen:      core.New(client, c, cfg.opts),
+		workers:  cfg.workers,
+		progress: cfg.progress,
+	}
+}
+
+// Client returns the composed client (outermost middleware).
+func (e *Engine) Client() llm.Client { return e.client }
+
+// Usage reports cumulative token accounting for all generation done
+// through this engine.
+func (e *Engine) Usage() llm.Usage { return e.client.Usage() }
+
+// CacheStats reports completion-cache effectiveness, if a cache was
+// configured.
+func (e *Engine) CacheStats() (llm.CacheStats, bool) {
+	if cc, ok := llm.FindCache(e.client); ok {
+		return cc.Stats(), true
+	}
+	return llm.CacheStats{}, false
+}
+
+// GenerateFor runs the full pipeline for one handler, following
+// dependency discoveries (kvm_vm style) into secondary handlers.
+func (e *Engine) GenerateFor(ctx context.Context, h *corpus.Handler) *core.Result {
+	res := e.gen.GenerateFor(ctx, h)
+	e.gen.FollowDependencies(ctx, res, nil)
+	return res
+}
+
+// Generate runs the pipeline over a worklist through the worker pool
+// and returns results in worklist order. On cancellation it returns
+// the completed prefix's results (unstarted handlers yield failed
+// Results, never nil) along with ctx.Err().
+func (e *Engine) Generate(ctx context.Context, handlers []*corpus.Handler) ([]*core.Result, error) {
+	results := make([]*core.Result, len(handlers))
+	var mu sync.Mutex
+	done := 0
+	pool.Run(pool.Clamp(len(handlers), e.workers, 1), len(handlers), func(i int) {
+		results[i] = e.GenerateFor(ctx, handlers[i])
+		if e.progress != nil {
+			mu.Lock()
+			done++
+			e.progress(Progress{
+				Done: done, Total: len(handlers),
+				Handler: handlers[i].Name, Valid: results[i].Valid,
+			})
+			mu.Unlock()
+		}
+	})
+	return results, ctx.Err()
+}
+
+// GenerateKind generates for every incomplete handler of one kind.
+func (e *Engine) GenerateKind(ctx context.Context, kind corpus.Kind) ([]*core.Result, error) {
+	return e.Generate(ctx, e.corpus.Incomplete(kind))
+}
+
+// Suite generates for every incomplete driver and socket handler and
+// returns the per-kind results plus the merged valid suite.
+func (e *Engine) Suite(ctx context.Context) (drivers, sockets []*core.Result, merged *syzlang.File, err error) {
+	drivers, err = e.GenerateKind(ctx, corpus.KindDriver)
+	if err != nil {
+		return drivers, nil, nil, err
+	}
+	sockets, err = e.GenerateKind(ctx, corpus.KindSocket)
+	if err != nil {
+		return drivers, sockets, nil, err
+	}
+	all := append(append([]*core.Result{}, drivers...), sockets...)
+	return drivers, sockets, core.MergeSpecs(all), nil
+}

@@ -1,0 +1,169 @@
+package engine
+
+import (
+	"context"
+	"testing"
+
+	"kernelgpt/internal/core"
+	"kernelgpt/internal/corpus"
+	"kernelgpt/internal/llm"
+	"kernelgpt/internal/syzlang"
+)
+
+var (
+	testCorpus = corpus.Build(corpus.TestConfig())
+	ctx        = context.Background()
+)
+
+// fingerprint reduces a result to a comparable identity.
+func fingerprint(r *core.Result) string {
+	if r == nil {
+		return "<nil>"
+	}
+	s := r.Handler.Name
+	if r.Valid {
+		s += ":valid"
+	}
+	if r.Spec != nil {
+		s += "\n" + syzlang.Format(r.Spec)
+	}
+	return s
+}
+
+// TestWorkerCountInvariance: the engine must produce identical
+// results for any pool size, in worklist order.
+func TestWorkerCountInvariance(t *testing.T) {
+	worklist := testCorpus.Incomplete(corpus.KindDriver)
+	if len(worklist) < 2 {
+		t.Fatal("test corpus too small")
+	}
+	base, err := New(testCorpus, WithModel("gpt-4", 5)).Generate(ctx, worklist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4} {
+		got, err := New(testCorpus, WithModel("gpt-4", 5), WithWorkers(workers)).Generate(ctx, worklist)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range base {
+			if fingerprint(got[i]) != fingerprint(base[i]) {
+				t.Fatalf("workers=%d: result %d (%s) diverged", workers, i, worklist[i].Name)
+			}
+		}
+	}
+}
+
+// TestMatchesSerialGenerator: the facade must agree with driving
+// core.Generator by hand, the way the legacy loops did.
+func TestMatchesSerialGenerator(t *testing.T) {
+	h := testCorpus.Handler("dm")
+	gen := core.New(llm.NewSim("gpt-4", 7), testCorpus, core.DefaultOptions())
+	want := gen.GenerateFor(ctx, h)
+	gen.FollowDependencies(ctx, want, nil)
+
+	got := New(testCorpus, WithModel("gpt-4", 7)).GenerateFor(ctx, h)
+	if fingerprint(got) != fingerprint(want) {
+		t.Fatalf("engine diverged from serial generator:\n%s\nvs\n%s", fingerprint(got), fingerprint(want))
+	}
+}
+
+// TestCacheDeduplicatesAcrossRuns: with a cache, re-generating the
+// same handler must not re-bill the model.
+func TestCacheDeduplicatesAcrossRuns(t *testing.T) {
+	e := New(testCorpus, WithModel("gpt-4", 3), WithCache(4096))
+	h := testCorpus.Handler("dm")
+	first := e.GenerateFor(ctx, h)
+	afterFirst := e.Usage()
+	second := e.GenerateFor(ctx, h)
+	afterSecond := e.Usage()
+
+	if fingerprint(first) != fingerprint(second) {
+		t.Fatal("cached regeneration changed the result")
+	}
+	if afterSecond != afterFirst {
+		t.Fatalf("second run billed the model: %+v vs %+v", afterSecond, afterFirst)
+	}
+	st, ok := e.CacheStats()
+	if !ok || st.Hits == 0 {
+		t.Fatalf("cache stats missing or empty: %+v ok=%v", st, ok)
+	}
+}
+
+// TestSuiteMergesValidResults mirrors what the cmd binaries consume.
+func TestSuiteMergesValidResults(t *testing.T) {
+	e := New(testCorpus, WithModel("gpt-4", 1), WithWorkers(4), WithCache(2048))
+	drivers, sockets, merged, err := e.Suite(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(drivers) != len(testCorpus.Incomplete(corpus.KindDriver)) ||
+		len(sockets) != len(testCorpus.Incomplete(corpus.KindSocket)) {
+		t.Fatal("worklist sizes wrong")
+	}
+	if merged == nil || len(merged.Syscalls) == 0 {
+		t.Fatal("merged suite empty")
+	}
+	if errs := syzlang.Validate(merged, testCorpus.Env()); len(errs) > 0 {
+		t.Fatalf("merged suite invalid: %v", errs[0])
+	}
+	if u := e.Usage(); u.Calls == 0 {
+		t.Fatal("no usage recorded")
+	}
+}
+
+// TestProgressCallback counts per-handler updates.
+func TestProgressCallback(t *testing.T) {
+	worklist := testCorpus.Incomplete(corpus.KindDriver)
+	var updates []Progress
+	e := New(testCorpus, WithModel("gpt-4", 1), WithWorkers(3),
+		WithProgress(func(p Progress) { updates = append(updates, p) }))
+	if _, err := e.Generate(ctx, worklist); err != nil {
+		t.Fatal(err)
+	}
+	if len(updates) != len(worklist) {
+		t.Fatalf("want %d updates, got %d", len(worklist), len(updates))
+	}
+	last := updates[len(updates)-1]
+	if last.Done != len(worklist) || last.Total != len(worklist) {
+		t.Fatalf("final update wrong: %+v", last)
+	}
+}
+
+// TestCancellation: a cancelled context yields failed (but non-nil)
+// results and the context error.
+func TestCancellation(t *testing.T) {
+	cctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	e := New(testCorpus, WithModel("gpt-4", 1), WithWorkers(2))
+	results, err := e.Generate(cctx, testCorpus.Incomplete(corpus.KindDriver))
+	if err == nil {
+		t.Fatal("want context error")
+	}
+	for _, r := range results {
+		if r == nil {
+			t.Fatal("results must never be nil")
+		}
+		if r.Valid {
+			t.Fatal("no generation should succeed under a pre-cancelled context")
+		}
+	}
+}
+
+// TestRepairRoundsOption: disabling repair must flow through to the
+// pipeline (ubi_ctrl needs repair to validate at some seeds; at
+// minimum the options must not be ignored).
+func TestRepairRoundsOption(t *testing.T) {
+	opts := core.DefaultOptions()
+	eng := New(testCorpus, WithModel("gpt-4", 2), WithGeneratorOptions(opts), WithRepairRounds(0))
+	if eng.gen == nil {
+		t.Fatal("generator missing")
+	}
+	// WithRepairRounds(0) must disable repair entirely.
+	e2 := New(testCorpus, WithModel("gpt-4", 2), WithRepairRounds(0))
+	h := testCorpus.Handler("dm")
+	res := e2.GenerateFor(ctx, h)
+	if res.Repaired {
+		t.Fatal("repair ran despite WithRepairRounds(0)")
+	}
+}

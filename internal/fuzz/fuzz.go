@@ -5,11 +5,23 @@
 // deduplicates crashes by title. Campaign length is measured in
 // executed programs rather than wall-clock hours, which maps the
 // paper's fixed CPU-hour sessions onto a deterministic budget.
+//
+// Campaigns run three ways: Run executes one serial campaign,
+// RunRepetitions executes n independent campaigns concurrently (the
+// paper's 3-repetition averages), and RunParallel shards one campaign
+// budget across a worker pool with deterministic per-shard seed
+// derivation — the merged coverage and crash sets are identical for
+// any worker count, so parallelism is purely a wall-clock knob. All
+// entry points accept a context for cancellation and an optional
+// progress callback (Config.Progress).
 package fuzz
 
 import (
+	"context"
+	"runtime"
 	"sort"
 
+	"kernelgpt/internal/pool"
 	"kernelgpt/internal/prog"
 	"kernelgpt/internal/vkernel"
 )
@@ -32,7 +44,32 @@ type Config struct {
 	// NoLocality disables the generator's resource-locality bias
 	// (design-choice ablation).
 	NoLocality bool
+	// ShardExecs is the execution budget of one independent work
+	// unit in RunParallel (0 selects DefaultShardExecs). The unit
+	// decomposition — not the worker count — defines the campaign,
+	// which is what makes merged results worker-count-invariant.
+	ShardExecs int
+	// Progress, when set, receives campaign progress updates. It may
+	// be called from multiple goroutines, but calls are serialized;
+	// the callback must not re-enter the fuzzer.
+	Progress func(Progress)
 }
+
+// Progress is one progress-callback update, emitted by RunParallel
+// after each completed work unit.
+type Progress struct {
+	// ShardsDone/ShardsTotal count completed work units.
+	ShardsDone, ShardsTotal int
+	// Execs is the number of programs executed so far.
+	Execs int
+	// Cover and Crashes are the merged unique counts so far.
+	Cover   int
+	Crashes int
+}
+
+// DefaultShardExecs is the per-unit budget RunParallel uses when
+// Config.ShardExecs is zero.
+const DefaultShardExecs = 4096
 
 // DefaultConfig returns a campaign configuration with the standard
 // knobs.
@@ -96,8 +133,15 @@ type seedEntry struct {
 	cov int
 }
 
-// Run executes one campaign.
+// Run executes one campaign to completion.
 func (f *Fuzzer) Run(cfg Config) *Stats {
+	stats, _ := f.run(context.Background(), cfg)
+	return stats
+}
+
+// run is the campaign loop. Cancellation is checked between
+// executions, so the returned stats are always internally consistent.
+func (f *Fuzzer) run(ctx context.Context, cfg Config) (*Stats, error) {
 	if cfg.MaxCalls == 0 {
 		cfg.MaxCalls = 8
 	}
@@ -110,6 +154,10 @@ func (f *Fuzzer) Run(cfg Config) *Stats {
 	}
 	var corpus []seedEntry
 	for i := 0; i < cfg.Execs; i++ {
+		if i%512 == 0 && ctx.Err() != nil {
+			stats.CorpusSize = len(corpus)
+			return stats, ctx.Err()
+		}
 		var p *prog.Prog
 		if len(corpus) > 0 && g.R.Float64() < cfg.MutateBias {
 			seed := corpus[g.R.Intn(len(corpus))]
@@ -150,21 +198,30 @@ func (f *Fuzzer) Run(cfg Config) *Stats {
 		}
 	}
 	stats.CorpusSize = len(corpus)
-	return stats
+	return stats, nil
 }
 
 // RunRepetitions executes n independent campaigns with derived seeds
 // and returns per-rep stats (the paper reports 3-repetition
-// averages).
-func (f *Fuzzer) RunRepetitions(cfg Config, n int) []*Stats {
+// averages). Repetitions run concurrently on up to GOMAXPROCS
+// workers; results are identical to running them serially because
+// each repetition is an independent campaign with its own derived
+// seed. Cancellation stops remaining work; completed repetitions
+// keep their full stats and interrupted ones report partial stats.
+func (f *Fuzzer) RunRepetitions(ctx context.Context, cfg Config, n int) []*Stats {
 	out := make([]*Stats, n)
-	for i := 0; i < n; i++ {
+	pool.Run(pool.Clamp(n, 0, runtime.GOMAXPROCS(0)), n, func(i int) {
 		c := cfg
-		c.Seed = cfg.Seed + int64(i)*1000003
-		out[i] = f.Run(c)
-	}
+		c.Seed = RepSeed(cfg.Seed, i)
+		out[i], _ = f.run(ctx, c)
+	})
 	return out
 }
+
+// RepSeed derives repetition i's campaign seed from a base seed —
+// the one derivation shared by RunRepetitions and callers that run
+// repetitions by hand (e.g. to shard each repetition).
+func RepSeed(base int64, i int) int64 { return base + int64(i)*1000003 }
 
 // MeanCover averages covered-block counts over repetitions.
 func MeanCover(reps []*Stats) float64 {

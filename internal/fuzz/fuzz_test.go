@@ -1,6 +1,7 @@
 package fuzz
 
 import (
+	"context"
 	"testing"
 
 	"kernelgpt/internal/corpus"
@@ -84,7 +85,7 @@ func TestCoverageGuidanceBeatsBlindGeneration(t *testing.T) {
 
 func TestRepetitionsIndependent(t *testing.T) {
 	f := New(targetFor(t, "cec"), testKernel)
-	reps := f.RunRepetitions(DefaultConfig(500, 11), 3)
+	reps := f.RunRepetitions(context.Background(), DefaultConfig(500, 11), 3)
 	if len(reps) != 3 {
 		t.Fatal("wrong rep count")
 	}

@@ -1,0 +1,136 @@
+package fuzz
+
+import (
+	"context"
+	"runtime"
+	"sync"
+
+	"kernelgpt/internal/pool"
+	"kernelgpt/internal/vkernel"
+)
+
+// shardPlan decomposes a campaign budget into independent work units.
+// The decomposition depends only on the config — never on the worker
+// count — which is what makes RunParallel's merged results identical
+// for any number of shards.
+type shardPlan struct {
+	grain int
+	units int
+	total int
+}
+
+// maxDefaultUnits caps the default decomposition so the per-unit
+// budget — and with it corpus evolution depth — scales with the
+// campaign budget instead of being pinned at DefaultShardExecs.
+const maxDefaultUnits = 16
+
+func planShards(cfg Config) shardPlan {
+	grain := cfg.ShardExecs
+	if grain <= 0 {
+		grain = DefaultShardExecs
+		if scaled := (cfg.Execs + maxDefaultUnits - 1) / maxDefaultUnits; scaled > grain {
+			grain = scaled
+		}
+	}
+	units := (cfg.Execs + grain - 1) / grain
+	if units < 1 {
+		units = 1
+	}
+	return shardPlan{grain: grain, units: units, total: cfg.Execs}
+}
+
+// budget returns the execution budget of unit i.
+func (p shardPlan) budget(i int) int {
+	start := i * p.grain
+	if rem := p.total - start; rem < p.grain {
+		return rem
+	}
+	return p.grain
+}
+
+// unitSeed derives the campaign seed for unit i of a base seed. The
+// derivation is a splitmix-style hash so unit campaigns are
+// decorrelated from each other and from RunRepetitions' linear
+// derivation.
+func unitSeed(base int64, i int) int64 {
+	z := uint64(base) + uint64(i+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// RunParallel executes one campaign budget as a set of independent
+// sharded sub-campaigns on a pool of `shards` worker goroutines and
+// returns the merged Stats. The budget is decomposed into fixed-size
+// work units (Config.ShardExecs each; by default the grain scales
+// with the budget so at most maxDefaultUnits units exist) with
+// deterministically derived seeds, so the merged coverage and crash
+// sets are bitwise identical regardless of the worker count — shards
+// only changes wall-clock time. Crash FirstExec indices are remapped
+// into the global budget (unit i's executions occupy [i·grain,
+// i·grain+budget)), which keeps discovery-time ordering meaningful
+// after the merge.
+//
+// Units restart corpus evolution from scratch, trading single-run
+// corpus depth for restart diversity (empirically a wash or slight
+// win on this substrate); for one maximally deep serial campaign use
+// Run, or set ShardExecs = Execs.
+//
+// Cancellation stops unstarted units and interrupts running ones; the
+// partial merge and ctx.Err() are returned. Config.Progress, when
+// set, is invoked after each unit completes with the merged counts so
+// far.
+func (f *Fuzzer) RunParallel(ctx context.Context, cfg Config, shards int) (*Stats, error) {
+	plan := planShards(cfg)
+	merged := &Stats{
+		Cover:   map[vkernel.BlockID]struct{}{},
+		Crashes: map[string]*CrashReport{},
+	}
+	var mu sync.Mutex
+	done := 0
+	pool.Run(pool.Clamp(plan.units, shards, runtime.GOMAXPROCS(0)), plan.units, func(i int) {
+		c := cfg
+		c.Execs = plan.budget(i)
+		c.Seed = unitSeed(cfg.Seed, i)
+		c.Progress = nil // per-unit campaigns report via the merge below
+		unit, _ := f.run(ctx, c)
+		mu.Lock()
+		mergeInto(merged, unit, i*plan.grain)
+		done++
+		if cfg.Progress != nil {
+			cfg.Progress(Progress{
+				ShardsDone: done, ShardsTotal: plan.units,
+				Execs: merged.Execs, Cover: merged.CoverCount(),
+				Crashes: merged.UniqueCrashes(),
+			})
+		}
+		mu.Unlock()
+	})
+	return merged, ctx.Err()
+}
+
+// mergeInto folds one unit's stats into the merged campaign view.
+// Every operation is commutative (set union, min-by-disjoint-key,
+// sum), so the merge result is independent of unit completion order.
+func mergeInto(dst, src *Stats, execBase int) {
+	for b := range src.Cover {
+		dst.Cover[b] = struct{}{}
+	}
+	for title, cr := range src.Crashes {
+		first := execBase + cr.FirstExec
+		have := dst.Crashes[title]
+		if have == nil {
+			dst.Crashes[title] = &CrashReport{
+				Title: title, FirstExec: first, Count: cr.Count, Repro: cr.Repro,
+			}
+			continue
+		}
+		have.Count += cr.Count
+		if first < have.FirstExec {
+			have.FirstExec = first
+			have.Repro = cr.Repro
+		}
+	}
+	dst.Execs += src.Execs
+	dst.CorpusSize += src.CorpusSize
+}

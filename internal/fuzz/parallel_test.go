@@ -1,0 +1,142 @@
+package fuzz
+
+import (
+	"context"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// mergedView reduces Stats to the comparable merged outcome: the
+// coverage set, and per-title (FirstExec, Count, Repro).
+func mergedView(s *Stats) (map[uint32]struct{}, map[string]CrashReport) {
+	cov := map[uint32]struct{}{}
+	for b := range s.Cover {
+		cov[uint32(b)] = struct{}{}
+	}
+	crashes := map[string]CrashReport{}
+	for t, cr := range s.Crashes {
+		crashes[t] = *cr
+	}
+	return cov, crashes
+}
+
+// TestRunParallelWorkerCountInvariance is the acceptance check: N
+// shards for N ∈ {1, 2, 4} must produce bitwise-identical merged
+// coverage and crash sets given the same base seed.
+func TestRunParallelWorkerCountInvariance(t *testing.T) {
+	f := New(targetFor(t, "dm"), testKernel)
+	cfg := DefaultConfig(6000, 42)
+	cfg.ShardExecs = 1024 // several units, uneven tail
+
+	base, err := f.RunParallel(context.Background(), cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCov, wantCrashes := mergedView(base)
+	if len(wantCov) == 0 {
+		t.Fatal("campaign covered nothing; test target broken")
+	}
+	for _, shards := range []int{2, 4} {
+		got, err := f.RunParallel(context.Background(), cfg, shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cov, crashes := mergedView(got)
+		if !reflect.DeepEqual(cov, wantCov) {
+			t.Fatalf("shards=%d: coverage diverged (%d vs %d blocks)", shards, len(cov), len(wantCov))
+		}
+		if !reflect.DeepEqual(crashes, wantCrashes) {
+			t.Fatalf("shards=%d: crash reports diverged:\n%v\nvs\n%v", shards, crashes, wantCrashes)
+		}
+		if got.Execs != base.Execs || got.CorpusSize != base.CorpusSize {
+			t.Fatalf("shards=%d: execs/corpus diverged: %d/%d vs %d/%d",
+				shards, got.Execs, got.CorpusSize, base.Execs, base.CorpusSize)
+		}
+	}
+}
+
+func TestRunParallelSpendsFullBudget(t *testing.T) {
+	f := New(targetFor(t, "dm"), testKernel)
+	cfg := DefaultConfig(2500, 7)
+	cfg.ShardExecs = 1000 // 1000 + 1000 + 500
+	stats, err := f.RunParallel(context.Background(), cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Execs != 2500 {
+		t.Fatalf("budget not spent exactly: %d", stats.Execs)
+	}
+}
+
+func TestRunParallelProgress(t *testing.T) {
+	f := New(targetFor(t, "dm"), testKernel)
+	cfg := DefaultConfig(4096, 3)
+	cfg.ShardExecs = 1024
+	var updates []Progress
+	cfg.Progress = func(p Progress) { updates = append(updates, p) }
+	if _, err := f.RunParallel(context.Background(), cfg, 2); err != nil {
+		t.Fatal(err)
+	}
+	if len(updates) != 4 {
+		t.Fatalf("want one update per unit (4), got %d", len(updates))
+	}
+	last := updates[len(updates)-1]
+	if last.ShardsDone != 4 || last.ShardsTotal != 4 || last.Execs != 4096 {
+		t.Fatalf("final update wrong: %+v", last)
+	}
+	for i := 1; i < len(updates); i++ {
+		if updates[i].Execs < updates[i-1].Execs || updates[i].Cover < updates[i-1].Cover {
+			t.Fatalf("progress must be monotonic: %+v", updates)
+		}
+	}
+}
+
+func TestRunParallelCancellation(t *testing.T) {
+	f := New(targetFor(t, "dm"), testKernel)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := DefaultConfig(1_000_000, 5) // far more than a test should run
+	start := time.Now()
+	stats, err := f.RunParallel(ctx, cfg, 2)
+	if err == nil {
+		t.Fatal("cancelled campaign must report the context error")
+	}
+	if stats == nil {
+		t.Fatal("partial stats must still be returned")
+	}
+	if stats.Execs >= 1_000_000 {
+		t.Fatal("cancellation did not stop the campaign early")
+	}
+	if time.Since(start) > 30*time.Second {
+		t.Fatal("cancellation took implausibly long")
+	}
+}
+
+func TestRunRepetitionsMatchesSerial(t *testing.T) {
+	f := New(targetFor(t, "cec"), testKernel)
+	cfg := DefaultConfig(600, 11)
+	par := f.RunRepetitions(context.Background(), cfg, 3)
+	for i := 0; i < 3; i++ {
+		c := cfg
+		c.Seed = cfg.Seed + int64(i)*1000003
+		want := f.Run(c)
+		if par[i].CoverCount() != want.CoverCount() || par[i].UniqueCrashes() != want.UniqueCrashes() {
+			t.Fatalf("rep %d diverged from serial: cov %d vs %d", i, par[i].CoverCount(), want.CoverCount())
+		}
+	}
+}
+
+func TestShardPlan(t *testing.T) {
+	cfg := Config{Execs: 2500, ShardExecs: 1000}
+	p := planShards(cfg)
+	if p.units != 3 {
+		t.Fatalf("units = %d", p.units)
+	}
+	if p.budget(0) != 1000 || p.budget(1) != 1000 || p.budget(2) != 500 {
+		t.Fatalf("budgets = %d %d %d", p.budget(0), p.budget(1), p.budget(2))
+	}
+	if unitSeed(1, 0) == unitSeed(1, 1) || unitSeed(1, 0) == unitSeed(2, 0) {
+		t.Fatal("unit seeds must differ across units and bases")
+	}
+}

@@ -5,6 +5,7 @@
 package integration
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -21,6 +22,7 @@ import (
 var (
 	testCorpus = corpus.Build(corpus.TestConfig())
 	testKernel = vkernel.New(testCorpus)
+	ctx        = context.Background()
 )
 
 // TestEndToEndDeviceMapperCVE is the headline integration: generate
@@ -28,7 +30,7 @@ var (
 // CVE-2024-23851.
 func TestEndToEndDeviceMapperCVE(t *testing.T) {
 	gen := core.New(llm.NewSim("gpt-4", 1), testCorpus, core.DefaultOptions())
-	res := gen.GenerateFor(testCorpus.Handler("dm"))
+	res := gen.GenerateFor(ctx, testCorpus.Handler("dm"))
 	if !res.Valid {
 		t.Fatalf("generation failed: %v", res.RemainingErrors)
 	}
@@ -50,7 +52,7 @@ func TestGeneratedBeatsBaselinePerDriver(t *testing.T) {
 	sd := baseline.New(testCorpus)
 	for _, name := range []string{"dm", "cec", "controlC0"} {
 		h := testCorpus.Handler(name)
-		kg := gen.GenerateFor(h)
+		kg := gen.GenerateFor(ctx, h)
 		if !kg.Valid {
 			t.Fatalf("%s: generation failed", name)
 		}
@@ -84,7 +86,7 @@ func TestOracleUpperBounds(t *testing.T) {
 	gen := core.New(llm.NewSim("gpt-4", 3), testCorpus, core.DefaultOptions())
 	for _, name := range []string{"cec", "ubi_ctrl"} {
 		h := testCorpus.Handler(name)
-		kg := gen.GenerateFor(h)
+		kg := gen.GenerateFor(ctx, h)
 		if !kg.Valid {
 			continue
 		}
@@ -104,7 +106,7 @@ func TestWholePipelineDeterminism(t *testing.T) {
 		c := corpus.Build(corpus.TestConfig())
 		k := vkernel.New(c)
 		gen := core.New(llm.NewSim("gpt-4", 9), c, core.DefaultOptions())
-		res := gen.GenerateFor(c.Handler("cec"))
+		res := gen.GenerateFor(ctx, c.Handler("cec"))
 		if res.Spec == nil {
 			t.Fatal("nil spec")
 		}
@@ -152,7 +154,7 @@ func TestMergedSuitesCompile(t *testing.T) {
 	gen := core.New(llm.NewSim("gpt-4", 7), testCorpus, core.DefaultOptions())
 	var results []*core.Result
 	for _, h := range testCorpus.Incomplete(corpus.KindDriver) {
-		results = append(results, gen.GenerateFor(h))
+		results = append(results, gen.GenerateFor(ctx, h))
 	}
 	kg := core.MergeSpecs(results)
 	for i, f := range []*syzlang.File{
@@ -174,7 +176,7 @@ func TestMergedSuitesCompile(t *testing.T) {
 // the baseline uses numeric identifiers.
 func TestReadableNames(t *testing.T) {
 	gen := core.New(llm.NewSim("gpt-4", 8), testCorpus, core.DefaultOptions())
-	kg := gen.GenerateFor(testCorpus.Handler("cec"))
+	kg := gen.GenerateFor(ctx, testCorpus.Handler("cec"))
 	if !kg.Valid {
 		t.Fatal("cec generation failed")
 	}
@@ -196,7 +198,7 @@ func TestIterationBudgetRespected(t *testing.T) {
 	opts.MaxIter = 2
 	opts.Repair = false
 	gen := core.New(llm.NewSim("gpt-4", 10), testCorpus, opts)
-	res := gen.GenerateFor(testCorpus.Handler("dm"))
+	res := gen.GenerateFor(ctx, testCorpus.Handler("dm"))
 	// dm needs ≥3 identifier rounds (regs → unlocked → dm_ioctl);
 	// with MaxIter=2 the command table is never reached.
 	if res.NewSyscalls() > 0 {

@@ -1,6 +1,15 @@
 // Package llm provides the analysis-LLM abstraction KernelGPT queries
 // (§4 "Analysis LLM") and a deterministic simulated implementation.
 //
+// The client surface is context-aware and concurrency-ready: a call
+// is a Request (messages plus purpose/driver metadata) completed into
+// a Response (text plus per-call token usage), and clients compose
+// through Middleware — shipped wrappers provide an LRU response cache
+// (deduplicating identical analysis prompts across drivers), a
+// retry/backoff layer, and a concurrency limiter. All shipped clients
+// are safe for concurrent use; cumulative Usage accounting is
+// mutex-protected.
+//
 // The paper drives GPT-4 through the OpenAI chat API; this
 // reproduction is offline, so the Client interface is implemented by
 // a simulated model that genuinely analyzes the C source embedded in
@@ -14,7 +23,11 @@
 // gpt-4, gpt-4o and gpt-3.5 reproduce the §5.2.3 model ablation.
 package llm
 
-import "strings"
+import (
+	"context"
+	"strings"
+	"sync"
+)
 
 // Message is one chat message.
 type Message struct {
@@ -22,8 +35,36 @@ type Message struct {
 	Content string
 }
 
+// Request is one completion call: the conversation plus metadata
+// identifying what the pipeline is asking for. The metadata rides
+// along for middleware (cache keys, logging) and for per-purpose
+// accounting; it is not part of the prompt text.
+type Request struct {
+	Messages []Message
+	// Purpose names the pipeline stage issuing the call:
+	// "identifier", "type", "dependency", or "repair".
+	Purpose string
+	// Driver names the handler under analysis (for tracing and
+	// progress reporting).
+	Driver string
+}
+
+// Response is the model's reply plus the token accounting for this
+// single call.
+type Response struct {
+	Text string
+	// Usage is the cost of this call alone (zero when served from a
+	// cache).
+	Usage Usage
+	// Cached reports that a caching middleware served the response
+	// without consulting the underlying model.
+	Cached bool
+}
+
 // Usage accumulates token accounting, mirroring the paper's cost
-// report (§5.1.1: ~5.56M input tokens, ~400K output, $34).
+// report (§5.1.1: ~5.56M input tokens, ~400K output, $34). Usage is a
+// plain value; clients that accumulate it concurrently must do so
+// through a UsageCounter.
 type Usage struct {
 	PromptTokens     int
 	CompletionTokens int
@@ -44,14 +85,51 @@ func (u *Usage) CostUSD() float64 {
 	return float64(u.PromptTokens)*10/1e6 + float64(u.CompletionTokens)*30/1e6
 }
 
+// UsageCounter is a mutex-protected Usage accumulator for clients
+// that serve concurrent completions.
+type UsageCounter struct {
+	mu sync.Mutex
+	u  Usage
+}
+
+// Record adds one call's usage.
+func (c *UsageCounter) Record(u Usage) {
+	c.mu.Lock()
+	c.u.Add(u)
+	c.mu.Unlock()
+}
+
+// Snapshot returns the accumulated totals.
+func (c *UsageCounter) Snapshot() Usage {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.u
+}
+
 // Client is the chat-completion interface KernelGPT consumes.
+// Implementations must be safe for concurrent use.
 type Client interface {
-	// Complete sends a conversation and returns the model's reply.
-	Complete(msgs []Message) (string, error)
-	// Usage reports cumulative token accounting.
+	// Complete sends one request and returns the model's reply with
+	// per-call usage. The context cancels in-flight work.
+	Complete(ctx context.Context, req Request) (Response, error)
+	// Usage reports cumulative token accounting across all calls.
 	Usage() Usage
 	// Name identifies the model (for tables and ablations).
 	Name() string
+}
+
+// Middleware wraps a Client with additional behavior (caching,
+// retries, concurrency limiting). Middleware composes: the returned
+// Client is itself wrappable.
+type Middleware func(Client) Client
+
+// Chain applies middleware so that the first listed is outermost:
+// Chain(c, a, b) serves requests through a, then b, then c.
+func Chain(c Client, mws ...Middleware) Client {
+	for i := len(mws) - 1; i >= 0; i-- {
+		c = mws[i](c)
+	}
+	return c
 }
 
 // CountTokens approximates tokenization at 4 characters per token,

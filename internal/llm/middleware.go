@@ -1,0 +1,234 @@
+package llm
+
+import (
+	"container/list"
+	"context"
+	"crypto/sha256"
+	"sync"
+	"time"
+)
+
+// --- caching ---
+
+// CacheStats reports caching-middleware effectiveness.
+type CacheStats struct {
+	Hits      int
+	Misses    int
+	Evictions int
+}
+
+// CachingClient is an LRU completion cache. Identical requests (same
+// messages and purpose) across drivers are served from memory without
+// consulting — or billing — the underlying model, which is what makes
+// repeated per-driver analysis of shared headers cheap. Safe for
+// concurrent use; two racing identical misses may both reach the
+// inner client (the second result wins the cache slot), which is
+// correct for deterministic models and merely wasteful otherwise.
+type CachingClient struct {
+	inner   Client
+	mu      sync.Mutex
+	entries map[string]*list.Element
+	order   *list.List // front = most recent
+	max     int
+	stats   CacheStats
+}
+
+type cacheEntry struct {
+	key  string
+	resp Response
+}
+
+// NewCaching wraps a client with an LRU response cache holding up to
+// max entries (max <= 0 selects a default of 1024).
+func NewCaching(inner Client, max int) *CachingClient {
+	if max <= 0 {
+		max = 1024
+	}
+	return &CachingClient{
+		inner:   inner,
+		entries: map[string]*list.Element{},
+		order:   list.New(),
+		max:     max,
+	}
+}
+
+// WithCache is the Middleware form of NewCaching.
+func WithCache(max int) Middleware {
+	return func(c Client) Client { return NewCaching(c, max) }
+}
+
+// cacheKey folds the request into a fixed-size deduplication key (a
+// digest, so multi-KB prompts are not retained as map keys). The
+// driver name is deliberately excluded: two drivers asking the
+// identical question about the same source must share one
+// completion.
+func cacheKey(req Request) string {
+	h := sha256.New()
+	h.Write([]byte(req.Purpose))
+	for _, m := range req.Messages {
+		h.Write([]byte{0})
+		h.Write([]byte(m.Role))
+		h.Write([]byte{0})
+		h.Write([]byte(m.Content))
+	}
+	return string(h.Sum(nil))
+}
+
+// Complete implements Client.
+func (c *CachingClient) Complete(ctx context.Context, req Request) (Response, error) {
+	key := cacheKey(req)
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		resp := el.Value.(*cacheEntry).resp
+		c.stats.Hits++
+		c.mu.Unlock()
+		resp.Cached = true
+		resp.Usage = Usage{}
+		return resp, nil
+	}
+	c.stats.Misses++
+	c.mu.Unlock()
+
+	resp, err := c.inner.Complete(ctx, req)
+	if err != nil {
+		return resp, err
+	}
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).resp = resp
+		c.order.MoveToFront(el)
+	} else {
+		c.entries[key] = c.order.PushFront(&cacheEntry{key: key, resp: resp})
+		if c.order.Len() > c.max {
+			oldest := c.order.Back()
+			c.order.Remove(oldest)
+			delete(c.entries, oldest.Value.(*cacheEntry).key)
+			c.stats.Evictions++
+		}
+	}
+	c.mu.Unlock()
+	return resp, nil
+}
+
+// Usage implements Client (cache hits cost nothing, so the inner
+// totals are the true spend).
+func (c *CachingClient) Usage() Usage { return c.inner.Usage() }
+
+// Name implements Client.
+func (c *CachingClient) Name() string { return c.inner.Name() }
+
+// Unwrap exposes the wrapped client for chain walking.
+func (c *CachingClient) Unwrap() Client { return c.inner }
+
+// Stats returns a snapshot of hit/miss/eviction counts.
+func (c *CachingClient) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// FindCache walks a middleware chain looking for a CachingClient, so
+// callers holding only the outermost Client can still report cache
+// effectiveness.
+func FindCache(c Client) (*CachingClient, bool) {
+	for c != nil {
+		if cc, ok := c.(*CachingClient); ok {
+			return cc, true
+		}
+		u, ok := c.(interface{ Unwrap() Client })
+		if !ok {
+			return nil, false
+		}
+		c = u.Unwrap()
+	}
+	return nil, false
+}
+
+// --- retry ---
+
+// retryClient retries failed completions with exponential backoff.
+type retryClient struct {
+	inner    Client
+	attempts int
+	backoff  time.Duration
+}
+
+// WithRetry wraps a client so transient errors are retried up to
+// attempts total tries, sleeping backoff, 2·backoff, … between tries.
+// Context cancellation is never retried and interrupts the backoff
+// sleep.
+func WithRetry(attempts int, backoff time.Duration) Middleware {
+	if attempts < 1 {
+		attempts = 1
+	}
+	return func(c Client) Client {
+		return &retryClient{inner: c, attempts: attempts, backoff: backoff}
+	}
+}
+
+func (r *retryClient) Complete(ctx context.Context, req Request) (Response, error) {
+	var resp Response
+	var err error
+	delay := r.backoff
+	for try := 0; try < r.attempts; try++ {
+		if try > 0 && delay > 0 {
+			t := time.NewTimer(delay)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return Response{}, ctx.Err()
+			case <-t.C:
+			}
+			delay *= 2
+		}
+		resp, err = r.inner.Complete(ctx, req)
+		if err == nil || ctx.Err() != nil {
+			return resp, err
+		}
+	}
+	return resp, err
+}
+
+func (r *retryClient) Usage() Usage   { return r.inner.Usage() }
+func (r *retryClient) Name() string   { return r.inner.Name() }
+func (r *retryClient) Unwrap() Client { return r.inner }
+
+// --- concurrency limiting ---
+
+// limitClient bounds in-flight completions with a semaphore: the
+// batching discipline that keeps a worker pool from overrunning an
+// API's concurrent-request quota.
+type limitClient struct {
+	inner Client
+	sem   chan struct{}
+}
+
+// WithConcurrencyLimit wraps a client so at most n completions run
+// concurrently; excess callers block (or abort on context
+// cancellation) until a slot frees.
+func WithConcurrencyLimit(n int) Middleware {
+	if n < 1 {
+		n = 1
+	}
+	return func(c Client) Client {
+		return &limitClient{inner: c, sem: make(chan struct{}, n)}
+	}
+}
+
+func (l *limitClient) Complete(ctx context.Context, req Request) (Response, error) {
+	if err := ctx.Err(); err != nil {
+		return Response{}, err
+	}
+	select {
+	case l.sem <- struct{}{}:
+	case <-ctx.Done():
+		return Response{}, ctx.Err()
+	}
+	defer func() { <-l.sem }()
+	return l.inner.Complete(ctx, req)
+}
+
+func (l *limitClient) Usage() Usage   { return l.inner.Usage() }
+func (l *limitClient) Name() string   { return l.inner.Name() }
+func (l *limitClient) Unwrap() Client { return l.inner }

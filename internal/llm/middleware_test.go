@@ -1,0 +1,285 @@
+package llm
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeClient is a scriptable Client for middleware tests.
+type fakeClient struct {
+	mu    sync.Mutex
+	calls int
+	// failFirst makes the first n calls fail.
+	failFirst int
+	// inFlight/maxInFlight observe concurrency.
+	inFlight    int32
+	maxInFlight int32
+	// delay stretches each call so concurrency is observable.
+	delay time.Duration
+	usage UsageCounter
+}
+
+var errFlaky = errors.New("transient backend error")
+
+func (f *fakeClient) Complete(ctx context.Context, req Request) (Response, error) {
+	cur := atomic.AddInt32(&f.inFlight, 1)
+	for {
+		old := atomic.LoadInt32(&f.maxInFlight)
+		if cur <= old || atomic.CompareAndSwapInt32(&f.maxInFlight, old, cur) {
+			break
+		}
+	}
+	if f.delay > 0 {
+		time.Sleep(f.delay)
+	}
+	atomic.AddInt32(&f.inFlight, -1)
+
+	f.mu.Lock()
+	f.calls++
+	n := f.calls
+	fail := n <= f.failFirst
+	f.mu.Unlock()
+	if fail {
+		return Response{}, errFlaky
+	}
+	u := Usage{Calls: 1, PromptTokens: CountTokens(req.Messages[0].Content), CompletionTokens: 2}
+	f.usage.Record(u)
+	return Response{Text: "echo:" + req.Messages[0].Content, Usage: u}, nil
+}
+
+func (f *fakeClient) Usage() Usage { return f.usage.Snapshot() }
+func (f *fakeClient) Name() string { return "fake" }
+
+func req(content string) Request {
+	return Request{Messages: []Message{{Role: "user", Content: content}}, Purpose: "identifier"}
+}
+
+func TestCacheHitMiss(t *testing.T) {
+	fake := &fakeClient{}
+	c := Chain(fake, WithCache(8))
+	ctx := context.Background()
+
+	r1, err := c.Complete(ctx, req("prompt-a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Cached || r1.Usage.Calls != 1 {
+		t.Fatalf("first call must miss and bill: %+v", r1)
+	}
+	r2, err := c.Complete(ctx, req("prompt-a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.Cached || r2.Text != r1.Text {
+		t.Fatalf("second identical call must hit: %+v", r2)
+	}
+	if r2.Usage != (Usage{}) {
+		t.Fatalf("cache hits must not bill: %+v", r2.Usage)
+	}
+	if u := c.Usage(); u.Calls != 1 {
+		t.Fatalf("cumulative usage must count only real calls: %+v", u)
+	}
+	if _, err := c.Complete(ctx, req("prompt-b")); err != nil {
+		t.Fatal(err)
+	}
+	cc, ok := FindCache(c)
+	if !ok {
+		t.Fatal("FindCache failed on direct cache")
+	}
+	if st := cc.Stats(); st.Hits != 1 || st.Misses != 2 {
+		t.Fatalf("stats = %+v, want 1 hit / 2 misses", st)
+	}
+}
+
+func TestCacheKeyRespectsPurposeNotDriver(t *testing.T) {
+	fake := &fakeClient{}
+	c := NewCaching(fake, 8)
+	ctx := context.Background()
+	r := Request{Messages: []Message{{Role: "user", Content: "x"}}, Purpose: "identifier", Driver: "dm"}
+	if _, err := c.Complete(ctx, r); err != nil {
+		t.Fatal(err)
+	}
+	other := r
+	other.Driver = "rds" // different driver, same question: must hit
+	resp, _ := c.Complete(ctx, other)
+	if !resp.Cached {
+		t.Fatal("driver metadata must not fragment the cache")
+	}
+	typ := r
+	typ.Purpose = "type" // different stage: must miss
+	resp, _ = c.Complete(ctx, typ)
+	if resp.Cached {
+		t.Fatal("purpose must be part of the cache key")
+	}
+}
+
+func TestCacheEviction(t *testing.T) {
+	fake := &fakeClient{}
+	c := NewCaching(fake, 2)
+	ctx := context.Background()
+	for _, p := range []string{"a", "b", "c"} { // "a" evicted
+		if _, err := c.Complete(ctx, req(p)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if resp, _ := c.Complete(ctx, req("a")); resp.Cached {
+		t.Fatal("LRU must have evicted the oldest entry")
+	}
+	if st := c.Stats(); st.Evictions == 0 {
+		t.Fatalf("evictions not counted: %+v", st)
+	}
+}
+
+func TestRetryRecoversTransientErrors(t *testing.T) {
+	fake := &fakeClient{failFirst: 2}
+	c := Chain(fake, WithRetry(3, time.Millisecond))
+	resp, err := c.Complete(context.Background(), req("p"))
+	if err != nil {
+		t.Fatalf("retry should have absorbed 2 failures: %v", err)
+	}
+	if resp.Text != "echo:p" {
+		t.Fatalf("bad response: %+v", resp)
+	}
+	if fake.calls != 3 {
+		t.Fatalf("expected 3 tries, got %d", fake.calls)
+	}
+}
+
+func TestRetryGivesUp(t *testing.T) {
+	fake := &fakeClient{failFirst: 10}
+	c := Chain(fake, WithRetry(3, 0))
+	if _, err := c.Complete(context.Background(), req("p")); !errors.Is(err, errFlaky) {
+		t.Fatalf("want the backend error after exhausting tries, got %v", err)
+	}
+	if fake.calls != 3 {
+		t.Fatalf("expected exactly 3 tries, got %d", fake.calls)
+	}
+}
+
+func TestRetryHonorsCancellation(t *testing.T) {
+	fake := &fakeClient{failFirst: 10}
+	c := Chain(fake, WithRetry(5, time.Hour))
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Complete(ctx, req("p"))
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("want context.Canceled, got %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("retry slept through cancellation")
+	}
+}
+
+func TestConcurrencyLimitHonorsBound(t *testing.T) {
+	fake := &fakeClient{delay: 5 * time.Millisecond}
+	c := Chain(fake, WithConcurrencyLimit(3))
+	var wg sync.WaitGroup
+	for i := 0; i < 24; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := c.Complete(context.Background(), req(fmt.Sprintf("p%d", i))); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if max := atomic.LoadInt32(&fake.maxInFlight); max > 3 {
+		t.Fatalf("observed %d in-flight calls, limit is 3", max)
+	}
+	if fake.calls != 24 {
+		t.Fatalf("all calls must complete, got %d", fake.calls)
+	}
+}
+
+func TestConcurrencyLimitCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	c := Chain(&fakeClient{delay: time.Second}, WithConcurrencyLimit(1))
+	// A cancelled context must not deadlock waiting for a slot.
+	if _, err := c.Complete(ctx, req("p")); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+// TestChainedMiddlewareUnderRace hammers the full production chain
+// (cache → retry → limit → sim) from many goroutines; run with
+// -race, this is the regression test for the Usage data race.
+func TestChainedMiddlewareUnderRace(t *testing.T) {
+	sim := NewSim("gpt-4", 17)
+	c := Chain(sim, WithCache(64), WithRetry(2, 0), WithConcurrencyLimit(4))
+	prompts := []Request{}
+	for i := 0; i < 8; i++ {
+		r := req(fmt.Sprintf("%s\nprobe %d\n%s\n%s", SecInstruction, i, SecSource, simDMSource))
+		r.Purpose = "identifier"
+		prompts = append(prompts, r)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				if _, err := c.Complete(context.Background(), prompts[(g+i)%len(prompts)]); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	u := c.Usage()
+	if u.Calls == 0 || u.Calls > 8*20 {
+		t.Fatalf("usage totals implausible: %+v", u)
+	}
+	cc, ok := FindCache(c)
+	if !ok {
+		t.Fatal("FindCache must walk Unwrap chains")
+	}
+	if st := cc.Stats(); st.Hits == 0 {
+		t.Fatalf("expected cache hits under repetition: %+v", st)
+	}
+}
+
+// TestSimConcurrentDeterminism checks that concurrent completions on
+// one SimModel agree with serial ones (completions are pure; only
+// accounting is shared).
+func TestSimConcurrentDeterminism(t *testing.T) {
+	serial := NewSim("gpt-4", 9)
+	want, err := serial.Complete(context.Background(), Request{Messages: identPrompt(simDMSource, "")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared := NewSim("gpt-4", 9)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got, err := shared.Complete(context.Background(), Request{Messages: identPrompt(simDMSource, "")})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if got.Text != want.Text {
+				t.Errorf("concurrent completion diverged")
+			}
+		}()
+	}
+	wg.Wait()
+	if u := shared.Usage(); u.Calls != 8 {
+		t.Fatalf("usage lost calls under concurrency: %+v", u)
+	}
+}

@@ -1,6 +1,7 @@
 package llm
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -13,12 +14,14 @@ import (
 // (re-parsing it with the ccode package — the model "reads" only what
 // the prompt contains), filtered through the model's capability
 // profile, with seeded fallibility injecting repairable and
-// unrepairable specification errors.
+// unrepairable specification errors. Completions are pure functions
+// of (seed, prompt), so SimModel is safe for concurrent use: the only
+// mutable state is the mutex-protected usage counter.
 type SimModel struct {
 	name  string
 	caps  Capability
 	seed  uint64
-	usage Usage
+	usage UsageCounter
 }
 
 // NewSim returns a simulated model. The seed makes fallibility
@@ -31,7 +34,7 @@ func NewSim(name string, seed uint64) *SimModel {
 func (m *SimModel) Name() string { return m.name }
 
 // Usage implements Client.
-func (m *SimModel) Usage() Usage { return m.usage }
+func (m *SimModel) Usage() Usage { return m.usage.Snapshot() }
 
 // Caps exposes the capability profile (used by ablation harnesses).
 func (m *SimModel) Caps() Capability { return m.caps }
@@ -51,16 +54,17 @@ func (m *SimModel) chance(key string) float64 {
 }
 
 // Complete implements Client.
-func (m *SimModel) Complete(msgs []Message) (string, error) {
+func (m *SimModel) Complete(ctx context.Context, req Request) (Response, error) {
+	if err := ctx.Err(); err != nil {
+		return Response{}, err
+	}
 	var prompt strings.Builder
-	for _, msg := range msgs {
+	for _, msg := range req.Messages {
 		prompt.WriteString(msg.Content)
 		prompt.WriteByte('\n')
 	}
 	text := prompt.String()
 	ptoks := CountTokens(text)
-	m.usage.Calls++
-	m.usage.PromptTokens += ptoks
 
 	instr := strings.ToLower(ExtractSection(text, SecInstruction))
 	src := ExtractSection(text, SecSource)
@@ -93,8 +97,9 @@ func (m *SimModel) Complete(msgs []Message) (string, error) {
 	default: // identifier deduction (also the all-in-one first half)
 		resp = m.analyzeIdent(text, src, dilute)
 	}
-	m.usage.CompletionTokens += CountTokens(resp)
-	return resp, nil
+	call := Usage{Calls: 1, PromptTokens: ptoks, CompletionTokens: CountTokens(resp)}
+	m.usage.Record(call)
+	return Response{Text: resp, Usage: call}, nil
 }
 
 // --- stage 1: identifier deduction ---

@@ -1,10 +1,17 @@
 package llm
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"testing/quick"
 )
+
+// complete is the test shorthand for the context-aware Client call.
+func complete(m Client, msgs []Message) (string, error) {
+	resp, err := m.Complete(context.Background(), Request{Messages: msgs})
+	return resp.Text, err
+}
 
 const simDMSource = `
 #define DM_NAME "device-mapper"
@@ -67,7 +74,7 @@ func identPrompt(src string, unknowns string) []Message {
 
 func TestSimIdentNodenameAndInversion(t *testing.T) {
 	m := NewSim("gpt-4", 99)
-	reply, err := m.Complete(identPrompt(simDMSource, ""))
+	reply, err := complete(m, identPrompt(simDMSource, ""))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +92,7 @@ func TestSimIdentNodenameAndInversion(t *testing.T) {
 
 func TestSimGPT35KeepsRawLabel(t *testing.T) {
 	m := NewSim("gpt-3.5", 99)
-	reply, _ := m.Complete(identPrompt(simDMSource, ""))
+	reply, _ := complete(m, identPrompt(simDMSource, ""))
 	r := ParseIdentResult(reply)
 	found := false
 	for _, c := range r.Cmds {
@@ -115,7 +122,7 @@ func typePrompt(src, wanted string) []Message {
 
 func TestSimTypeRecovery(t *testing.T) {
 	m := NewSim("gpt-4", 12345)
-	reply, _ := m.Complete(typePrompt(simDMSource, "dm_ioctl"))
+	reply, _ := complete(m, typePrompt(simDMSource, "dm_ioctl"))
 	r := ParseTypeResult(reply)
 	if !strings.Contains(r.Defs, "dm_ioctl {") {
 		t.Fatalf("struct not emitted:\n%s", r.Defs)
@@ -135,7 +142,7 @@ func TestSimTypeRecovery(t *testing.T) {
 
 func TestSimGPT35NoLenRelation(t *testing.T) {
 	m := NewSim("gpt-3.5", 12345)
-	reply, _ := m.Complete(typePrompt(simDMSource, "dm_ioctl"))
+	reply, _ := complete(m, typePrompt(simDMSource, "dm_ioctl"))
 	r := ParseTypeResult(reply)
 	if strings.Contains(r.Defs, "len[") {
 		t.Fatalf("gpt-3.5 must not infer len relations:\n%s", r.Defs)
@@ -159,7 +166,7 @@ x_t {
 	b.WriteString(SecErrors + "\nunknown constant CMD_A_FIXME\n")
 	b.WriteString(SecSpec + "\n" + spec + "\n")
 	b.WriteString(SecSource + "\n#define CMD_A 1\n")
-	reply, _ := m.Complete([]Message{{Role: "user", Content: b.String()}})
+	reply, _ := complete(m, []Message{{Role: "user", Content: b.String()}})
 	fixed := ExtractSection(reply, "## Repaired Specification")
 	if strings.Contains(fixed, "_FIXME]") {
 		t.Fatalf("macro corruption not repaired:\n%s", fixed)
@@ -173,20 +180,20 @@ x_t {
 }
 
 func TestSimDeterministic(t *testing.T) {
-	a, _ := NewSim("gpt-4", 7).Complete(identPrompt(simDMSource, ""))
-	b, _ := NewSim("gpt-4", 7).Complete(identPrompt(simDMSource, ""))
+	a, _ := complete(NewSim("gpt-4", 7), identPrompt(simDMSource, ""))
+	b, _ := complete(NewSim("gpt-4", 7), identPrompt(simDMSource, ""))
 	if a != b {
 		t.Fatal("same seed must give identical completions")
 	}
-	c, _ := NewSim("gpt-4", 8).Complete(identPrompt(simDMSource, ""))
+	c, _ := complete(NewSim("gpt-4", 8), identPrompt(simDMSource, ""))
 	_ = c // different seeds may differ; only determinism is required
 }
 
 func TestUsageAccumulates(t *testing.T) {
 	m := NewSim("gpt-4", 1)
-	m.Complete(identPrompt(simDMSource, "")) //nolint:errcheck
+	complete(m, identPrompt(simDMSource, "")) //nolint:errcheck
 	u1 := m.Usage()
-	m.Complete(identPrompt(simDMSource, "")) //nolint:errcheck
+	complete(m, identPrompt(simDMSource, "")) //nolint:errcheck
 	u2 := m.Usage()
 	if u2.Calls != u1.Calls+1 || u2.PromptTokens <= u1.PromptTokens {
 		t.Fatalf("usage not accumulating: %+v %+v", u1, u2)
@@ -237,7 +244,7 @@ func TestQuickSimNeverPanics(t *testing.T) {
 	m := NewSim("gpt-4", 3)
 	f := func(body []byte) bool {
 		msgs := identPrompt(string(body), "")
-		_, err := m.Complete(msgs)
+		_, err := complete(m, msgs)
 		return err == nil
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {

@@ -1,0 +1,49 @@
+// Package pool is the minimal worker-pool primitive shared by the
+// engine's generation fan-out and the fuzzer's sharded campaigns.
+package pool
+
+import "sync"
+
+// Clamp bounds a requested worker count to [1, n], substituting
+// fallback when the request is unset (<= 0).
+func Clamp(n, requested, fallback int) int {
+	w := requested
+	if w <= 0 {
+		w = fallback
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Run executes fn(0..n-1) on a pool of workers. Every unit is
+// invoked exactly once — cancellation is the unit body's concern, so
+// callers never observe missing results.
+func Run(workers, n int, fn func(i int)) {
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	units := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range units {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		units <- i
+	}
+	close(units)
+	wg.Wait()
+}
