@@ -2,6 +2,8 @@
 // with a chosen specification suite. Campaigns run through the
 // sharded parallel fuzzer: -shards sizes the worker pool, and the
 // merged coverage/crash results are identical for any shard count.
+// Crash repros are triaged (minimized) at discovery time and printed
+// with the crash summary; throughput is reported as execs/sec.
 // Ctrl-C cancels a campaign and prints the partial results.
 //
 // Usage:
@@ -18,6 +20,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
+	"time"
 
 	"kernelgpt/internal/baseline"
 	"kernelgpt/internal/core"
@@ -71,6 +75,8 @@ func main() {
 
 	f := fuzz.New(tgt, kernel)
 	var statsList []*fuzz.Stats
+	var elapsed []time.Duration
+	start := time.Now()
 	for i := 0; i < *reps; i++ {
 		cfg := fuzz.DefaultConfig(*execs, fuzz.RepSeed(*seed, i))
 		if *progress {
@@ -80,19 +86,24 @@ func main() {
 					rep, p.ShardsDone, p.ShardsTotal, p.Execs, p.Cover, p.Crashes)
 			}
 		}
+		repStart := time.Now()
 		s, err := f.RunParallel(ctx, cfg, *shards)
+		elapsed = append(elapsed, time.Since(repStart))
 		statsList = append(statsList, s)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "campaign interrupted: %v\n", err)
 			break
 		}
 	}
+	totalExecs := 0
 	for i, s := range statsList {
-		fmt.Printf("rep %d: cov=%d crashes=%d corpus=%d\n",
-			i+1, s.CoverCount(), s.UniqueCrashes(), s.CorpusSize)
+		fmt.Printf("rep %d: cov=%d crashes=%d corpus=%d (%.0f execs/sec)\n",
+			i+1, s.CoverCount(), s.UniqueCrashes(), s.CorpusSize, execRate(s.Execs, elapsed[i]))
+		totalExecs += s.Execs
 	}
-	fmt.Printf("mean cov=%.1f mean crashes=%.1f\n",
-		fuzz.MeanCover(statsList), fuzz.MeanCrashes(statsList))
+	fmt.Printf("mean cov=%.1f mean crashes=%.1f throughput=%.0f execs/sec\n",
+		fuzz.MeanCover(statsList), fuzz.MeanCrashes(statsList),
+		execRate(totalExecs, time.Since(start)))
 	titles := fuzz.UnionCrashTitles(statsList)
 	if len(titles) > 0 {
 		fmt.Println("crashes:")
@@ -100,11 +111,24 @@ func main() {
 			for _, title := range s.CrashTitles() {
 				if titles[title] {
 					titles[title] = false
-					fmt.Printf("  %s (first at exec %d)\n", title, s.Crashes[title].FirstExec)
+					cr := s.Crashes[title]
+					fmt.Printf("  %s (first at exec %d, %d hits)\n", title, cr.FirstExec, cr.Count)
+					fmt.Println("  minimized repro:")
+					for _, line := range strings.Split(strings.TrimRight(cr.Repro, "\n"), "\n") {
+						fmt.Printf("    %s\n", line)
+					}
 				}
 			}
 		}
 	}
+}
+
+// execRate converts a campaign's budget and wall time to execs/sec.
+func execRate(execs int, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(execs) / d.Seconds()
 }
 
 // replay deserializes a repro, executes it, and prints the minimized

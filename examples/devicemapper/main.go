@@ -70,10 +70,11 @@ func main() {
 
 	if cr, ok := stats.Crashes["kmalloc bug in ctl_ioctl"]; ok {
 		fmt.Printf("\nCVE-2024-23851 reproduced at exec %d.\n", cr.FirstExec)
+		// The campaign triages every crash at discovery, so Repro is
+		// already the minimal program.
 		tgt, _ := prog.Compile(kg.Spec, c.Env())
 		if p, err := prog.Deserialize(tgt, cr.Repro); err == nil {
-			min := fuzz.Minimize(kernel, p, cr.Title)
-			fmt.Printf("minimized repro (%d calls):\n%s", len(min.Calls), min.Serialize())
+			fmt.Printf("minimized repro (%d calls):\n%s", len(p.Calls), cr.Repro)
 		}
 	} else {
 		fmt.Println("\n(the kvmalloc bug did not fire within this budget; increase it and re-run)")

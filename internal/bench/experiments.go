@@ -618,7 +618,7 @@ func (r *Runner) All() []*Table {
 
 // CoverOf exposes union coverage of the cached KernelGPT campaign for
 // diagnostics.
-func (r *Runner) CoverOf() map[vkernel.BlockID]struct{} {
+func (r *Runner) CoverOf() *vkernel.CoverSet {
 	return fuzz.UnionCover(r.suiteCampaigns().kgpt)
 }
 

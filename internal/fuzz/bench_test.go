@@ -1,0 +1,60 @@
+package fuzz
+
+import (
+	"context"
+	"testing"
+
+	"kernelgpt/internal/corpus"
+	"kernelgpt/internal/prog"
+	"kernelgpt/internal/syzlang"
+)
+
+func benchTarget(b *testing.B) *prog.Target {
+	b.Helper()
+	f := &syzlang.File{}
+	for _, n := range []string{"dm", "cec"} {
+		f.Merge(corpus.OracleSpec(testCorpus.Handler(n)))
+	}
+	tgt, err := prog.Compile(f, testCorpus.Env())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tgt
+}
+
+// BenchmarkCampaign measures end-to-end serial fuzzing throughput on
+// the reusable-VM hot path; execs/sec is 500 / (ns_per_op · 1e-9).
+func BenchmarkCampaign(b *testing.B) {
+	f := New(benchTarget(b), testKernel)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Run(DefaultConfig(500, int64(i)))
+	}
+}
+
+// BenchmarkCampaignNoTriage isolates the fuzzing loop from the
+// crash-minimization pass.
+func BenchmarkCampaignNoTriage(b *testing.B) {
+	f := New(benchTarget(b), testKernel)
+	cfg := DefaultConfig(500, 0)
+	cfg.NoTriage = true
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i)
+		f.Run(cfg)
+	}
+}
+
+// BenchmarkRunParallel measures the sharded campaign path end to end.
+func BenchmarkRunParallel(b *testing.B) {
+	f := New(benchTarget(b), testKernel)
+	cfg := DefaultConfig(2048, 1)
+	cfg.ShardExecs = 512
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i)
+		if _, err := f.RunParallel(context.Background(), cfg, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -6,14 +6,21 @@
 // executed programs rather than wall-clock hours, which maps the
 // paper's fixed CPU-hour sessions onto a deterministic budget.
 //
-// Campaigns run three ways: Run executes one serial campaign,
-// RunRepetitions executes n independent campaigns concurrently (the
-// paper's 3-repetition averages), and RunParallel shards one campaign
-// budget across a worker pool with deterministic per-shard seed
-// derivation — the merged coverage and crash sets are identical for
-// any worker count, so parallelism is purely a wall-clock knob. All
-// entry points accept a context for cancellation and an optional
-// progress callback (Config.Progress).
+// The execution hot path recycles its heavy state across programs:
+// each campaign runs on one reusable executor VM (vkernel.Executor),
+// coverage is tracked in dense vkernel.CoverSet bitmaps, and the seed
+// corpus lives in a seedpool.Pool with O(log n) priority eviction and
+// priority-weighted scheduling. Crash repros are triaged (minimized)
+// at discovery time.
+//
+// Campaigns run three ways: Run/RunContext execute one serial
+// campaign, RunRepetitions executes n independent campaigns
+// concurrently (the paper's 3-repetition averages), and RunParallel
+// shards one campaign budget across a worker pool with deterministic
+// per-shard seed derivation — the merged coverage and crash sets are
+// identical for any worker count, so parallelism is purely a
+// wall-clock knob. All entry points accept a context for cancellation
+// and an optional progress callback (Config.Progress).
 package fuzz
 
 import (
@@ -21,6 +28,7 @@ import (
 	"runtime"
 	"sort"
 
+	"kernelgpt/internal/fuzz/seedpool"
 	"kernelgpt/internal/pool"
 	"kernelgpt/internal/prog"
 	"kernelgpt/internal/vkernel"
@@ -44,21 +52,29 @@ type Config struct {
 	// NoLocality disables the generator's resource-locality bias
 	// (design-choice ablation).
 	NoLocality bool
+	// CorpusCap bounds the seed pool (0 selects
+	// seedpool.DefaultCapacity).
+	CorpusCap int
+	// NoTriage skips crash-repro minimization at discovery time;
+	// CrashReport.Repro then holds the raw crashing program.
+	NoTriage bool
 	// ShardExecs is the execution budget of one independent work
 	// unit in RunParallel (0 selects DefaultShardExecs). The unit
 	// decomposition — not the worker count — defines the campaign,
 	// which is what makes merged results worker-count-invariant.
 	ShardExecs int
-	// Progress, when set, receives campaign progress updates. It may
-	// be called from multiple goroutines, but calls are serialized;
-	// the callback must not re-enter the fuzzer.
+	// Progress, when set, receives campaign progress updates: after
+	// each completed work unit in RunParallel, and periodically from
+	// serial Run/RunContext campaigns. It may be called from multiple
+	// goroutines, but calls are serialized; the callback must not
+	// re-enter the fuzzer.
 	Progress func(Progress)
 }
 
-// Progress is one progress-callback update, emitted by RunParallel
-// after each completed work unit.
+// Progress is one progress-callback update.
 type Progress struct {
-	// ShardsDone/ShardsTotal count completed work units.
+	// ShardsDone/ShardsTotal count completed work units (a serial
+	// campaign is one unit, done when it finishes).
 	ShardsDone, ShardsTotal int
 	// Execs is the number of programs executed so far.
 	Execs int
@@ -70,6 +86,9 @@ type Progress struct {
 // DefaultShardExecs is the per-unit budget RunParallel uses when
 // Config.ShardExecs is zero.
 const DefaultShardExecs = 4096
+
+// progressEvery is the serial campaign's progress-emission period.
+const progressEvery = 1024
 
 // DefaultConfig returns a campaign configuration with the standard
 // knobs.
@@ -84,14 +103,15 @@ type CrashReport struct {
 	FirstExec int
 	// Count is the number of times the crash reproduced.
 	Count int
-	// Repro is the crashing program text.
+	// Repro is the crashing program text, minimized by the triage
+	// pass unless Config.NoTriage was set.
 	Repro string
 }
 
 // Stats is the outcome of one campaign.
 type Stats struct {
 	// Cover is the set of covered basic blocks.
-	Cover map[vkernel.BlockID]struct{}
+	Cover *vkernel.CoverSet
 	// Crashes maps crash title → report.
 	Crashes map[string]*CrashReport
 	// Execs is the number of executed programs.
@@ -101,7 +121,7 @@ type Stats struct {
 }
 
 // CoverCount returns the number of covered blocks.
-func (s *Stats) CoverCount() int { return len(s.Cover) }
+func (s *Stats) CoverCount() int { return s.Cover.Count() }
 
 // UniqueCrashes returns the number of distinct crash titles.
 func (s *Stats) UniqueCrashes() int { return len(s.Crashes) }
@@ -120,6 +140,13 @@ func (s *Stats) CrashTitles() []string {
 type Fuzzer struct {
 	Target *prog.Target
 	Kernel *vkernel.Kernel
+	// NewExecutor, when set, supplies the executor each campaign
+	// goroutine runs on — the seam for alternative kernels or
+	// backends. Nil uses a reusable VM on Kernel. The factory is
+	// called concurrently (RunRepetitions, RunParallel) and must
+	// return a distinct executor per call; executors must be
+	// deterministic for campaign results to be reproducible.
+	NewExecutor func() vkernel.Executor
 }
 
 // New constructs a fuzzer for a compiled spec suite and kernel.
@@ -127,16 +154,35 @@ func New(t *prog.Target, k *vkernel.Kernel) *Fuzzer {
 	return &Fuzzer{Target: t, Kernel: k}
 }
 
-// seedEntry is one corpus program with its coverage signal.
-type seedEntry struct {
-	p   *prog.Prog
-	cov int
+// executor builds one campaign's executor.
+func (f *Fuzzer) executor() vkernel.Executor {
+	if f.NewExecutor != nil {
+		return f.NewExecutor()
+	}
+	return f.Kernel.NewVM()
 }
 
-// Run executes one campaign to completion.
+// newCover sizes a coverage set for the kernel when one is present;
+// with only NewExecutor set (no Kernel) the set grows on demand.
+func (f *Fuzzer) newCover() *vkernel.CoverSet {
+	if f.Kernel == nil {
+		return &vkernel.CoverSet{}
+	}
+	return vkernel.NewCoverSet(f.Kernel.NumBlocks())
+}
+
+// Run executes one campaign to completion; it is a thin compatibility
+// wrapper over RunContext.
 func (f *Fuzzer) Run(cfg Config) *Stats {
-	stats, _ := f.run(context.Background(), cfg)
+	stats, _ := f.RunContext(context.Background(), cfg)
 	return stats
+}
+
+// RunContext executes one serial campaign, honoring cancellation and
+// emitting Config.Progress updates as the budget is spent. On
+// cancellation the partial stats and the context error are returned.
+func (f *Fuzzer) RunContext(ctx context.Context, cfg Config) (*Stats, error) {
+	return f.run(ctx, cfg)
 }
 
 // run is the campaign loop. Cancellation is checked between
@@ -148,57 +194,78 @@ func (f *Fuzzer) run(ctx context.Context, cfg Config) (*Stats, error) {
 	g := prog.NewGen(f.Target, cfg.Seed)
 	g.Enabled = cfg.Enabled
 	g.NoLocality = cfg.NoLocality
+	x := f.executor()
 	stats := &Stats{
-		Cover:   map[vkernel.BlockID]struct{}{},
+		Cover:   f.newCover(),
 		Crashes: map[string]*CrashReport{},
 	}
-	var corpus []seedEntry
+	corpus := seedpool.New(cfg.CorpusCap)
+	emit := func(done int) {
+		if cfg.Progress != nil {
+			cfg.Progress(Progress{
+				ShardsDone: done, ShardsTotal: 1, Execs: stats.Execs,
+				Cover: stats.CoverCount(), Crashes: stats.UniqueCrashes(),
+			})
+		}
+	}
 	for i := 0; i < cfg.Execs; i++ {
 		if i%512 == 0 && ctx.Err() != nil {
-			stats.CorpusSize = len(corpus)
+			stats.CorpusSize = corpus.Len()
 			return stats, ctx.Err()
 		}
+		if i > 0 && i%progressEvery == 0 {
+			emit(0)
+		}
 		var p *prog.Prog
-		if len(corpus) > 0 && g.R.Float64() < cfg.MutateBias {
-			seed := corpus[g.R.Intn(len(corpus))]
-			p = g.Mutate(seed.p, cfg.MaxCalls)
+		if seed := pickSeed(corpus, g, cfg.MutateBias); seed != nil {
+			p = g.Mutate(seed, cfg.MaxCalls)
 		} else {
 			p = g.Generate(cfg.MaxCalls)
 		}
-		res := f.Kernel.Run(p)
+		res := x.Run(p)
 		stats.Execs++
 		newBlocks := 0
 		for _, b := range res.Cov {
-			if _, ok := stats.Cover[b]; !ok {
-				stats.Cover[b] = struct{}{}
+			if stats.Cover.Add(b) {
 				newBlocks++
 			}
 		}
-		if newBlocks > 0 {
-			corpus = append(corpus, seedEntry{p: p, cov: newBlocks})
-			// Bound the corpus: drop the weakest seeds when large.
-			if len(corpus) > 512 {
-				sort.SliceStable(corpus, func(a, b int) bool {
-					return corpus[a].cov > corpus[b].cov
-				})
-				corpus = corpus[:384]
-			}
-		}
+		corpus.Add(p, newBlocks)
 		if res.Crash != nil {
 			cr := stats.Crashes[res.Crash.Title]
 			if cr == nil {
 				cr = &CrashReport{
 					Title:     res.Crash.Title,
 					FirstExec: i,
-					Repro:     p.Serialize(),
+					Repro:     triage(x, p, res.Crash.Title, cfg.NoTriage),
 				}
 				stats.Crashes[res.Crash.Title] = cr
 			}
 			cr.Count++
 		}
 	}
-	stats.CorpusSize = len(corpus)
+	stats.CorpusSize = corpus.Len()
+	emit(1)
 	return stats, nil
+}
+
+// pickSeed decides mutate-vs-generate and selects a seed. The two
+// random draws (bias coin, then weighted pick) are made in a fixed
+// order so campaigns are deterministic.
+func pickSeed(corpus *seedpool.Pool, g *prog.Gen, bias float64) *prog.Prog {
+	if corpus.Len() == 0 || g.R.Float64() >= bias {
+		return nil
+	}
+	return corpus.Pick(g.R)
+}
+
+// triage produces the reported repro text for a fresh crash,
+// minimizing on the campaign's own executor unless disabled.
+func triage(x vkernel.Executor, p *prog.Prog, title string, skip bool) string {
+	if skip {
+		return p.Serialize()
+	}
+	return seedpool.Minimize(x, p, title).Serialize()
 }
 
 // RunRepetitions executes n independent campaigns with derived seeds
@@ -206,13 +273,16 @@ func (f *Fuzzer) run(ctx context.Context, cfg Config) (*Stats, error) {
 // averages). Repetitions run concurrently on up to GOMAXPROCS
 // workers; results are identical to running them serially because
 // each repetition is an independent campaign with its own derived
-// seed. Cancellation stops remaining work; completed repetitions
-// keep their full stats and interrupted ones report partial stats.
+// seed and executor. Config.Progress is suppressed for the individual
+// repetitions (per-rep updates would interleave without attribution).
+// Cancellation stops remaining work; completed repetitions keep their
+// full stats and interrupted ones report partial stats.
 func (f *Fuzzer) RunRepetitions(ctx context.Context, cfg Config, n int) []*Stats {
 	out := make([]*Stats, n)
 	pool.Run(pool.Clamp(n, 0, runtime.GOMAXPROCS(0)), n, func(i int) {
 		c := cfg
 		c.Seed = RepSeed(cfg.Seed, i)
+		c.Progress = nil
 		out[i], _ = f.run(ctx, c)
 	})
 	return out
@@ -248,12 +318,10 @@ func MeanCrashes(reps []*Stats) float64 {
 }
 
 // UnionCover unions coverage across repetitions.
-func UnionCover(reps []*Stats) map[vkernel.BlockID]struct{} {
-	out := map[vkernel.BlockID]struct{}{}
+func UnionCover(reps []*Stats) *vkernel.CoverSet {
+	out := &vkernel.CoverSet{}
 	for _, s := range reps {
-		for b := range s.Cover {
-			out[b] = struct{}{}
-		}
+		out.Union(s.Cover)
 	}
 	return out
 }
@@ -271,12 +339,4 @@ func UnionCrashTitles(reps []*Stats) map[string]bool {
 
 // UniqueTo returns the blocks covered by a but not b (Table 3's
 // "Unique Cov" column).
-func UniqueTo(a, b map[vkernel.BlockID]struct{}) int {
-	n := 0
-	for blk := range a {
-		if _, ok := b[blk]; !ok {
-			n++
-		}
-	}
-	return n
-}
+func UniqueTo(a, b *vkernel.CoverSet) int { return a.Diff(b) }

@@ -95,7 +95,7 @@ func TestRepetitionsIndependent(t *testing.T) {
 	// Union ≥ each individual.
 	union := UnionCover(reps)
 	for i, r := range reps {
-		if len(union) < r.CoverCount() {
+		if union.Count() < r.CoverCount() {
 			t.Fatalf("rep %d larger than union", i)
 		}
 	}
@@ -115,8 +115,11 @@ func TestEnabledRestriction(t *testing.T) {
 }
 
 func TestUniqueTo(t *testing.T) {
-	a := map[vkernel.BlockID]struct{}{1: {}, 2: {}, 3: {}}
-	b := map[vkernel.BlockID]struct{}{2: {}}
+	a, b := vkernel.NewCoverSet(8), vkernel.NewCoverSet(8)
+	for _, blk := range []vkernel.BlockID{1, 2, 3} {
+		a.Add(blk)
+	}
+	b.Add(2)
 	if got := UniqueTo(a, b); got != 2 {
 		t.Fatalf("UniqueTo = %d, want 2", got)
 	}

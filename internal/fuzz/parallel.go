@@ -6,7 +6,6 @@ import (
 	"sync"
 
 	"kernelgpt/internal/pool"
-	"kernelgpt/internal/vkernel"
 )
 
 // shardPlan decomposes a campaign budget into independent work units.
@@ -83,7 +82,7 @@ func unitSeed(base int64, i int) int64 {
 func (f *Fuzzer) RunParallel(ctx context.Context, cfg Config, shards int) (*Stats, error) {
 	plan := planShards(cfg)
 	merged := &Stats{
-		Cover:   map[vkernel.BlockID]struct{}{},
+		Cover:   f.newCover(),
 		Crashes: map[string]*CrashReport{},
 	}
 	var mu sync.Mutex
@@ -113,9 +112,7 @@ func (f *Fuzzer) RunParallel(ctx context.Context, cfg Config, shards int) (*Stat
 // Every operation is commutative (set union, min-by-disjoint-key,
 // sum), so the merge result is independent of unit completion order.
 func mergeInto(dst, src *Stats, execBase int) {
-	for b := range src.Cover {
-		dst.Cover[b] = struct{}{}
-	}
+	dst.Cover.Union(src.Cover)
 	for title, cr := range src.Crashes {
 		first := execBase + cr.FirstExec
 		have := dst.Crashes[title]

@@ -11,9 +11,7 @@ import (
 // coverage set, and per-title (FirstExec, Count, Repro).
 func mergedView(s *Stats) (map[uint32]struct{}, map[string]CrashReport) {
 	cov := map[uint32]struct{}{}
-	for b := range s.Cover {
-		cov[uint32(b)] = struct{}{}
-	}
+	s.Cover.ForEach(func(b uint32) { cov[b] = struct{}{} })
 	crashes := map[string]CrashReport{}
 	for t, cr := range s.Crashes {
 		crashes[t] = *cr

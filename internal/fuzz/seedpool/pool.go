@@ -1,0 +1,201 @@
+// Package seedpool is the fuzzer's corpus-management subsystem: a
+// bounded priority pool of coverage-increasing seed programs with
+// O(log n) eviction, priority-proportional seed scheduling, and
+// crash-repro triage (minimization). The fuzzing loop hands the pool
+// every program that found new coverage; the pool decides what to
+// keep, what to evict when full, and which seed to mutate next.
+//
+// All operations are deterministic given the caller's random stream,
+// which is what lets sharded campaigns remain bitwise identical
+// across worker counts.
+package seedpool
+
+import (
+	"math/rand"
+
+	"kernelgpt/internal/prog"
+)
+
+// DefaultCapacity bounds the pool when New is given a non-positive
+// capacity. It matches the seed-corpus bound the serial fuzzer used
+// historically.
+const DefaultCapacity = 512
+
+// Seed is one retained corpus entry.
+type Seed struct {
+	Prog *prog.Prog
+	// Prio is the scheduling weight: the number of new blocks the
+	// program contributed when it was admitted.
+	Prio int
+	// seq orders admissions; among equal priorities the newer seed is
+	// evicted first, so long-lived discoveries are sticky.
+	seq uint64
+}
+
+// Pool is a bounded seed corpus. Internally it is a min-heap ordered
+// by (Prio, -seq) — the root is always the next eviction victim —
+// overlaid with a Fenwick tree of priorities over the heap slots, so
+// both eviction and weighted seed selection are O(log n).
+//
+// Pool is not safe for concurrent use; campaigns own one pool each.
+type Pool struct {
+	cap   int
+	seeds []Seed
+	// fen is a Fenwick (binary indexed) tree over heap slots; fen
+	// prefix sums give cumulative priority mass for weighted Pick.
+	fen   []int64
+	total int64
+	seq   uint64
+
+	added, evicted, rejected int
+}
+
+// New returns an empty pool bounded to capacity seeds (DefaultCapacity
+// when capacity <= 0).
+func New(capacity int) *Pool {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Pool{cap: capacity, fen: make([]int64, capacity+1)}
+}
+
+// Len returns the number of retained seeds.
+func (p *Pool) Len() int { return len(p.seeds) }
+
+// Cap returns the pool bound.
+func (p *Pool) Cap() int { return p.cap }
+
+// TotalPrio returns the summed priority mass of the retained seeds.
+func (p *Pool) TotalPrio() int64 { return p.total }
+
+// Stats reports lifetime admission counters: seeds admitted, seeds
+// evicted to make room, and candidates rejected for ranking below the
+// current eviction victim.
+func (p *Pool) Stats() (added, evicted, rejected int) {
+	return p.added, p.evicted, p.rejected
+}
+
+// Add offers a program with the given priority (its new-coverage
+// contribution). Non-positive priorities are rejected. When the pool
+// is full, the offer replaces the lowest-priority seed if it ranks
+// strictly above it, otherwise it is rejected. O(log n).
+func (p *Pool) Add(pr *prog.Prog, prio int) bool {
+	if prio <= 0 {
+		return false
+	}
+	s := Seed{Prog: pr, Prio: prio, seq: p.seq}
+	p.seq++
+	if len(p.seeds) < p.cap {
+		p.seeds = append(p.seeds, s)
+		i := len(p.seeds) - 1
+		p.fenAdd(i, int64(prio))
+		p.total += int64(prio)
+		p.siftUp(i)
+		p.added++
+		return true
+	}
+	if !less(p.seeds[0], s) {
+		// The victim outranks (or ties) the offer: keep the corpus.
+		p.rejected++
+		return false
+	}
+	p.fenAdd(0, int64(prio-p.seeds[0].Prio))
+	p.total += int64(prio - p.seeds[0].Prio)
+	p.seeds[0] = s
+	p.siftDown(0)
+	p.added++
+	p.evicted++
+	return true
+}
+
+// Pick returns a seed chosen with probability proportional to its
+// priority, drawing from r. Returns nil on an empty pool. O(log n).
+func (p *Pool) Pick(r *rand.Rand) *prog.Prog {
+	if len(p.seeds) == 0 || p.total <= 0 {
+		return nil
+	}
+	return p.seeds[p.fenFind(r.Int63n(p.total))].Prog
+}
+
+// ForEach visits the retained seeds in unspecified order.
+func (p *Pool) ForEach(fn func(Seed)) {
+	for _, s := range p.seeds {
+		fn(s)
+	}
+}
+
+// less orders eviction: lower priority first; among equals, the newer
+// admission (higher seq) goes first.
+func less(a, b Seed) bool {
+	if a.Prio != b.Prio {
+		return a.Prio < b.Prio
+	}
+	return a.seq > b.seq
+}
+
+// swap exchanges heap slots i and j and moves their priority mass in
+// the Fenwick overlay.
+func (p *Pool) swap(i, j int) {
+	if d := int64(p.seeds[j].Prio - p.seeds[i].Prio); d != 0 {
+		p.fenAdd(i, d)
+		p.fenAdd(j, -d)
+	}
+	p.seeds[i], p.seeds[j] = p.seeds[j], p.seeds[i]
+}
+
+func (p *Pool) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !less(p.seeds[i], p.seeds[parent]) {
+			return
+		}
+		p.swap(i, parent)
+		i = parent
+	}
+}
+
+func (p *Pool) siftDown(i int) {
+	for {
+		min, l, r := i, 2*i+1, 2*i+2
+		if l < len(p.seeds) && less(p.seeds[l], p.seeds[min]) {
+			min = l
+		}
+		if r < len(p.seeds) && less(p.seeds[r], p.seeds[min]) {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		p.swap(i, min)
+		i = min
+	}
+}
+
+// fenAdd adds delta to slot i's priority mass.
+func (p *Pool) fenAdd(i int, delta int64) {
+	for i++; i < len(p.fen); i += i & -i {
+		p.fen[i] += delta
+	}
+}
+
+// fenFind returns the smallest slot whose cumulative priority mass
+// exceeds t (0 <= t < total), by binary-indexed descent.
+func (p *Pool) fenFind(t int64) int {
+	pos := 0
+	// Largest power of two covering the tree.
+	step := 1
+	for step<<1 < len(p.fen) {
+		step <<= 1
+	}
+	for ; step > 0; step >>= 1 {
+		if next := pos + step; next < len(p.fen) && p.fen[next] <= t {
+			t -= p.fen[next]
+			pos = next
+		}
+	}
+	// pos is the count of slots whose cumulative mass is <= t.
+	if pos >= len(p.seeds) {
+		pos = len(p.seeds) - 1
+	}
+	return pos
+}

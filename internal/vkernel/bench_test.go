@@ -1,0 +1,48 @@
+package vkernel
+
+import (
+	"testing"
+
+	"kernelgpt/internal/corpus"
+	"kernelgpt/internal/prog"
+	"kernelgpt/internal/syzlang"
+)
+
+func benchProgs(b *testing.B) []*prog.Prog {
+	b.Helper()
+	f := &syzlang.File{}
+	for _, n := range []string{"dm", "cec", "rds"} {
+		f.Merge(corpus.OracleSpec(testCorpus.Handler(n)))
+	}
+	tgt, err := prog.Compile(f, testCorpus.Env())
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := prog.NewGen(tgt, 1)
+	progs := make([]*prog.Prog, 64)
+	for i := range progs {
+		progs[i] = g.Generate(8)
+	}
+	return progs
+}
+
+// BenchmarkKernelRun measures the concurrent-safe pooled execution
+// path (one borrowed VM per call).
+func BenchmarkKernelRun(b *testing.B) {
+	progs := benchProgs(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		testKernel.Run(progs[i%len(progs)])
+	}
+}
+
+// BenchmarkVMRun measures the single-goroutine reusable-VM path the
+// fuzzing loop uses.
+func BenchmarkVMRun(b *testing.B) {
+	progs := benchProgs(b)
+	vm := testKernel.NewVM()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vm.Run(progs[i%len(progs)])
+	}
+}

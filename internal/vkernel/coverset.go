@@ -1,0 +1,164 @@
+package vkernel
+
+import "math/bits"
+
+// CoverSet is a dense bitmap over basic-block IDs. Because the kernel
+// numbers blocks contiguously from zero, a bitmap of NumBlocks bits
+// replaces the per-program hash sets the fuzzer used to allocate:
+// Add/Has are one word operation each, Union is a word-wise OR, and
+// the population count is cached so Count is O(1). The zero value is
+// an empty set that grows on demand; NewCoverSet pre-sizes the bitmap
+// so the hot path never reallocates.
+//
+// CoverSet is not safe for concurrent mutation; the fuzzer gives each
+// campaign goroutine its own set and merges under a lock.
+type CoverSet struct {
+	words []uint64
+	n     int
+}
+
+// NewCoverSet returns an empty set pre-sized for block IDs in
+// [0, bound).
+func NewCoverSet(bound uint32) *CoverSet {
+	return &CoverSet{words: make([]uint64, (int(bound)+63)/64)}
+}
+
+// grow ensures the bitmap covers word index w, at least doubling so
+// grow-on-demand sets stay amortized O(1) per Add.
+func (s *CoverSet) grow(w int) {
+	if w < len(s.words) {
+		return
+	}
+	words := make([]uint64, max(w+1, 2*len(s.words)))
+	copy(words, s.words)
+	s.words = words
+}
+
+// Add inserts block b and reports whether it was newly covered.
+func (s *CoverSet) Add(b BlockID) bool {
+	w, bit := int(b>>6), uint64(1)<<(b&63)
+	s.grow(w)
+	if s.words[w]&bit != 0 {
+		return false
+	}
+	s.words[w] |= bit
+	s.n++
+	return true
+}
+
+// Has reports whether block b is covered.
+func (s *CoverSet) Has(b BlockID) bool {
+	if s == nil {
+		return false
+	}
+	w := int(b >> 6)
+	return w < len(s.words) && s.words[w]&(1<<(b&63)) != 0
+}
+
+// Count returns the number of covered blocks in O(1).
+func (s *CoverSet) Count() int {
+	if s == nil {
+		return 0
+	}
+	return s.n
+}
+
+// Union folds o into s and returns the number of newly covered
+// blocks.
+func (s *CoverSet) Union(o *CoverSet) int {
+	if o == nil {
+		return 0
+	}
+	if len(o.words) > 0 {
+		s.grow(len(o.words) - 1)
+	}
+	added := 0
+	for i, w := range o.words {
+		if nw := w &^ s.words[i]; nw != 0 {
+			s.words[i] |= nw
+			added += bits.OnesCount64(nw)
+		}
+	}
+	s.n += added
+	return added
+}
+
+// Diff returns the number of blocks covered by s but not by o
+// (the evaluation's "unique coverage" metric).
+func (s *CoverSet) Diff(o *CoverSet) int {
+	if s == nil {
+		return 0
+	}
+	n := 0
+	for i, w := range s.words {
+		if o != nil && i < len(o.words) {
+			w &^= o.words[i]
+		}
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Clear empties the set, retaining its capacity for reuse.
+func (s *CoverSet) Clear() {
+	clear(s.words)
+	s.n = 0
+}
+
+// Clone returns an independent copy of the set.
+func (s *CoverSet) Clone() *CoverSet {
+	if s == nil {
+		return &CoverSet{}
+	}
+	return &CoverSet{words: append([]uint64(nil), s.words...), n: s.n}
+}
+
+// Equal reports whether two sets cover exactly the same blocks.
+func (s *CoverSet) Equal(o *CoverSet) bool {
+	if s.Count() != o.Count() {
+		return false
+	}
+	if s == nil || o == nil {
+		return true // counts matched, so both are empty
+	}
+	long, short := s, o
+	if len(o.words) > len(s.words) {
+		long, short = o, s
+	}
+	for i, w := range long.words {
+		var ow uint64
+		if i < len(short.words) {
+			ow = short.words[i]
+		}
+		if w != ow {
+			return false
+		}
+	}
+	return true
+}
+
+// Blocks returns the covered blocks as a sorted slice — the set's
+// sorted iterator, materialized. Bitmap order is ID order, so no
+// sorting pass is needed.
+func (s *CoverSet) Blocks() []BlockID {
+	if s == nil {
+		return nil
+	}
+	out := make([]BlockID, 0, s.n)
+	s.ForEach(func(b BlockID) { out = append(out, b) })
+	return out
+}
+
+// ForEach visits every covered block in ascending ID order.
+func (s *CoverSet) ForEach(fn func(BlockID)) {
+	if s == nil {
+		return
+	}
+	for i, w := range s.words {
+		base := BlockID(i) << 6
+		for w != 0 {
+			fn(base + BlockID(bits.TrailingZeros64(w)))
+			w &= w - 1
+		}
+	}
+}

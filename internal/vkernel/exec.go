@@ -23,10 +23,12 @@ type Result struct {
 	Errno int
 }
 
-// exec carries per-program mutable state (one "VM instance").
+// exec carries per-program mutable state (one "VM instance"). The
+// state is owned by a VM and recycled across runs via reset — the
+// coverage bitmap, fd table, and history maps keep their capacity.
 type exec struct {
 	k   *Kernel
-	cov map[BlockID]struct{}
+	cov *CoverSet
 	// fds maps call index → the handler whose fd that call returned.
 	fds []*khandler
 	// history records commands issued per handler during this
@@ -36,43 +38,28 @@ type exec struct {
 	errs    int
 }
 
-// Run executes a program against the kernel and reports coverage and
-// crashes. Execution is deterministic.
-func (k *Kernel) Run(p *prog.Prog) *Result {
-	e := &exec{
-		k:       k,
-		cov:     map[BlockID]struct{}{},
-		fds:     make([]*khandler, len(p.Calls)),
-		history: map[string]map[string]bool{},
-	}
-	for i, c := range p.Calls {
-		e.runCall(i, c)
-		if e.crash != nil {
-			break
+// reset prepares the state for a program of n calls, reusing prior
+// allocations.
+func (e *exec) reset(n int) {
+	e.cov.Clear()
+	if cap(e.fds) < n {
+		e.fds = make([]*khandler, n)
+	} else {
+		e.fds = e.fds[:n]
+		for i := range e.fds {
+			e.fds[i] = nil
 		}
 	}
-	res := &Result{Crash: e.crash, Errno: e.errs}
-	res.Cov = make([]BlockID, 0, len(e.cov))
-	for b := range e.cov {
-		res.Cov = append(res.Cov, b)
+	for _, m := range e.history {
+		clear(m)
 	}
-	sortBlocks(res.Cov)
-	return res
-}
-
-func sortBlocks(b []BlockID) {
-	// Insertion sort is fine at typical coverage sizes; avoids an
-	// import for a hot path that is usually short.
-	for i := 1; i < len(b); i++ {
-		for j := i; j > 0 && b[j-1] > b[j]; j-- {
-			b[j-1], b[j] = b[j], b[j-1]
-		}
-	}
+	e.crash = nil
+	e.errs = 0
 }
 
 func (e *exec) cover(blocks ...BlockID) {
 	for _, b := range blocks {
-		e.cov[b] = struct{}{}
+		e.cov.Add(b)
 	}
 }
 

@@ -1,0 +1,72 @@
+package vkernel
+
+import (
+	"kernelgpt/internal/prog"
+)
+
+// Executor runs one program at a time and reports its outcome. It is
+// the seam between the fuzzing loop and the execution substrate: the
+// virtual kernel implements it twice (*Kernel for shared concurrent
+// use, *VM for single-goroutine reuse), and alternative backends —
+// other kernel images, a real-executor bridge, a record/replay shim —
+// can slot in behind the same interface.
+//
+// Run must be deterministic for a given program, and the returned
+// Result must not alias executor-internal state (callers retain it
+// across subsequent runs).
+type Executor interface {
+	Run(p *prog.Prog) *Result
+}
+
+// VM is a reusable executor: one virtual machine instance whose
+// per-program state (coverage bitmap, fd table, command history) is
+// allocated once and recycled across runs. This is the fuzzing hot
+// path — a campaign executes every program on one VM instead of
+// allocating fresh maps per execution.
+//
+// A VM is not safe for concurrent use; run one VM per goroutine (or
+// use Kernel.Run, which pools VMs internally).
+type VM struct {
+	st exec
+}
+
+// NewVM returns a fresh executor VM backed by the kernel image.
+func (k *Kernel) NewVM() *VM {
+	return &VM{st: exec{
+		k:       k,
+		cov:     NewCoverSet(k.NumBlocks()),
+		history: map[string]map[string]bool{},
+	}}
+}
+
+// Run executes a program, recycling the VM's exec state. Execution is
+// deterministic; the Result is freshly allocated and safe to retain.
+func (v *VM) Run(p *prog.Prog) *Result {
+	e := &v.st
+	e.reset(len(p.Calls))
+	for i, c := range p.Calls {
+		e.runCall(i, c)
+		if e.crash != nil {
+			break
+		}
+	}
+	return &Result{Cov: e.cov.Blocks(), Crash: e.crash, Errno: e.errs}
+}
+
+var _ Executor = (*VM)(nil)
+var _ Executor = (*Kernel)(nil)
+
+// Run executes a program against the kernel and reports coverage and
+// crashes. It is safe for concurrent use: each call borrows a pooled
+// VM, so the per-program state is still recycled rather than
+// reallocated. Callers running a tight single-goroutine loop should
+// hold their own VM via NewVM and skip the pool round-trip.
+func (k *Kernel) Run(p *prog.Prog) *Result {
+	v, _ := k.vms.Get().(*VM)
+	if v == nil {
+		v = k.NewVM()
+	}
+	res := v.Run(p)
+	k.vms.Put(v)
+	return res
+}

@@ -11,6 +11,7 @@ package vkernel
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"kernelgpt/internal/corpus"
 )
@@ -33,6 +34,8 @@ type Kernel struct {
 	TotalBlocks uint32
 	// genericBlocks cover the shared syscall-entry paths.
 	genericBlocks map[string]BlockID
+	// vms recycles executor VMs for the concurrent Run path.
+	vms sync.Pool
 }
 
 // khandler is the kernel-side view of one operation handler.
@@ -105,9 +108,13 @@ func New(c *corpus.Corpus) *Kernel {
 		if !h.Loaded {
 			continue
 		}
+		// Capture lo before alloc runs: in a composite literal the
+		// alloc() call would be evaluated before the plain `next`
+		// operand, leaving the open blocks outside [lo, hi).
+		lo := next
 		kh := &khandler{
 			h:       h,
-			lo:      next,
+			lo:      lo,
 			open:    alloc(h.OpenBlocks),
 			cmds:    map[uint64]*kcmd{},
 			calls:   map[corpus.SockCallKind]*kcall{},
@@ -165,6 +172,11 @@ func New(c *corpus.Corpus) *Kernel {
 
 // Corpus returns the corpus this kernel was built from.
 func (k *Kernel) Corpus() *corpus.Corpus { return k.c }
+
+// NumBlocks bounds the block-ID space: every BlockID the kernel can
+// report is in [0, NumBlocks). Dense coverage structures (CoverSet)
+// size themselves from this.
+func (k *Kernel) NumBlocks() uint32 { return k.TotalBlocks }
 
 // ReachableBlocks reports, for diagnostics, the number of blocks
 // belonging to the named handler.
