@@ -1,0 +1,35 @@
+package main
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func splitLines(s string) []string { return strings.Split(s, "\n") }
+
+func splitFields(s string) []string { return strings.Fields(s) }
+
+func hasBenchPrefix(s string) bool { return strings.HasPrefix(s, "Benchmark") }
+
+// trimCPUSuffix strips go test's GOMAXPROCS suffix ("-8") so keys are
+// stable across machines.
+func trimCPUSuffix(name string) string {
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+func parseFloat(s string) (float64, error) { return strconv.ParseFloat(s, 64) }
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

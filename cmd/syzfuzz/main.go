@@ -45,6 +45,9 @@ func main() {
 	shards := flag.Int("shards", 1, "fuzzing worker shards per repetition (results are shard-count-invariant)")
 	progress := flag.Bool("progress", false, "print shard progress as campaigns run")
 	repro := flag.String("repro", "", "replay (and minimize) a serialized repro file instead of fuzzing")
+	plumbing := flag.Bool("plumbing", false, "merge the fd-plumbing/mmap surface (dup, pipe, epoll, mmap/munmap) into the suite")
+	uniform := flag.Bool("uniform", false, "disable the adaptive operator scheduler (uniform-random operator selection)")
+	opstats := flag.Bool("opstats", false, "print the per-operator mutation scheduler outcome")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -56,6 +59,18 @@ func main() {
 	if spec == nil || len(spec.Syscalls) == 0 {
 		fmt.Fprintln(os.Stderr, "empty suite")
 		os.Exit(2)
+	}
+	if *plumbing {
+		if *handler != "" {
+			pf, err := c.PlumbingSpecFor(*handler)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			spec = syzlang.MergeDedup(spec, pf)
+		} else {
+			spec = syzlang.MergeDedup(spec, c.PlumbingSuite())
+		}
 	}
 	if errs := syzlang.Validate(spec, c.Env()); len(errs) > 0 {
 		fmt.Fprintf(os.Stderr, "suite invalid: %v\n", errs[0])
@@ -79,6 +94,7 @@ func main() {
 	start := time.Now()
 	for i := 0; i < *reps; i++ {
 		cfg := fuzz.DefaultConfig(*execs, fuzz.RepSeed(*seed, i))
+		cfg.UniformOps = *uniform
 		if *progress {
 			rep := i + 1
 			cfg.Progress = func(p fuzz.Progress) {
@@ -104,6 +120,9 @@ func main() {
 	fmt.Printf("mean cov=%.1f mean crashes=%.1f throughput=%.0f execs/sec\n",
 		fuzz.MeanCover(statsList), fuzz.MeanCrashes(statsList),
 		execRate(totalExecs, time.Since(start)))
+	if *opstats {
+		printOpStats(statsList)
+	}
 	titles := fuzz.UnionCrashTitles(statsList)
 	if len(titles) > 0 {
 		fmt.Println("crashes:")
@@ -120,6 +139,34 @@ func main() {
 				}
 			}
 		}
+	}
+}
+
+// printOpStats renders the mutation-operator outcome merged across
+// repetitions: picks, new-coverage yield, and yield per 1k picks.
+func printOpStats(statsList []*fuzz.Stats) {
+	merged := map[string]*fuzz.OpStat{}
+	var order []string
+	for _, s := range statsList {
+		for _, op := range s.Ops {
+			m := merged[op.Name]
+			if m == nil {
+				m = &fuzz.OpStat{Name: op.Name}
+				merged[op.Name] = m
+				order = append(order, op.Name)
+			}
+			m.Picks += op.Picks
+			m.NewBlocks += op.NewBlocks
+		}
+	}
+	fmt.Println("operator        picks  new-blocks  yield/1k")
+	for _, name := range order {
+		m := merged[name]
+		yield := 0.0
+		if m.Picks > 0 {
+			yield = 1000 * float64(m.NewBlocks) / float64(m.Picks)
+		}
+		fmt.Printf("%-14s %6d  %10d  %8.1f\n", m.Name, m.Picks, m.NewBlocks, yield)
 	}
 }
 

@@ -1,0 +1,102 @@
+// Fd plumbing and the adaptive mutation scheduler: the expanded
+// scenario space of the virtual kernel.
+//
+// The vkernel models dup/pipe/epoll fd plumbing and an mmap/munmap
+// region model with their own coverage blocks; the plumbing specs
+// (corpus.PlumbingSuite) are the userspace surface that reaches them.
+// This walkthrough fuzzes the bundled drivers twice with identical
+// budgets and seeds — once with uniform-random operator selection,
+// once with the coverage-feedback bandit scheduler — and prints the
+// per-operator outcome, the territory only the plumbing surface can
+// reach, and the coverage delta the scheduler buys.
+//
+// Run with: go run ./examples/fdplumbing
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"kernelgpt/internal/corpus"
+	"kernelgpt/internal/fuzz"
+	"kernelgpt/internal/prog"
+	"kernelgpt/internal/syzlang"
+	"kernelgpt/internal/vkernel"
+)
+
+func main() {
+	c := corpus.Build(corpus.TestConfig())
+	kernel := vkernel.New(c)
+	drivers := []string{"dm", "cec", "kvm", "kvm_vm", "kvm_vcpu"}
+
+	oracle := []*syzlang.File{}
+	for _, n := range drivers {
+		oracle = append(oracle, corpus.OracleSpec(c.Handler(n)))
+	}
+	plumb, err := c.PlumbingSpecFor(drivers...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	full := syzlang.MergeDedup(append(oracle, plumb)...)
+	fmt.Printf("suite: %d oracle syscalls + %d plumbing syscalls (dup/pipe/epoll/mmap)\n",
+		len(syzlang.MergeDedup(oracle...).Syscalls), len(plumb.Syscalls))
+
+	bare := compile(c, syzlang.MergeDedup(oracle...))
+	tgt := compile(c, full)
+	f := fuzz.New(tgt, kernel)
+
+	cfg := fuzz.DefaultConfig(10_000, 1)
+	cfg.NoTriage = true
+
+	// The plumbing surface opens genuinely new territory.
+	noPlumb := fuzz.New(bare, kernel).Run(cfg)
+	withPlumb := f.Run(cfg)
+	fmt.Printf("\ncoverage without plumbing surface: %d blocks\n", noPlumb.CoverCount())
+	fmt.Printf("coverage with    plumbing surface: %d blocks (+%d only reachable via dup/pipe/epoll/mmap)\n",
+		withPlumb.CoverCount(), withPlumb.CoverCount()-noPlumb.CoverCount())
+
+	// Uniform vs adaptive operator scheduling, 3 repetitions each.
+	ucfg := cfg
+	ucfg.UniformOps = true
+	uniform := f.RunRepetitions(context.Background(), ucfg, 3)
+	adaptive := f.RunRepetitions(context.Background(), cfg, 3)
+	fmt.Printf("\nuniform operator selection:  mean cov %.1f\n", fuzz.MeanCover(uniform))
+	fmt.Printf("adaptive bandit scheduler:   mean cov %.1f\n", fuzz.MeanCover(adaptive))
+
+	fmt.Println("\nper-operator outcome (adaptive, rep 1):")
+	fmt.Println("  operator        picks  new-blocks")
+	for _, op := range adaptive[0].Ops {
+		fmt.Printf("  %-14s %6d  %10d\n", op.Name, op.Picks, op.NewBlocks)
+	}
+	var top fuzz.OpStat
+	for _, op := range adaptive[0].Ops {
+		if op.NewBlocks > top.NewBlocks {
+			top = op
+		}
+	}
+	fmt.Printf("\nthe bandit funneled %d of %d mutations into %q — the operator whose\n",
+		top.Picks, mutations(adaptive[0]), top.Name)
+	fmt.Println("lineage kept yielding fresh blocks. Uniform selection spreads that")
+	fmt.Println("budget evenly and pays for it in coverage.")
+}
+
+// mutations counts scheduler-credited mutations across the campaign.
+func mutations(s *fuzz.Stats) int {
+	n := 0
+	for _, op := range s.Ops {
+		n += op.Picks
+	}
+	return n
+}
+
+func compile(c *corpus.Corpus, f *syzlang.File) *prog.Target {
+	if errs := syzlang.Validate(f, c.Env()); len(errs) > 0 {
+		log.Fatalf("suite invalid: %v", errs[0])
+	}
+	tgt, err := prog.Compile(f, c.Env())
+	if err != nil {
+		log.Fatal(err)
+	}
+	return tgt
+}

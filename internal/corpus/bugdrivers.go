@@ -151,6 +151,7 @@ func buildCEC() *Handler {
 		Quirks:     QuirkDispatch | QuirkCommentHint,
 		IoctlChar:  'a',
 		OpenBlocks: 5,
+		MmapBlocks: 4, // message ring mapping
 		Loaded:     true,
 		Structs:    []StructModel{caps, logAddrs, msg, mode},
 		// Two delegation hops: within MAX_ITER for the iterative LLM

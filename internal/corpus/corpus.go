@@ -61,6 +61,14 @@ const baseHeader = `
 #define SOCK_RAW 3
 #define SOCK_SEQPACKET 5
 #define MISC_DYNAMIC_MINOR 255
+#define PROT_READ 1
+#define PROT_WRITE 2
+#define PROT_EXEC 4
+#define MAP_SHARED 1
+#define MAP_PRIVATE 2
+#define EPOLL_CTL_ADD 1
+#define EPOLL_CTL_DEL 2
+#define EPOLL_CTL_MOD 3
 `
 
 // Build constructs the corpus: hand-modeled handlers, procedural

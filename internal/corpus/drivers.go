@@ -69,10 +69,23 @@ func Table5Names() []string {
 	return names
 }
 
+// mmapDrivers are the hand-modeled drivers with a real mmap surface
+// (packet-capture rings, scatter-gather windows, snapshot images) and
+// the block counts of their fault/validate paths.
+var mmapDrivers = map[string]int{
+	"usbmon0":  6,
+	"sg0":      5,
+	"snapshot": 4,
+	"kvm_vm":   6,
+}
+
 func buildTable5Drivers() []*Handler {
 	var out []*Handler
 	for _, cfg := range table5Configs {
 		h := genDriver(cfg.name, cfg.ncmds, cfg.quirks)
+		if n := mmapDrivers[cfg.name]; n > 0 {
+			h.MmapBlocks = n
+		}
 		if cfg.quirks.Has(QuirkDispatch) {
 			// One delegation hop: within reach of the static
 			// baseline's depth limit (its Table 5 numbers show it
@@ -113,6 +126,7 @@ func buildTable5Drivers() []*Handler {
 // coverage win the paper reports (§5.2.1).
 func buildKVM(kvm *Handler) []*Handler {
 	vm := genDriver("kvm_vm", 23, QuirkDispatch)
+	vm.MmapBlocks = mmapDrivers["kvm_vm"] // guest memory regions
 	vcpu := genDriver("kvm_vcpu", 20, 0)
 	vm.Parent, vm.CreatedBy = "kvm", "KVM_CREATE_VM"
 	vm.DevPath, vm.MiscName = "", ""

@@ -166,6 +166,12 @@ func genDriver(name string, ncmds int, quirks Quirk) *Handler {
 		}
 		h.Cmds = append(h.Cmds, c)
 	}
+	// Roughly a third of drivers expose an mmap region (ring buffers,
+	// register windows). Drawn last so earlier synthesis output is
+	// unchanged by the mmap extension.
+	if r.intn(3) == 0 {
+		h.MmapBlocks = 3 + r.intn(5)
+	}
 	return h
 }
 

@@ -381,6 +381,11 @@ type Handler struct {
 	// OpenBlocks is the coverage earned just by opening the device
 	// (or creating the socket).
 	OpenBlocks int
+	// MmapBlocks is the number of basic blocks in the handler's mmap
+	// fault/validate path; 0 means the handler does not implement
+	// mmap. Mappable handlers also get a munmap teardown block, and
+	// their fds reach the vkernel's mmap region model.
+	MmapBlocks int
 	// SyzkallerCmds lists the command names already described by the
 	// existing human-written Syzkaller suite; nil means the handler
 	// has no existing descriptions at all (an empty non-nil slice

@@ -1,0 +1,178 @@
+package corpus
+
+import (
+	"fmt"
+
+	"kernelgpt/internal/syzlang"
+)
+
+// fd-plumbing and memory-mapping specifications. The virtual kernel
+// models dup/pipe/epoll fd plumbing and an mmap/munmap region model
+// (internal/vkernel); these specs are the userspace surface that
+// reaches it. They are deliberately separate from OracleSpec — the
+// paper's suites stay bit-for-bit identical — and are merged in by
+// callers that want the expanded scenario space (syzfuzz -plumbing,
+// the fdplumbing example, the adaptive-scheduler benchmarks).
+
+// BuiltinPlumbingSpec returns the handler-independent plumbing
+// surface: pipe creation and I/O, epoll instance creation and wait,
+// and the shared flags/resource declarations the per-handler specs
+// reference (epoll_ctl_ops, mmap_prot, the mapping base resource).
+func BuiltinPlumbingSpec() *syzlang.File {
+	f := &syzlang.File{}
+	f.Resources = append(f.Resources,
+		&syzlang.ResourceDef{Name: "fd_pipe", Base: "fd"},
+		&syzlang.ResourceDef{Name: "fd_epoll", Base: "fd"},
+	)
+	f.Flags = append(f.Flags,
+		&syzlang.FlagsDef{Name: "epoll_ctl_ops", Values: []syzlang.FlagValue{
+			{Name: "EPOLL_CTL_ADD"}, {Name: "EPOLL_CTL_DEL"}, {Name: "EPOLL_CTL_MOD"},
+		}},
+		&syzlang.FlagsDef{Name: "mmap_prot", Values: []syzlang.FlagValue{
+			{Name: "PROT_READ"}, {Name: "PROT_WRITE"}, {Name: "PROT_EXEC"},
+		}},
+	)
+	f.Syscalls = append(f.Syscalls,
+		&syzlang.SyscallDef{
+			CallName: "pipe", Variant: "fuzz",
+			Args: []*syzlang.Field{field("flags", "const[0]")},
+			Ret:  "fd_pipe",
+		},
+		&syzlang.SyscallDef{
+			CallName: "read", Variant: "pipe",
+			Args: []*syzlang.Field{
+				field("fd", "fd_pipe"),
+				field("buf", "ptr[out, array[int8]]"),
+				field("count", "len[buf, intptr]"),
+			},
+		},
+		&syzlang.SyscallDef{
+			CallName: "write", Variant: "pipe",
+			Args: []*syzlang.Field{
+				field("fd", "fd_pipe"),
+				field("buf", "ptr[in, array[int8]]"),
+				field("count", "len[buf, intptr]"),
+			},
+		},
+		&syzlang.SyscallDef{
+			CallName: "epoll_create", Variant: "fuzz",
+			Args: []*syzlang.Field{field("size", "const[1]")},
+			Ret:  "fd_epoll",
+		},
+		&syzlang.SyscallDef{
+			CallName: "epoll_wait", Variant: "fuzz",
+			Args: []*syzlang.Field{
+				field("epfd", "fd_epoll"),
+				field("events", "ptr[out, array[int8]]"),
+				field("maxevents", "len[events, int32]"),
+				field("timeout", "const[0]"),
+			},
+		},
+		// The builtin fds are themselves dup-able and watchable.
+		&syzlang.SyscallDef{
+			CallName: "epoll_ctl", Variant: "pipe",
+			Args: []*syzlang.Field{
+				field("epfd", "fd_epoll"),
+				field("op", "flags[epoll_ctl_ops]"),
+				field("fd", "fd_pipe"),
+				field("ev", "ptr[in, array[int8]]"),
+			},
+		},
+		&syzlang.SyscallDef{
+			CallName: "dup", Variant: "pipe",
+			Args: []*syzlang.Field{field("oldfd", "fd_pipe")},
+			Ret:  "fd_pipe",
+		},
+	)
+	return f
+}
+
+// PlumbingSpec returns the fd-plumbing surface for one handler:
+// dup$<h> and epoll_ctl$<h> over the handler's fd resource, plus
+// mmap$<h>/munmap$<h> with a per-handler mapping resource when the
+// handler models an mmap region. The returned file references the
+// declarations of BuiltinPlumbingSpec; merge both (PlumbingSuite does).
+// Handlers without their own fd resource (secondary handlers reached
+// only through a parent) still get the surface — their fds come from
+// the parent's creating command.
+func PlumbingSpec(h *Handler) *syzlang.File {
+	f := &syzlang.File{}
+	res := h.FDResource()
+	if h.Kind == KindSocket {
+		res = "sock_" + h.Ident()
+	}
+	// Declare the fd resource under the same name the handler's
+	// primary spec uses; MergeDedup keeps one definition when both are
+	// present, and a standalone plumbing file stays self-consistent.
+	f.Resources = append(f.Resources, &syzlang.ResourceDef{Name: res, Base: "fd"})
+	f.Syscalls = append(f.Syscalls,
+		&syzlang.SyscallDef{
+			CallName: "dup", Variant: h.Ident(),
+			Args: []*syzlang.Field{field("oldfd", res)},
+			Ret:  res,
+		},
+		&syzlang.SyscallDef{
+			CallName: "epoll_ctl", Variant: h.Ident(),
+			Args: []*syzlang.Field{
+				field("epfd", "fd_epoll"),
+				field("op", "flags[epoll_ctl_ops]"),
+				field("fd", res),
+				field("ev", "ptr[in, array[int8]]"),
+			},
+		},
+	)
+	if h.MmapBlocks > 0 {
+		mres := "mapping_" + h.Ident()
+		f.Resources = append(f.Resources, &syzlang.ResourceDef{Name: mres, Base: "intptr"})
+		f.Syscalls = append(f.Syscalls,
+			&syzlang.SyscallDef{
+				CallName: "mmap", Variant: h.Ident(),
+				Args: []*syzlang.Field{
+					field("addr", "const[0]"),
+					field("len", "intptr[0:2097152]"),
+					field("prot", "flags[mmap_prot]"),
+					field("flags", "const[MAP_SHARED]"),
+					field("fd", res),
+					field("offset", "const[0]"),
+				},
+				Ret: mres,
+			},
+			&syzlang.SyscallDef{
+				CallName: "munmap", Variant: h.Ident(),
+				Args: []*syzlang.Field{
+					field("addr", mres),
+					field("len", "intptr"),
+				},
+			},
+		)
+	}
+	return f
+}
+
+// PlumbingSuite merges the builtin plumbing spec with the per-handler
+// plumbing surface of every loaded handler — the expanded scenario
+// space a campaign opts into alongside its primary suite.
+func (c *Corpus) PlumbingSuite() *syzlang.File {
+	files := []*syzlang.File{BuiltinPlumbingSpec()}
+	for _, h := range c.Handlers {
+		if h.Loaded {
+			files = append(files, PlumbingSpec(h))
+		}
+	}
+	return syzlang.MergeDedup(files...)
+}
+
+// PlumbingSpecFor returns the merged builtin + per-handler plumbing
+// surface for an explicit handler set (the bundled-driver benchmarks
+// fuzz two handlers, not the whole corpus).
+func (c *Corpus) PlumbingSpecFor(names ...string) (*syzlang.File, error) {
+	files := []*syzlang.File{BuiltinPlumbingSpec()}
+	for _, n := range names {
+		h := c.Handler(n)
+		if h == nil {
+			return nil, fmt.Errorf("no handler %q", n)
+		}
+		files = append(files, PlumbingSpec(h))
+	}
+	return syzlang.MergeDedup(files...), nil
+}

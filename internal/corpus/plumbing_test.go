@@ -1,0 +1,69 @@
+package corpus
+
+import (
+	"testing"
+
+	"kernelgpt/internal/syzlang"
+)
+
+func TestPlumbingSuiteValidates(t *testing.T) {
+	c := Build(TestConfig())
+	suite := c.PlumbingSuite()
+	if len(suite.Syscalls) == 0 {
+		t.Fatal("empty plumbing suite")
+	}
+	if errs := syzlang.Validate(suite, c.Env()); len(errs) > 0 {
+		t.Fatalf("plumbing suite invalid: %v", errs[0])
+	}
+	// It must also merge cleanly with the full oracle suite (shared
+	// resources like fd_dm are referenced, not redefined).
+	files := []*syzlang.File{suite}
+	for _, h := range c.Handlers {
+		if h.Loaded {
+			files = append(files, OracleSpec(h))
+		}
+	}
+	merged := syzlang.MergeDedup(files...)
+	if errs := syzlang.Validate(merged, c.Env()); len(errs) > 0 {
+		t.Fatalf("oracle+plumbing suite invalid: %v", errs[0])
+	}
+}
+
+func TestPlumbingSpecMmapGating(t *testing.T) {
+	c := Build(TestConfig())
+	cec, dm := c.Handler("cec"), c.Handler("dm")
+	if cec.MmapBlocks == 0 {
+		t.Fatal("cec must model an mmap region")
+	}
+	if dm.MmapBlocks != 0 {
+		t.Fatal("dm control device must not model an mmap region")
+	}
+	withMmap := PlumbingSpec(cec)
+	if !hasCallWith(withMmap, "mmap$cec") || !hasCallWith(withMmap, "munmap$cec") {
+		t.Fatalf("mappable handler lacks mmap surface: %v", callNames(withMmap))
+	}
+	without := PlumbingSpec(dm)
+	if hasCallWith(without, "mmap$dm") {
+		t.Fatal("unmappable handler got an mmap spec")
+	}
+	if !hasCallWith(without, "dup$dm") || !hasCallWith(without, "epoll_ctl$dm") {
+		t.Fatalf("fd plumbing missing: %v", callNames(without))
+	}
+}
+
+func hasCallWith(f *syzlang.File, name string) bool {
+	for _, s := range f.Syscalls {
+		if s.Name() == name {
+			return true
+		}
+	}
+	return false
+}
+
+func callNames(f *syzlang.File) []string {
+	var out []string
+	for _, s := range f.Syscalls {
+		out = append(out, s.Name())
+	}
+	return out
+}

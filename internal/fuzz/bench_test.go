@@ -45,6 +45,34 @@ func BenchmarkCampaignNoTriage(b *testing.B) {
 	}
 }
 
+// BenchmarkCampaignAdaptive measures the scheduler-driven loop on the
+// bundled drivers with the plumbing surface (the tentpole
+// configuration); ns/op here prices the bandit bookkeeping.
+func BenchmarkCampaignAdaptive(b *testing.B) {
+	f := New(plumbedTarget(b, "dm", "cec", "kvm", "kvm_vm", "kvm_vcpu"), testKernel)
+	cfg := DefaultConfig(500, 0)
+	cfg.NoTriage = true
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i)
+		f.Run(cfg)
+	}
+}
+
+// BenchmarkCampaignUniform is the ablation twin of
+// BenchmarkCampaignAdaptive (uniform operator selection, same target).
+func BenchmarkCampaignUniform(b *testing.B) {
+	f := New(plumbedTarget(b, "dm", "cec", "kvm", "kvm_vm", "kvm_vcpu"), testKernel)
+	cfg := DefaultConfig(500, 0)
+	cfg.NoTriage = true
+	cfg.UniformOps = true
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i)
+		f.Run(cfg)
+	}
+}
+
 // BenchmarkRunParallel measures the sharded campaign path end to end.
 func BenchmarkRunParallel(b *testing.B) {
 	f := New(benchTarget(b), testKernel)

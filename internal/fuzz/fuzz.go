@@ -58,6 +58,11 @@ type Config struct {
 	// NoTriage skips crash-repro minimization at discovery time;
 	// CrashReport.Repro then holds the raw crashing program.
 	NoTriage bool
+	// UniformOps disables the adaptive operator scheduler: mutation
+	// operators are drawn uniformly at random instead of by
+	// coverage-feedback bandit weights (the scheduler ablation
+	// baseline).
+	UniformOps bool
 	// ShardExecs is the execution budget of one independent work
 	// unit in RunParallel (0 selects DefaultShardExecs). The unit
 	// decomposition — not the worker count — defines the campaign,
@@ -81,6 +86,21 @@ type Progress struct {
 	// Cover and Crashes are the merged unique counts so far.
 	Cover   int
 	Crashes int
+	// Ops is the merged per-operator scheduler snapshot so far (nil
+	// until the first mutation has been credited).
+	Ops []OpStat
+}
+
+// OpStat is one mutation operator's campaign outcome: how often the
+// scheduler picked it and how much new coverage its mutations found.
+// Per-operator yield (NewBlocks/Picks) is the feedback signal the
+// adaptive scheduler turns into selection weights.
+type OpStat struct {
+	Name string
+	// Picks is the number of mutations credited to the operator.
+	Picks int
+	// NewBlocks is the total new-coverage yield of those mutations.
+	NewBlocks int
 }
 
 // DefaultShardExecs is the per-unit budget RunParallel uses when
@@ -118,6 +138,20 @@ type Stats struct {
 	Execs int
 	// CorpusSize is the number of retained seeds.
 	CorpusSize int
+	// Ops is the per-operator mutation outcome in canonical operator
+	// order (merged by name across shards).
+	Ops []OpStat
+}
+
+// OpByName returns the named operator's campaign outcome, or a zero
+// OpStat when the operator never ran.
+func (s *Stats) OpByName(name string) OpStat {
+	for _, o := range s.Ops {
+		if o.Name == name {
+			return o
+		}
+	}
+	return OpStat{Name: name}
 }
 
 // CoverCount returns the number of covered blocks.
@@ -200,11 +234,24 @@ func (f *Fuzzer) run(ctx context.Context, cfg Config) (*Stats, error) {
 		Crashes: map[string]*CrashReport{},
 	}
 	corpus := seedpool.New(cfg.CorpusCap)
+	sched := newSched(cfg)
+	ops := sched.Ops()
+	stats.Ops = make([]OpStat, len(ops))
+	opIndex := make(map[string]int, len(ops))
+	for i, op := range ops {
+		stats.Ops[i].Name = op.Name()
+		opIndex[op.Name()] = i
+	}
+	mctx := &prog.MutateCtx{
+		MaxCalls: cfg.MaxCalls,
+		Donor:    func() *prog.Prog { return corpus.Pick(g.R) },
+	}
 	emit := func(done int) {
 		if cfg.Progress != nil {
 			cfg.Progress(Progress{
 				ShardsDone: done, ShardsTotal: 1, Execs: stats.Execs,
 				Cover: stats.CoverCount(), Crashes: stats.UniqueCrashes(),
+				Ops: append([]OpStat(nil), stats.Ops...),
 			})
 		}
 	}
@@ -217,8 +264,21 @@ func (f *Fuzzer) run(ctx context.Context, cfg Config) (*Stats, error) {
 			emit(0)
 		}
 		var p *prog.Prog
-		if seed := pickSeed(corpus, g, cfg.MutateBias); seed != nil {
-			p = g.Mutate(seed, cfg.MaxCalls)
+		opIdx := -1
+		var seedRef uint64
+		if seed, ref := pickSeed(corpus, g, cfg.MutateBias); seed != nil {
+			seedRef = ref
+			var applied prog.Operator
+			p, applied = g.MutateOp(seed, ops[sched.Pick(g.R)], mctx)
+			// Credit follows the operator that actually mutated: an
+			// inapplicable draw falls back (shuffle on a 2-call seed
+			// runs mutateArg), and rewarding the requested operator
+			// would teach the bandit another operator's yield.
+			if applied != nil {
+				if i, ok := opIndex[applied.Name()]; ok {
+					opIdx = i
+				}
+			}
 		} else {
 			p = g.Generate(cfg.MaxCalls)
 		}
@@ -230,7 +290,17 @@ func (f *Fuzzer) run(ctx context.Context, cfg Config) (*Stats, error) {
 				newBlocks++
 			}
 		}
-		corpus.Add(p, newBlocks)
+		opName := ""
+		if opIdx >= 0 {
+			// Feed the outcome back: the scheduler reweights the
+			// operator, the pool reweights the seed's lineage.
+			sched.Reward(opIdx, newBlocks)
+			corpus.Reward(seedRef, newBlocks)
+			stats.Ops[opIdx].Picks++
+			stats.Ops[opIdx].NewBlocks += newBlocks
+			opName = stats.Ops[opIdx].Name
+		}
+		corpus.Add(p, newBlocks, opName)
 		if res.Crash != nil {
 			cr := stats.Crashes[res.Crash.Title]
 			if cr == nil {
@@ -249,14 +319,24 @@ func (f *Fuzzer) run(ctx context.Context, cfg Config) (*Stats, error) {
 	return stats, nil
 }
 
-// pickSeed decides mutate-vs-generate and selects a seed. The two
-// random draws (bias coin, then weighted pick) are made in a fixed
-// order so campaigns are deterministic.
-func pickSeed(corpus *seedpool.Pool, g *prog.Gen, bias float64) *prog.Prog {
-	if corpus.Len() == 0 || g.R.Float64() >= bias {
-		return nil
+// newSched builds the campaign's operator scheduler: adaptive by
+// default, uniform for the ablation baseline.
+func newSched(cfg Config) *prog.Scheduler {
+	if cfg.UniformOps {
+		return prog.NewUniformScheduler()
 	}
-	return corpus.Pick(g.R)
+	return prog.NewScheduler()
+}
+
+// pickSeed decides mutate-vs-generate and selects a seed (returning
+// its lineage ref for Reward). The random draws (bias coin, then
+// weighted pick) are made in a fixed order so campaigns are
+// deterministic.
+func pickSeed(corpus *seedpool.Pool, g *prog.Gen, bias float64) (*prog.Prog, uint64) {
+	if corpus.Len() == 0 || g.R.Float64() >= bias {
+		return nil, 0
+	}
+	return corpus.PickRef(g.R)
 }
 
 // triage produces the reported repro text for a fresh crash,

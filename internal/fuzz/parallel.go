@@ -101,6 +101,7 @@ func (f *Fuzzer) RunParallel(ctx context.Context, cfg Config, shards int) (*Stat
 				ShardsDone: done, ShardsTotal: plan.units,
 				Execs: merged.Execs, Cover: merged.CoverCount(),
 				Crashes: merged.UniqueCrashes(),
+				Ops:     append([]OpStat(nil), merged.Ops...),
 			})
 		}
 		mu.Unlock()
@@ -130,4 +131,18 @@ func mergeInto(dst, src *Stats, execBase int) {
 	}
 	dst.Execs += src.Execs
 	dst.CorpusSize += src.CorpusSize
+	for _, op := range src.Ops {
+		merged := false
+		for i := range dst.Ops {
+			if dst.Ops[i].Name == op.Name {
+				dst.Ops[i].Picks += op.Picks
+				dst.Ops[i].NewBlocks += op.NewBlocks
+				merged = true
+				break
+			}
+		}
+		if !merged {
+			dst.Ops = append(dst.Ops, op)
+		}
+	}
 }

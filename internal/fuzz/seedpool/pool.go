@@ -5,6 +5,12 @@
 // every program that found new coverage; the pool decides what to
 // keep, what to evict when full, and which seed to mutate next.
 //
+// Seeds carry the provenance of the mutation operator that produced
+// them, and their scheduling weight is dynamic: Reward feedback adds
+// a lineage bonus when mutating a seed keeps finding fresh blocks and
+// decays it when the lineage runs dry, so Pick drifts toward the
+// productive frontier of the corpus.
+//
 // All operations are deterministic given the caller's random stream,
 // which is what lets sharded campaigns remain bitwise identical
 // across worker counts.
@@ -21,31 +27,57 @@ import (
 // historically.
 const DefaultCapacity = 512
 
+// maxLineageBonus caps the dynamic weight a productive lineage can
+// accumulate, so one hot seed cannot starve the rest of the corpus.
+const maxLineageBonus = 64
+
+// lineageMissWindow is the number of consecutive yield-less mutations
+// after which a seed's lineage bonus decays by a quarter.
+const lineageMissWindow = 8
+
 // Seed is one retained corpus entry.
 type Seed struct {
 	Prog *prog.Prog
-	// Prio is the scheduling weight: the number of new blocks the
-	// program contributed when it was admitted.
+	// Prio is the base scheduling weight: the number of new blocks
+	// the program contributed when it was admitted.
 	Prio int
-	// seq orders admissions; among equal priorities the newer seed is
-	// evicted first, so long-lived discoveries are sticky.
+	// Op names the mutation operator that produced the program (""
+	// for freshly generated seeds) — the per-seed provenance the
+	// campaign Stats aggregate.
+	Op string
+	// bonus is the lineage bonus: new blocks found by mutations of
+	// this seed, capped and decayed as the lineage dries up.
+	bonus int
+	// misses counts consecutive yield-less mutations since the last
+	// bonus change.
+	misses int
+	// seq orders admissions; among equal weights the newer seed is
+	// evicted first, so long-lived discoveries are sticky. It doubles
+	// as the seed's stable ref for Reward.
 	seq uint64
 }
 
+// Weight is the seed's current scheduling weight (base priority plus
+// lineage bonus).
+func (s *Seed) Weight() int { return s.Prio + s.bonus }
+
 // Pool is a bounded seed corpus. Internally it is a min-heap ordered
-// by (Prio, -seq) — the root is always the next eviction victim —
-// overlaid with a Fenwick tree of priorities over the heap slots, so
-// both eviction and weighted seed selection are O(log n).
+// by (Weight, -seq) — the root is always the next eviction victim —
+// overlaid with a Fenwick tree of weights over the heap slots, so
+// eviction, weighted seed selection, and lineage reweighting are all
+// O(log n).
 //
 // Pool is not safe for concurrent use; campaigns own one pool each.
 type Pool struct {
 	cap   int
 	seeds []Seed
 	// fen is a Fenwick (binary indexed) tree over heap slots; fen
-	// prefix sums give cumulative priority mass for weighted Pick.
+	// prefix sums give cumulative weight mass for weighted Pick.
 	fen   []int64
 	total int64
 	seq   uint64
+	// slot maps a seed's stable ref (seq) to its current heap slot.
+	slot map[uint64]int
 
 	added, evicted, rejected int
 }
@@ -56,7 +88,7 @@ func New(capacity int) *Pool {
 	if capacity <= 0 {
 		capacity = DefaultCapacity
 	}
-	return &Pool{cap: capacity, fen: make([]int64, capacity+1)}
+	return &Pool{cap: capacity, fen: make([]int64, capacity+1), slot: make(map[uint64]int)}
 }
 
 // Len returns the number of retained seeds.
@@ -65,7 +97,8 @@ func (p *Pool) Len() int { return len(p.seeds) }
 // Cap returns the pool bound.
 func (p *Pool) Cap() int { return p.cap }
 
-// TotalPrio returns the summed priority mass of the retained seeds.
+// TotalPrio returns the summed scheduling weight of the retained
+// seeds (base priorities plus lineage bonuses).
 func (p *Pool) TotalPrio() int64 { return p.total }
 
 // Stats reports lifetime admission counters: seeds admitted, seeds
@@ -76,18 +109,21 @@ func (p *Pool) Stats() (added, evicted, rejected int) {
 }
 
 // Add offers a program with the given priority (its new-coverage
-// contribution). Non-positive priorities are rejected. When the pool
-// is full, the offer replaces the lowest-priority seed if it ranks
-// strictly above it, otherwise it is rejected. O(log n).
-func (p *Pool) Add(pr *prog.Prog, prio int) bool {
+// contribution) and the name of the mutation operator that produced
+// it ("" for generated programs). Non-positive priorities are
+// rejected. When the pool is full, the offer replaces the
+// lowest-weight seed if it ranks strictly above it, otherwise it is
+// rejected. O(log n).
+func (p *Pool) Add(pr *prog.Prog, prio int, op string) bool {
 	if prio <= 0 {
 		return false
 	}
-	s := Seed{Prog: pr, Prio: prio, seq: p.seq}
+	s := Seed{Prog: pr, Prio: prio, Op: op, seq: p.seq}
 	p.seq++
 	if len(p.seeds) < p.cap {
 		p.seeds = append(p.seeds, s)
 		i := len(p.seeds) - 1
+		p.slot[s.seq] = i
 		p.fenAdd(i, int64(prio))
 		p.total += int64(prio)
 		p.siftUp(i)
@@ -99,9 +135,12 @@ func (p *Pool) Add(pr *prog.Prog, prio int) bool {
 		p.rejected++
 		return false
 	}
-	p.fenAdd(0, int64(prio-p.seeds[0].Prio))
-	p.total += int64(prio - p.seeds[0].Prio)
+	delete(p.slot, p.seeds[0].seq)
+	d := int64(s.Weight() - p.seeds[0].Weight())
+	p.fenAdd(0, d)
+	p.total += d
 	p.seeds[0] = s
+	p.slot[s.seq] = 0
 	p.siftDown(0)
 	p.added++
 	p.evicted++
@@ -109,12 +148,60 @@ func (p *Pool) Add(pr *prog.Prog, prio int) bool {
 }
 
 // Pick returns a seed chosen with probability proportional to its
-// priority, drawing from r. Returns nil on an empty pool. O(log n).
+// weight, drawing from r. Returns nil on an empty pool. O(log n).
 func (p *Pool) Pick(r *rand.Rand) *prog.Prog {
+	pr, _ := p.PickRef(r)
+	return pr
+}
+
+// PickRef is Pick plus the chosen seed's stable ref, which later
+// Reward calls use to feed lineage results back. The ref stays valid
+// until the seed is evicted; Reward on a dead ref is a no-op.
+func (p *Pool) PickRef(r *rand.Rand) (*prog.Prog, uint64) {
 	if len(p.seeds) == 0 || p.total <= 0 {
-		return nil
+		return nil, 0
 	}
-	return p.seeds[p.fenFind(r.Int63n(p.total))].Prog
+	s := &p.seeds[p.fenFind(r.Int63n(p.total))]
+	return s.Prog, s.seq
+}
+
+// Reward reports the outcome of mutating the seed identified by ref:
+// newBlocks is the new coverage the mutation found (zero for a dry
+// run). Productive lineages gain weight (capped); lineages that stay
+// dry for lineageMissWindow consecutive mutations decay by a quarter
+// of their bonus. O(log n) when the weight changes.
+func (p *Pool) Reward(ref uint64, newBlocks int) {
+	i, ok := p.slot[ref]
+	if !ok {
+		return
+	}
+	s := &p.seeds[i]
+	var delta int
+	if newBlocks > 0 {
+		delta = newBlocks
+		if s.bonus+delta > maxLineageBonus {
+			delta = maxLineageBonus - s.bonus
+		}
+		s.misses = 0
+	} else {
+		s.misses++
+		if s.misses >= lineageMissWindow && s.bonus > 0 {
+			delta = -((s.bonus + 3) / 4)
+			s.misses = 0
+		}
+	}
+	if delta == 0 {
+		return
+	}
+	s.bonus += delta
+	p.fenAdd(i, int64(delta))
+	p.total += int64(delta)
+	// The weight change may violate the heap order; restore it.
+	if delta > 0 {
+		p.siftDown(i)
+	} else {
+		p.siftUp(i)
+	}
 }
 
 // ForEach visits the retained seeds in unspecified order.
@@ -124,23 +211,25 @@ func (p *Pool) ForEach(fn func(Seed)) {
 	}
 }
 
-// less orders eviction: lower priority first; among equals, the newer
+// less orders eviction: lower weight first; among equals, the newer
 // admission (higher seq) goes first.
 func less(a, b Seed) bool {
-	if a.Prio != b.Prio {
-		return a.Prio < b.Prio
+	if aw, bw := a.Weight(), b.Weight(); aw != bw {
+		return aw < bw
 	}
 	return a.seq > b.seq
 }
 
-// swap exchanges heap slots i and j and moves their priority mass in
+// swap exchanges heap slots i and j and moves their weight mass in
 // the Fenwick overlay.
 func (p *Pool) swap(i, j int) {
-	if d := int64(p.seeds[j].Prio - p.seeds[i].Prio); d != 0 {
+	if d := int64(p.seeds[j].Weight() - p.seeds[i].Weight()); d != 0 {
 		p.fenAdd(i, d)
 		p.fenAdd(j, -d)
 	}
 	p.seeds[i], p.seeds[j] = p.seeds[j], p.seeds[i]
+	p.slot[p.seeds[i].seq] = i
+	p.slot[p.seeds[j].seq] = j
 }
 
 func (p *Pool) siftUp(i int) {
@@ -171,14 +260,14 @@ func (p *Pool) siftDown(i int) {
 	}
 }
 
-// fenAdd adds delta to slot i's priority mass.
+// fenAdd adds delta to slot i's weight mass.
 func (p *Pool) fenAdd(i int, delta int64) {
 	for i++; i < len(p.fen); i += i & -i {
 		p.fen[i] += delta
 	}
 }
 
-// fenFind returns the smallest slot whose cumulative priority mass
+// fenFind returns the smallest slot whose cumulative weight mass
 // exceeds t (0 <= t < total), by binary-indexed descent.
 func (p *Pool) fenFind(t int64) int {
 	pos := 0

@@ -15,11 +15,11 @@ func TestPoolAddAndLen(t *testing.T) {
 	if p.Len() != 0 || p.Cap() != 4 {
 		t.Fatalf("fresh pool: len=%d cap=%d", p.Len(), p.Cap())
 	}
-	if p.Add(mkProg(), 0) || p.Add(mkProg(), -3) {
+	if p.Add(mkProg(), 0, "") || p.Add(mkProg(), -3, "") {
 		t.Fatal("non-positive priority admitted")
 	}
 	for i := 1; i <= 4; i++ {
-		if !p.Add(mkProg(), i) {
+		if !p.Add(mkProg(), i, "") {
 			t.Fatalf("Add #%d rejected below capacity", i)
 		}
 	}
@@ -31,11 +31,11 @@ func TestPoolAddAndLen(t *testing.T) {
 func TestPoolEvictsLowestPriority(t *testing.T) {
 	p := New(3)
 	a, b, c, d := mkProg(), mkProg(), mkProg(), mkProg()
-	p.Add(a, 5)
-	p.Add(b, 1)
-	p.Add(c, 3)
+	p.Add(a, 5, "")
+	p.Add(b, 1, "")
+	p.Add(c, 3, "")
 	// d outranks b (the weakest): b is evicted.
-	if !p.Add(d, 2) {
+	if !p.Add(d, 2, "") {
 		t.Fatal("stronger offer rejected")
 	}
 	if p.Len() != 3 || p.TotalPrio() != 10 {
@@ -47,10 +47,10 @@ func TestPoolEvictsLowestPriority(t *testing.T) {
 		t.Fatalf("wrong eviction victim: %v", held)
 	}
 	// An offer weaker than (or tying) the weakest is rejected.
-	if p.Add(mkProg(), 2) {
+	if p.Add(mkProg(), 2, "") {
 		t.Fatal("tying offer should be rejected (older seed sticky)")
 	}
-	if p.Add(mkProg(), 1) {
+	if p.Add(mkProg(), 1, "") {
 		t.Fatal("weaker offer admitted")
 	}
 	added, evicted, rejected := p.Stats()
@@ -62,8 +62,8 @@ func TestPoolEvictsLowestPriority(t *testing.T) {
 func TestPoolPickWeighted(t *testing.T) {
 	p := New(8)
 	lo, hi := mkProg(), mkProg()
-	p.Add(lo, 1)
-	p.Add(hi, 9)
+	p.Add(lo, 1, "")
+	p.Add(hi, 9, "")
 	r := rand.New(rand.NewSource(1))
 	counts := map[*prog.Prog]int{}
 	for i := 0; i < 5000; i++ {
@@ -91,7 +91,7 @@ func TestPoolDeterministic(t *testing.T) {
 		progs := make([]*prog.Prog, 64)
 		for i := range progs {
 			progs[i] = mkProg()
-			p.Add(progs[i], (i*7)%13+1)
+			p.Add(progs[i], (i*7)%13+1, "")
 		}
 		r := rand.New(rand.NewSource(42))
 		var picks []*prog.Prog
@@ -128,7 +128,7 @@ func TestPoolFenwickConsistency(t *testing.T) {
 	p := New(32)
 	r := rand.New(rand.NewSource(7))
 	for i := 0; i < 2000; i++ {
-		p.Add(mkProg(), r.Intn(40)+1)
+		p.Add(mkProg(), r.Intn(40)+1, "")
 		var sum int64
 		p.ForEach(func(s Seed) { sum += int64(s.Prio) })
 		if sum != p.TotalPrio() {
@@ -153,7 +153,7 @@ func TestPoolHeapProperty(t *testing.T) {
 		pr, prio := mkProg(), r.Intn(100)+1
 		before := map[*prog.Prog]bool{}
 		p.ForEach(func(s Seed) { before[s.Prog] = true })
-		if p.Add(pr, prio) {
+		if p.Add(pr, prio, "") {
 			live[pr] = prio
 			if len(before) == p.Cap() {
 				// Someone was evicted; it must have had the minimum
@@ -175,5 +175,73 @@ func TestPoolHeapProperty(t *testing.T) {
 				delete(live, evicted)
 			}
 		}
+	}
+}
+
+// TestPoolLineageReward: coverage feedback shifts scheduling weight
+// toward productive lineages and decays it when they run dry.
+func TestPoolLineageReward(t *testing.T) {
+	p := New(8)
+	hot, cold := mkProg(), mkProg()
+	p.Add(hot, 2, "splice")
+	p.Add(cold, 2, "insert")
+	r := rand.New(rand.NewSource(5))
+	var hotRef uint64
+	for {
+		pr, ref := p.PickRef(r)
+		if pr == hot {
+			hotRef = ref
+			break
+		}
+	}
+	for i := 0; i < 10; i++ {
+		p.Reward(hotRef, 3)
+	}
+	if p.TotalPrio() <= 4 {
+		t.Fatalf("lineage bonus not applied: total=%d", p.TotalPrio())
+	}
+	counts := map[*prog.Prog]int{}
+	for i := 0; i < 4000; i++ {
+		counts[p.Pick(r)]++
+	}
+	if counts[hot] < 2*counts[cold] {
+		t.Fatalf("productive lineage not favored: hot=%d cold=%d", counts[hot], counts[cold])
+	}
+	// A long dry streak decays the bonus back toward the base weight.
+	before := p.TotalPrio()
+	for i := 0; i < 200; i++ {
+		p.Reward(hotRef, 0)
+	}
+	if p.TotalPrio() >= before {
+		t.Fatalf("dry lineage did not decay: %d -> %d", before, p.TotalPrio())
+	}
+	// Rewards on dead refs are no-ops.
+	p.Reward(9999, 5)
+}
+
+// TestPoolLineageBonusCapped: one hot seed cannot grow without bound.
+func TestPoolLineageBonusCapped(t *testing.T) {
+	p := New(4)
+	s := mkProg()
+	p.Add(s, 1, "")
+	r := rand.New(rand.NewSource(2))
+	_, ref := p.PickRef(r)
+	for i := 0; i < 1000; i++ {
+		p.Reward(ref, 50)
+	}
+	if got := p.TotalPrio(); got != 1+64 {
+		t.Fatalf("bonus not capped: total=%d", got)
+	}
+}
+
+// TestPoolOpProvenance: seeds remember the operator that bred them.
+func TestPoolOpProvenance(t *testing.T) {
+	p := New(4)
+	p.Add(mkProg(), 1, "shuffle")
+	p.Add(mkProg(), 2, "")
+	ops := map[string]int{}
+	p.ForEach(func(s Seed) { ops[s.Op]++ })
+	if ops["shuffle"] != 1 || ops[""] != 1 {
+		t.Fatalf("provenance lost: %v", ops)
 	}
 }

@@ -14,6 +14,14 @@ type Gen struct {
 	// design-choice ablation; stateful bug chains become essentially
 	// unreachable without it).
 	NoLocality bool
+	// resLimited/resLimit bound resource binding during value
+	// generation to calls strictly before resLimit and forbid
+	// appending creator calls. Mutations regenerating a value inside
+	// an existing call set them (via genValueAt) so they cannot
+	// manufacture forward references — appended creators would land
+	// after the consumer.
+	resLimited bool
+	resLimit   int
 }
 
 // NewGen returns a generator with the given seed.
@@ -97,6 +105,17 @@ func (g *Gen) appendCall(p *Prog, sc *Syscall, depth int) int {
 	call.FixupLens()
 	p.Calls = append(p.Calls, call)
 	return len(p.Calls) - 1
+}
+
+// genValueAt builds a random value destined for the existing call at
+// index callIdx: resource references bind only to calls strictly
+// before it and no creator calls are appended (they would land after
+// the consumer, leaving a forward reference).
+func (g *Gen) genValueAt(p *Prog, ty *Type, callIdx int) *Value {
+	g.resLimited, g.resLimit = true, callIdx
+	v := g.genValue(p, ty, maxCreatorDepth)
+	g.resLimited = false
+	return v
 }
 
 // genValue builds a random value for ty, possibly appending creator
@@ -199,11 +218,24 @@ func (g *Gen) findOrMakeResource(p *Prog, res string, depth int) int {
 	if g.R.Intn(40) == 0 {
 		return -1
 	}
+	limit := len(p.Calls)
+	if g.resLimited && g.resLimit < limit {
+		limit = g.resLimit
+	}
 	var candidates []int
-	for i, c := range p.Calls {
+	for i, c := range p.Calls[:limit] {
 		if c.Sc.Ret != "" && g.T.compatible(c.Sc.Ret, res) {
 			candidates = append(candidates, i)
 		}
+	}
+	if g.resLimited {
+		// Mid-program regeneration: bind to an existing producer or
+		// pass a bad fd; appending a creator here would place it after
+		// the consumer.
+		if len(candidates) == 0 {
+			return -1
+		}
+		return candidates[g.R.Intn(len(candidates))]
 	}
 	if len(candidates) > 0 && g.R.Intn(4) != 0 {
 		return candidates[g.R.Intn(len(candidates))]

@@ -1,28 +1,73 @@
 package prog
 
-// Mutation operators mirror Syzkaller's core set: tweak a scalar,
-// reselect a flags value, resize an array, corrupt a buffer, insert a
-// freshly generated call, or drop a call whose result is unused.
+// Mutation entry points. The individual transformations live in
+// operator.go as named Operator implementations; this file holds the
+// generic drivers (Mutate for uniform selection, MutateOp for
+// scheduler-driven selection) and the shared call-level helpers.
 
-// Mutate returns a mutated copy of p (p itself is never modified).
+// Mutate returns a mutated copy of p (p itself is never modified),
+// applying 1–3 uniformly chosen operators. It is the
+// feedback-agnostic path; scheduler-driven campaigns use MutateOp.
 func (g *Gen) Mutate(p *Prog, maxCalls int) *Prog {
 	m := p.Clone()
 	if len(m.Calls) == 0 {
 		return g.Generate(maxCalls)
 	}
+	ops := defaultOps
+	ctx := &MutateCtx{MaxCalls: maxCalls}
 	nops := 1 + g.R.Intn(3)
 	for i := 0; i < nops; i++ {
-		switch g.R.Intn(6) {
-		case 0, 1, 2:
-			g.mutateArg(m)
-		case 3:
-			g.insertCall(m, maxCalls)
-		case 4:
-			g.removeCall(m)
-		case 5:
-			g.duplicateCall(m, maxCalls)
+		if !ops[g.R.Intn(len(ops))].Apply(g, m, ctx) {
+			g.fallbackMutate(m, ctx)
 		}
 	}
+	return g.finishMutation(m, maxCalls)
+}
+
+// defaultOps backs Mutate; operator values are stateless, so sharing
+// the slice across goroutines is safe.
+var defaultOps = DefaultOperators()
+
+// MutateOp returns a copy of p mutated by one specific operator —
+// the scheduler-driven path, where each mutation is credited to
+// exactly one operator. If op is inapplicable to p (for example
+// splice without a donor), a fallback mutation runs instead so the
+// returned program still differs from the seed. The second result is
+// the operator that actually mutated the program — the requested op,
+// the fallback, or nil when nothing applied (coverage credit must
+// follow the operator that did the work, not the one that was asked).
+func (g *Gen) MutateOp(p *Prog, op Operator, ctx *MutateCtx) (*Prog, Operator) {
+	m := p.Clone()
+	if len(m.Calls) == 0 {
+		return g.Generate(ctx.maxCalls()), nil
+	}
+	applied := op
+	if !op.Apply(g, m, ctx) {
+		applied = g.fallbackMutate(m, ctx)
+	}
+	return g.finishMutation(m, ctx.maxCalls()), applied
+}
+
+// fallbackMutate guarantees an inapplicable operator draw still
+// mutates, reporting what ran: tweak an argument if the program has
+// any mutable value, else grow it (a lone parameterless open call
+// offers nothing to mutate in place), else re-append a call copy.
+func (g *Gen) fallbackMutate(m *Prog, ctx *MutateCtx) Operator {
+	if (OpMutateArg{}).Apply(g, m, ctx) {
+		return OpMutateArg{}
+	}
+	if (OpInsert{}).Apply(g, m, ctx) {
+		return OpInsert{}
+	}
+	if (OpDuplicate{}).Apply(g, m, ctx) {
+		return OpDuplicate{}
+	}
+	return nil
+}
+
+// finishMutation recomputes length fields and regenerates when a
+// mutation emptied the program.
+func (g *Gen) finishMutation(m *Prog, maxCalls int) *Prog {
 	for _, c := range m.Calls {
 		c.FixupLens()
 	}
@@ -33,13 +78,28 @@ func (g *Gen) Mutate(p *Prog, maxCalls int) *Prog {
 }
 
 // mutateArg tweaks one randomly chosen value inside one call.
-func (g *Gen) mutateArg(p *Prog) {
-	call := p.Calls[g.R.Intn(len(p.Calls))]
+func (g *Gen) mutateArg(p *Prog) bool {
+	idx := g.R.Intn(len(p.Calls))
+	call := p.Calls[idx]
 	var mutable []*Value
 	call.ForEachValue(func(v *Value) {
 		switch v.Type.Kind {
-		case KindInt, KindFlags, KindString, KindBuffer, KindArray, KindUnion:
+		case KindInt, KindArray:
 			mutable = append(mutable, v)
+		case KindFlags:
+			if len(v.Type.Vals) > 0 {
+				mutable = append(mutable, v)
+			}
+		case KindString, KindBuffer:
+			// Fixed string literals and empty buffers have nothing to
+			// corrupt; listing them would make mutateArg a no-op.
+			if len(v.Data) > 0 && v.Type.Str == "" {
+				mutable = append(mutable, v)
+			}
+		case KindUnion:
+			if len(v.Type.Fields) > 1 {
+				mutable = append(mutable, v)
+			}
 		case KindConst:
 			// Corrupting consts is allowed but rare: it probes the
 			// kernel's invalid-command handling without destroying
@@ -50,7 +110,7 @@ func (g *Gen) mutateArg(p *Prog) {
 		}
 	})
 	if len(mutable) == 0 {
-		return
+		return false
 	}
 	v := mutable[g.R.Intn(len(mutable))]
 	switch v.Type.Kind {
@@ -70,102 +130,104 @@ func (g *Gen) mutateArg(p *Prog) {
 			v.Scalar = v.Type.Vals[g.R.Intn(len(v.Type.Vals))]
 		}
 	case KindString, KindBuffer:
-		if len(v.Data) > 0 && v.Type.Str == "" {
-			v.Data[g.R.Intn(len(v.Data))] = byte(g.R.Intn(256))
-		}
+		v.Data[g.R.Intn(len(v.Data))] = byte(g.R.Intn(256))
 	case KindArray:
-		g.mutateArray(p, v)
+		g.mutateArray(p, idx, v)
 	case KindUnion:
-		if len(v.Type.Fields) > 1 {
-			v.UnionIdx = g.R.Intn(len(v.Type.Fields))
-			v.Fields = []*Value{g.genValue(p, v.Type.Fields[v.UnionIdx].Type, maxCreatorDepth)}
-		}
+		v.UnionIdx = g.R.Intn(len(v.Type.Fields))
+		v.Fields = []*Value{g.genValueAt(p, v.Type.Fields[v.UnionIdx].Type, idx)}
 	}
+	return true
 }
 
-func (g *Gen) mutateArray(p *Prog, v *Value) {
+// mutateArray grows, shrinks, or regenerates an element of the array
+// value v, which lives inside call callIdx (element regeneration must
+// bind resources strictly before that call).
+func (g *Gen) mutateArray(p *Prog, callIdx int, v *Value) {
 	if v.Type.FixedLen >= 0 {
 		// Fixed arrays only mutate elements.
 		if len(v.Fields) > 0 {
 			idx := g.R.Intn(len(v.Fields))
-			v.Fields[idx] = g.genValue(p, v.Type.Elem, maxCreatorDepth)
+			v.Fields[idx] = g.genValueAt(p, v.Type.Elem, callIdx)
 		}
+		return
+	}
+	if len(v.Fields) == 0 {
+		// Shrinking or re-rolling an empty array is a no-op; grow it.
+		v.Fields = append(v.Fields, g.genValueAt(p, v.Type.Elem, callIdx))
 		return
 	}
 	switch g.R.Intn(3) {
 	case 0: // grow
-		v.Fields = append(v.Fields, g.genValue(p, v.Type.Elem, maxCreatorDepth))
+		v.Fields = append(v.Fields, g.genValueAt(p, v.Type.Elem, callIdx))
 	case 1: // shrink
-		if len(v.Fields) > 0 {
-			v.Fields = v.Fields[:len(v.Fields)-1]
-		}
+		v.Fields = v.Fields[:len(v.Fields)-1]
 	case 2: // mutate element
-		if len(v.Fields) > 0 {
-			idx := g.R.Intn(len(v.Fields))
-			v.Fields[idx] = g.genValue(p, v.Type.Elem, maxCreatorDepth)
-		}
+		idx := g.R.Intn(len(v.Fields))
+		v.Fields[idx] = g.genValueAt(p, v.Type.Elem, callIdx)
 	}
 }
 
-// insertCall appends a new call (appending keeps every existing
-// ResultOf index valid).
-func (g *Gen) insertCall(p *Prog, maxCalls int) {
-	if len(p.Calls) >= maxCalls+4 {
-		return
-	}
-	calls := g.enabledSyscalls()
-	if len(calls) == 0 {
-		return
-	}
-	g.appendCall(p, calls[g.R.Intn(len(calls))], 0)
-}
-
-// removeCall drops a call whose result no later call references.
-func (g *Gen) removeCall(p *Prog) {
+// removeCall drops one random call — including calls whose results
+// later calls consume. Each dependent reference is rewired to another
+// earlier compatible producer when one exists; dependents with no
+// alternative producer are dropped too (cascading), so the surviving
+// program never holds a dangling or forward result index.
+func (g *Gen) removeCall(p *Prog) bool {
 	if len(p.Calls) <= 1 {
-		return
+		return false
 	}
-	used := make([]bool, len(p.Calls))
-	for _, c := range p.Calls {
-		c.ForEachValue(func(v *Value) {
-			if v.Type.Kind == KindResource && v.ResultOf >= 0 && v.ResultOf < len(used) {
-				used[v.ResultOf] = true
+	victim := g.R.Intn(len(p.Calls))
+	dropped := map[int]bool{victim: true}
+	queue := []int{victim}
+	for len(queue) > 0 {
+		d := queue[0]
+		queue = queue[1:]
+		for ci := d + 1; ci < len(p.Calls); ci++ {
+			if dropped[ci] {
+				continue
 			}
-		})
-	}
-	var removable []int
-	for i := range p.Calls {
-		if !used[i] {
-			removable = append(removable, i)
+			keep := true
+			p.Calls[ci].ForEachValue(func(v *Value) {
+				if v.Type.Kind != KindResource || v.ResultOf != d {
+					return
+				}
+				if alt := g.findCompatible(p, ci, v.Type.Res, func(i int) bool { return dropped[i] }); alt >= 0 {
+					v.ResultOf = alt
+				} else {
+					keep = false
+				}
+			})
+			if !keep {
+				dropped[ci] = true
+				queue = append(queue, ci)
+			}
 		}
 	}
-	if len(removable) == 0 {
-		return
+	if len(dropped) >= len(p.Calls) {
+		return false // would empty the program; let another operator act
 	}
-	idx := removable[g.R.Intn(len(removable))]
-	p.Calls = append(p.Calls[:idx], p.Calls[idx+1:]...)
-	// Reindex references past the removal point.
+	// Compact and remap the surviving references.
+	remap := make([]int, len(p.Calls))
+	n := 0
+	for i, c := range p.Calls {
+		if dropped[i] {
+			remap[i] = -1
+			continue
+		}
+		remap[i] = n
+		p.Calls[n] = c
+		n++
+	}
+	p.Calls = p.Calls[:n]
 	for _, c := range p.Calls {
 		c.ForEachValue(func(v *Value) {
-			if v.Type.Kind == KindResource && v.ResultOf > idx {
-				v.ResultOf--
+			if v.Type.Kind == KindResource && v.ResultOf >= 0 {
+				v.ResultOf = remap[v.ResultOf]
 			}
 		})
 	}
-}
-
-// duplicateCall re-appends a copy of a random call (same resource
-// bindings), probing repeated-operation state bugs like the CEC UAF.
-func (g *Gen) duplicateCall(p *Prog, maxCalls int) {
-	if len(p.Calls) >= maxCalls+4 {
-		return
-	}
-	src := p.Calls[g.R.Intn(len(p.Calls))]
-	nc := &Call{Sc: src.Sc, Args: make([]*Value, len(src.Args))}
-	for i, a := range src.Args {
-		nc.Args[i] = a.clone()
-	}
-	p.Calls = append(p.Calls, nc)
+	return true
 }
 
 // Validate checks internal consistency of a program: every ResultOf

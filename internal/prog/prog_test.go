@@ -221,11 +221,13 @@ func TestMutateChangesPrograms(t *testing.T) {
 	changed := 0
 	for i := 0; i < 50; i++ {
 		m := g.Mutate(p, 8)
-		if m.String() != p.String() {
+		// Serialize is the full-fidelity view: String() elides array
+		// elements and buffer bytes, hiding element-level mutations.
+		if m.Serialize() != p.Serialize() {
 			changed++
 		}
 	}
-	if changed < 25 {
+	if changed < 40 {
 		t.Fatalf("mutation too often a no-op: only %d/50 changed", changed)
 	}
 }

@@ -1,0 +1,157 @@
+package prog
+
+import "math/rand"
+
+// Scheduler selects mutation operators with multi-armed-bandit
+// weights driven by coverage feedback: each operator's weight is its
+// Laplace-smoothed average new-coverage yield, mixed with a uniform
+// exploration floor so cold operators keep getting tried. Reward
+// history decays periodically, so the schedule tracks the campaign
+// phase (growth operators dominate early, value-probing operators
+// late) instead of averaging over the whole run.
+//
+// All randomness flows through the caller's RNG and all state updates
+// are in deterministic order, so campaigns using a Scheduler remain
+// exactly reproducible from their seed. A Scheduler is not safe for
+// concurrent use; campaigns own one each.
+type Scheduler struct {
+	ops      []Operator
+	adaptive bool
+	// picks counts selections (lifetime, for reporting); trials and
+	// rewards are the decayed bandit state.
+	picks   []int
+	trials  []float64
+	rewards []float64
+	// sinceDecay counts rewards since the last halving.
+	sinceDecay int
+}
+
+// Bandit constants: the smoothing prior (a cold operator is assumed
+// to yield priorReward new blocks per priorTrials attempts), the
+// uniform exploration floor, and the sliding-window decay period.
+const (
+	schedPriorReward = 0.5
+	schedPriorTrials = 8.0
+	schedExplore     = 0.15
+	schedDecayEvery  = 1024
+)
+
+// NewScheduler returns an adaptive scheduler over the given operators
+// (DefaultOperators when none are given).
+func NewScheduler(ops ...Operator) *Scheduler {
+	return newScheduler(true, ops)
+}
+
+// NewUniformScheduler returns a scheduler that ignores feedback and
+// picks operators uniformly at random — the ablation baseline.
+func NewUniformScheduler(ops ...Operator) *Scheduler {
+	return newScheduler(false, ops)
+}
+
+func newScheduler(adaptive bool, ops []Operator) *Scheduler {
+	if len(ops) == 0 {
+		ops = DefaultOperators()
+	}
+	return &Scheduler{
+		ops:      ops,
+		adaptive: adaptive,
+		picks:    make([]int, len(ops)),
+		trials:   make([]float64, len(ops)),
+		rewards:  make([]float64, len(ops)),
+	}
+}
+
+// Ops returns the scheduled operator set in canonical order.
+func (s *Scheduler) Ops() []Operator { return s.ops }
+
+// Adaptive reports whether coverage feedback drives selection.
+func (s *Scheduler) Adaptive() bool { return s.adaptive }
+
+// Pick selects the next operator index, drawing from r.
+func (s *Scheduler) Pick(r *rand.Rand) int {
+	var idx int
+	if !s.adaptive {
+		idx = r.Intn(len(s.ops))
+	} else {
+		weights, total := s.weights()
+		t := r.Float64() * total
+		idx = len(s.ops) - 1
+		for i, w := range weights {
+			if t < w {
+				idx = i
+				break
+			}
+			t -= w
+		}
+	}
+	s.picks[idx]++
+	return idx
+}
+
+// weights returns the unnormalized selection weights and their sum.
+func (s *Scheduler) weights() ([]float64, float64) {
+	weights := make([]float64, len(s.ops))
+	var yieldSum float64
+	for i := range s.ops {
+		weights[i] = (s.rewards[i] + schedPriorReward) / (s.trials[i] + schedPriorTrials)
+		yieldSum += weights[i]
+	}
+	// Mix in the exploration floor: explore/K uniform mass each, the
+	// rest proportional to smoothed yield.
+	uniform := yieldSum / float64(len(s.ops))
+	var total float64
+	for i := range weights {
+		weights[i] = schedExplore*uniform + (1-schedExplore)*weights[i]
+		total += weights[i]
+	}
+	return weights, total
+}
+
+// Reward credits operator op with the number of new coverage blocks
+// its last mutation found (zero is a valid observation: it teaches
+// the scheduler the operator is currently dry).
+func (s *Scheduler) Reward(op int, newBlocks int) {
+	s.trials[op]++
+	s.rewards[op] += float64(newBlocks)
+	if s.sinceDecay++; s.sinceDecay >= schedDecayEvery {
+		s.sinceDecay = 0
+		for i := range s.trials {
+			s.trials[i] /= 2
+			s.rewards[i] /= 2
+		}
+	}
+}
+
+// OperatorStat is one operator's snapshot entry.
+type OperatorStat struct {
+	// Name is the operator name.
+	Name string
+	// Picks is the lifetime selection count.
+	Picks int
+	// Reward is the decayed new-coverage mass credited to the
+	// operator.
+	Reward float64
+	// Weight is the operator's current share of selection probability
+	// (sums to 1 across the snapshot).
+	Weight float64
+}
+
+// Snapshot reports the per-operator scheduler state in canonical
+// operator order.
+func (s *Scheduler) Snapshot() []OperatorStat {
+	weights, total := s.weights()
+	out := make([]OperatorStat, len(s.ops))
+	for i, op := range s.ops {
+		w := 1 / float64(len(s.ops))
+		if s.adaptive && total > 0 {
+			w = weights[i] / total
+		}
+		out[i] = OperatorStat{
+			Name:   op.Name(),
+			Picks:  s.picks[i],
+			Reward: s.rewards[i],
+			Weight: w,
+		}
+	}
+	return out
+}

@@ -70,6 +70,10 @@ func DefaultSyscalls() map[string]bool {
 		"ioctl", "socket", "bind", "connect", "accept", "listen",
 		"sendto", "recvfrom", "sendmsg", "recvmsg",
 		"setsockopt", "getsockopt", "syz_open_dev",
+		// fd plumbing and memory-mapping surface (vkernel models
+		// these; see internal/corpus plumbing specs).
+		"dup", "pipe", "epoll_create", "epoll_ctl", "epoll_wait",
+		"munmap",
 	}
 	m := make(map[string]bool, len(calls))
 	for _, c := range calls {

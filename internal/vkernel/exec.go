@@ -31,11 +31,23 @@ type exec struct {
 	cov *CoverSet
 	// fds maps call index → the handler whose fd that call returned.
 	fds []*khandler
+	// vmas maps call index → the memory region that call mapped (the
+	// mmap region model; munmap consumes entries by result index).
+	vmas []vma
+	// watches counts live epoll registrations (epoll_wait readiness).
+	watches int
 	// history records commands issued per handler during this
 	// program, for stateful bug preconditions.
 	history map[string]map[string]bool
 	crash   *Crash
 	errs    int
+}
+
+// vma is one mapped region in the mmap region model.
+type vma struct {
+	kh     *khandler
+	length uint64
+	mapped bool
 }
 
 // reset prepares the state for a program of n calls, reusing prior
@@ -50,6 +62,15 @@ func (e *exec) reset(n int) {
 			e.fds[i] = nil
 		}
 	}
+	if cap(e.vmas) < n {
+		e.vmas = make([]vma, n)
+	} else {
+		e.vmas = e.vmas[:n]
+		for i := range e.vmas {
+			e.vmas[i] = vma{}
+		}
+	}
+	e.watches = 0
 	for _, m := range e.history {
 		clear(m)
 	}
@@ -152,8 +173,24 @@ func (e *exec) runCall(idx int, c *prog.Call) {
 		e.runSimpleSock(c, corpus.SockListen)
 	case "accept":
 		e.runAccept(idx, c)
+	case "dup", "dup2", "dup3":
+		e.runDup(idx, c)
+	case "pipe", "pipe2":
+		e.runPipe(idx)
+	case "epoll_create", "epoll_create1":
+		e.runEpollCreate(idx)
+	case "epoll_ctl":
+		e.runEpollCtl(c)
+	case "epoll_wait", "epoll_pwait":
+		e.runEpollWait(c)
+	case "mmap":
+		e.runMmap(idx, c)
+	case "munmap":
+		e.runMunmap(c)
+	case "read", "write":
+		e.runReadWrite(c)
 	default:
-		// read/write/close/mmap/poll: generic entry only.
+		// close/poll: generic entry only.
 	}
 }
 
@@ -367,6 +404,170 @@ func (e *exec) runAccept(idx int, c *prog.Call) {
 	e.cover(kc.body...)
 	e.fds[idx] = kh
 	e.record(kh.h, corpus.SockAccept.String())
+}
+
+// Userspace constant values mirrored from the corpus base header
+// (include/uapi/base.h).
+const (
+	protRead     = 1
+	protWrite    = 2
+	epollCtlAdd  = 1
+	epollCtlDel  = 2
+	epollCtlMod  = 3
+	maxMmapBytes = 1 << 30
+)
+
+// runDup duplicates an fd: the new call index aliases the same
+// handler, so later calls can drive the device through either fd.
+func (e *exec) runDup(idx int, c *prog.Call) {
+	kh := e.fd(arg(c, 0))
+	if kh == nil {
+		e.errs++
+		return
+	}
+	e.cover(kh.dupBlk)
+	e.fds[idx] = kh
+}
+
+// runPipe creates a pipe fd backed by the builtin pipe
+// pseudo-handler.
+func (e *exec) runPipe(idx int) {
+	e.cover(e.k.pipe.open...)
+	e.fds[idx] = e.k.pipe
+	e.record(e.k.pipe.h, "pipe")
+}
+
+// runEpollCreate creates an epoll instance fd.
+func (e *exec) runEpollCreate(idx int) {
+	e.cover(e.k.epoll.open...)
+	e.fds[idx] = e.k.epoll
+	e.record(e.k.epoll.h, "epoll_create")
+}
+
+// runEpollCtl registers, modifies, or removes a watch. Registering a
+// handler-backed fd covers the handler's poll-registration block —
+// per-handler territory only reachable through the epoll surface.
+func (e *exec) runEpollCtl(c *prog.Call) {
+	ep := e.fd(arg(c, 0))
+	if ep != e.k.epoll || ep == nil {
+		e.errs++
+		return
+	}
+	op := scalar(arg(c, 1))
+	target := e.fd(arg(c, 2))
+	if target == nil {
+		e.errs++
+		return
+	}
+	switch op {
+	case epollCtlAdd:
+		e.cover(e.k.plumb["epoll_add"])
+		e.cover(target.epollBlk)
+		e.watches++
+	case epollCtlDel:
+		if e.watches == 0 {
+			e.errs++
+			return
+		}
+		e.cover(e.k.plumb["epoll_del"])
+		e.watches--
+	case epollCtlMod:
+		if e.watches == 0 {
+			e.errs++
+			return
+		}
+		e.cover(e.k.plumb["epoll_mod"])
+	default:
+		e.errs++
+	}
+}
+
+// runEpollWait polls the instance; the ready path needs at least one
+// live watch.
+func (e *exec) runEpollWait(c *prog.Call) {
+	ep := e.fd(arg(c, 0))
+	if ep != e.k.epoll || ep == nil {
+		e.errs++
+		return
+	}
+	e.cover(e.k.plumb["epoll_wait"])
+	if e.watches > 0 {
+		e.cover(e.k.plumb["epoll_ready"])
+	}
+}
+
+// runMmap maps a region of a mappable handler's device:
+// mmap(addr, len, prot, flags, fd, off). The validate path rejects
+// empty and oversized lengths; the fault path covers blocks gated on
+// protection bits and page alignment, and a successful mapping enters
+// the region table for munmap.
+func (e *exec) runMmap(idx int, c *prog.Call) {
+	kh := e.fd(arg(c, 4))
+	if kh == nil || !kh.mappable {
+		// Unmappable device (or bad fd): generic entry only.
+		e.errs++
+		return
+	}
+	e.cover(kh.mmapEntry)
+	length := scalar(arg(c, 1))
+	if length == 0 || length > maxMmapBytes {
+		e.errs++
+		return
+	}
+	prot := scalar(arg(c, 2))
+	body := kh.mmapBody
+	e.cover(body[0])
+	gates := []bool{
+		prot&protRead != 0,
+		prot&protWrite != 0,
+		length%4096 == 0,
+		length >= 1<<20,
+	}
+	for i, ok := range gates {
+		if ok && i+1 < len(body) {
+			e.cover(body[i+1])
+		}
+	}
+	// Body blocks beyond the gated prefix are the unconditional tail
+	// of the fault path: every successful mapping reaches them (no
+	// block is allocated that no input can cover).
+	for i := len(gates) + 1; i < len(body); i++ {
+		e.cover(body[i])
+	}
+	e.vmas[idx] = vma{kh: kh, length: length, mapped: true}
+	e.record(kh.h, "mmap")
+}
+
+// runMunmap tears down a mapping: munmap(map, len). The map argument
+// is the resource produced by an earlier mmap; unmapping twice is an
+// error.
+func (e *exec) runMunmap(c *prog.Call) {
+	v := arg(c, 0)
+	if v == nil || v.Type.Kind != prog.KindResource || v.ResultOf < 0 || v.ResultOf >= len(e.vmas) {
+		e.errs++
+		return
+	}
+	region := &e.vmas[v.ResultOf]
+	if !region.mapped {
+		e.errs++
+		return
+	}
+	region.mapped = false
+	e.cover(region.kh.munmapBlk)
+	e.record(region.kh.h, "munmap")
+}
+
+// runReadWrite models pipe I/O; on any other fd the generic entry
+// block is all there is (matching the historical behavior).
+func (e *exec) runReadWrite(c *prog.Call) {
+	if kh := e.fd(arg(c, 0)); kh == e.k.pipe && kh != nil {
+		if c.Sc.CallName == "read" {
+			e.cover(e.k.plumb["pipe_read"])
+		} else {
+			e.cover(e.k.plumb["pipe_write"])
+		}
+		e.record(kh.h, c.Sc.CallName)
+	}
 }
 
 // addrValid models the kernel's sockaddr validation: length at least

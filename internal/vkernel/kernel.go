@@ -34,6 +34,13 @@ type Kernel struct {
 	TotalBlocks uint32
 	// genericBlocks cover the shared syscall-entry paths.
 	genericBlocks map[string]BlockID
+	// pipe and epoll are the builtin pseudo-handlers behind the fd
+	// plumbing syscalls; their fds flow through the same fd table as
+	// driver fds (dup them, watch them, read/write the pipe).
+	pipe, epoll *khandler
+	// plumb names the builtin plumbing blocks: pipe read/write paths
+	// and the epoll ctl/wait/ready paths.
+	plumb map[string]BlockID
 	// vms recycles executor VMs for the concurrent Run path.
 	vms sync.Pool
 }
@@ -51,6 +58,17 @@ type khandler struct {
 	calls map[corpus.SockCallKind]*kcall
 	// layouts caches ground-truth layouts by struct name.
 	layouts map[string]*corpus.Layout
+	// dupBlk and epollBlk are the handler's fd-plumbing blocks:
+	// duplicating one of its fds and registering one on an epoll
+	// instance each cover one handler-specific block.
+	dupBlk, epollBlk BlockID
+	// mmap region model (allocated only when the handler models an
+	// mmap surface): entry, the fault/validate body, and the munmap
+	// teardown block.
+	mmapEntry BlockID
+	mmapBody  []BlockID
+	munmapBlk BlockID
+	mappable  bool
 }
 
 // kcmd is the runtime info of one command.
@@ -101,9 +119,39 @@ func New(c *corpus.Corpus) *Kernel {
 		"openat", "open", "close", "read", "write", "ioctl", "mmap", "poll",
 		"socket", "bind", "connect", "accept", "listen", "sendto",
 		"recvfrom", "sendmsg", "recvmsg", "setsockopt", "getsockopt",
+		"dup", "pipe", "epoll_create", "epoll_ctl", "epoll_wait", "munmap",
 	} {
 		k.genericBlocks[name] = alloc(1)[0]
 	}
+	// Builtin pipe and epoll pseudo-handlers: fd plumbing the mutation
+	// operators can thread through driver programs. Their handler
+	// models are synthetic (no corpus entry); history keys use the
+	// reserved names below.
+	k.pipe = &khandler{
+		h:    &corpus.Handler{Name: "#pipe"},
+		lo:   next,
+		open: alloc(2),
+	}
+	k.plumb = map[string]BlockID{}
+	for _, name := range []string{"pipe_read", "pipe_write"} {
+		k.plumb[name] = alloc(1)[0]
+	}
+	// Builtin fds are dup-able and epoll-watchable like any other fd;
+	// without their own blocks the zero value would alias block 0.
+	k.pipe.dupBlk = alloc(1)[0]
+	k.pipe.epollBlk = alloc(1)[0]
+	k.pipe.hi = next
+	k.epoll = &khandler{
+		h:    &corpus.Handler{Name: "#epoll"},
+		lo:   next,
+		open: alloc(2),
+	}
+	for _, name := range []string{"epoll_add", "epoll_del", "epoll_mod", "epoll_wait", "epoll_ready"} {
+		k.plumb[name] = alloc(1)[0]
+	}
+	k.epoll.dupBlk = alloc(1)[0]
+	k.epoll.epollBlk = alloc(1)[0]
+	k.epoll.hi = next
 	for _, h := range c.Handlers {
 		if !h.Loaded {
 			continue
@@ -157,6 +205,17 @@ func New(c *corpus.Corpus) *Kernel {
 				layout: layout(sc.Addr),
 			}
 		}
+		// fd plumbing: every handler's fds can be duplicated and
+		// epoll-registered; mappable handlers additionally get an mmap
+		// fault path and a munmap teardown block.
+		kh.dupBlk = alloc(1)[0]
+		kh.epollBlk = alloc(1)[0]
+		if h.MmapBlocks > 0 {
+			kh.mappable = true
+			kh.mmapEntry = alloc(1)[0]
+			kh.mmapBody = alloc(h.MmapBlocks)
+			kh.munmapBlk = alloc(1)[0]
+		}
 		kh.hi = next
 		k.byName[h.Name] = kh
 		if h.Kind == corpus.KindDriver && h.DevPath != "" {
@@ -197,6 +256,10 @@ func (k *Kernel) ReachableBlocks(handler string) int {
 	}
 	for _, kc := range kh.calls {
 		n += 1 + len(kc.body)
+	}
+	n += 2 // dup + epoll registration
+	if kh.mappable {
+		n += 2 + len(kh.mmapBody) // mmap entry + body + munmap
 	}
 	return n
 }
