@@ -1,12 +1,18 @@
 // Command corpusdump writes the synthetic kernel's rendered C source
 // tree to disk for inspection, plus the ground-truth (oracle) and
-// human-suite syzlang specifications per handler.
+// human-suite syzlang specifications per handler. It also reads and
+// writes the persistent fuzzing-corpus store format
+// (internal/fuzz/corpusstore): -store lists a store's entries and
+// re-validates each one against the full oracle target, and -add
+// inserts a repro file into a store with a measured priority.
 //
 // Usage:
 //
 //	corpusdump -out /tmp/kernel                  # full tree
 //	corpusdump -handler dm                       # one handler to stdout
 //	corpusdump -handler dm -what oracle          # its ground-truth spec
+//	corpusdump -store /tmp/corpus                # list + validate a corpus store
+//	corpusdump -store /tmp/corpus -add repro.txt # add a repro to the store
 package main
 
 import (
@@ -16,7 +22,11 @@ import (
 	"path/filepath"
 
 	"kernelgpt/internal/corpus"
+	"kernelgpt/internal/fuzz/corpusstore"
+	"kernelgpt/internal/fuzz/seedpool"
+	"kernelgpt/internal/prog"
 	"kernelgpt/internal/syzlang"
+	"kernelgpt/internal/vkernel"
 )
 
 func main() {
@@ -24,9 +34,16 @@ func main() {
 	handler := flag.String("handler", "", "print one handler instead")
 	what := flag.String("what", "source", "what to print for -handler: source, oracle, human")
 	scale := flag.Float64("scale", 1.0, "corpus scale")
+	store := flag.String("store", "", "corpus store directory to list and validate")
+	add := flag.String("add", "", "repro file to add into the -store")
 	flag.Parse()
 
 	c := corpus.Build(corpus.Config{Scale: *scale})
+
+	if *store != "" {
+		storeMain(c, *store, *add)
+		return
+	}
 
 	if *handler != "" {
 		h := c.Handler(*handler)
@@ -54,7 +71,7 @@ func main() {
 	}
 
 	if *out == "" {
-		fmt.Fprintln(os.Stderr, "usage: corpusdump -out DIR | -handler NAME [-what source|oracle|human]")
+		fmt.Fprintln(os.Stderr, "usage: corpusdump -out DIR | -handler NAME [-what source|oracle|human] | -store DIR [-add FILE]")
 		os.Exit(2)
 	}
 	files := 0
@@ -94,4 +111,115 @@ func writeSpec(path string, f *syzlang.File) {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+}
+
+// oracleTarget compiles the merged ground-truth specs of every loaded
+// handler plus the fd-plumbing/mmap surface — the widest target the
+// kernel supports, so any program a campaign could have stored
+// (including -plumbing campaigns) validates against it.
+func oracleTarget(c *corpus.Corpus) (*prog.Target, error) {
+	files := []*syzlang.File{}
+	for _, h := range c.Handlers {
+		if h.Loaded {
+			files = append(files, corpus.OracleSpec(h))
+		}
+	}
+	files = append(files, c.PlumbingSuite())
+	spec := syzlang.MergeDedup(files...)
+	if errs := syzlang.Validate(spec, c.Env()); len(errs) > 0 {
+		return nil, fmt.Errorf("oracle suite invalid: %v", errs[0])
+	}
+	return prog.Compile(spec, c.Env())
+}
+
+// storeMain is the corpus-store mode: list + validate, or add a repro.
+func storeMain(c *corpus.Corpus, dir, add string) {
+	tgt, err := oracleTarget(c)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	st, err := corpusstore.Open(dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if add != "" {
+		addToStore(c, st, tgt, add)
+		return
+	}
+	m, err := st.Manifest()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	seeds, rep, err := st.Load(tgt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	skipped := map[string]string{}
+	for _, s := range rep.Skipped {
+		skipped[s.File] = s.Reason
+	}
+	fmt.Printf("corpus store %s: %d entries, store cover %d blocks\n", st.Dir(), len(m.Seeds), m.CoverBlocks)
+	fmt.Println("file                      weight  op          calls  status")
+	i := 0
+	for _, e := range m.Seeds {
+		status, calls := "ok", "-"
+		if reason, bad := skipped[e.File]; bad {
+			status = "SKIP: " + reason
+		} else if i < len(seeds) {
+			calls = fmt.Sprint(len(seeds[i].Prog.Calls))
+			i++
+		}
+		op := e.Op
+		if op == "" {
+			op = "generated"
+		}
+		fmt.Printf("%-25s %6d  %-10s %6s  %s\n", e.File, e.Prio+e.Bonus, op, calls, status)
+	}
+	fmt.Printf("%d valid, %d skipped\n", rep.Loaded, len(rep.Skipped))
+}
+
+// addToStore measures a repro's coverage on the kernel and merges it
+// into the store with that coverage as its priority.
+func addToStore(c *corpus.Corpus, st *corpusstore.Store, tgt *prog.Target, path string) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	p, err := prog.Deserialize(tgt, string(data))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bad repro: %v\n", err)
+		os.Exit(1)
+	}
+	kernel := vkernel.New(c)
+	cov := vkernel.NewCoverSet(kernel.NumBlocks())
+	for _, b := range kernel.Run(p).Cov {
+		cov.Add(b)
+	}
+	prio := cov.Count()
+	if prio < 1 {
+		prio = 1
+	}
+	seeds, rep, err := st.Load(tgt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	// Rewriting the store drops anything Load skipped — refuse rather
+	// than silently deleting entries the user may want to salvage.
+	if len(rep.Skipped) > 0 {
+		fmt.Fprintf(os.Stderr, "%s\nrefusing to rewrite a store with invalid entries (a rewrite would delete them); inspect with: corpusdump -store %s\n", rep, st.Dir())
+		os.Exit(1)
+	}
+	merged := corpusstore.Merge(0, seeds, []seedpool.SeedState{{Prog: p, Prio: prio}})
+	if err := st.Save(merged, rep.CoverBlocks); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("added %s to %s (prio %d, %d calls); store now %d seeds\n",
+		corpusstore.FileFor(p.Serialize()), st.Dir(), prio, len(p.Calls), len(merged))
 }

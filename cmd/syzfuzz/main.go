@@ -12,6 +12,17 @@
 //	syzfuzz -suite syzkaller -reps 3
 //	syzfuzz -suite syzdescribe
 //	syzfuzz -suite oracle -handler dm     # ground-truth spec, one driver
+//
+// Campaigns can persist their evolved corpus: -corpus DIR warm-starts
+// from the store in DIR (empty on the first run) and flushes the
+// evolved corpus back; -resume additionally requires the store to
+// already hold seeds (guarding against a mistyped path silently cold-
+// starting); -checkpoint flushes at shard-unit boundaries so a killed
+// campaign retains progress. With -reps > 1 the repetitions run in
+// sequence and accumulate into the same store.
+//
+//	syzfuzz -suite oracle -execs 50000 -corpus /tmp/corpus
+//	syzfuzz -suite oracle -execs 10000 -corpus /tmp/corpus -resume
 package main
 
 import (
@@ -28,6 +39,7 @@ import (
 	"kernelgpt/internal/corpus"
 	"kernelgpt/internal/engine"
 	"kernelgpt/internal/fuzz"
+	"kernelgpt/internal/fuzz/corpusstore"
 	"kernelgpt/internal/llm"
 	"kernelgpt/internal/prog"
 	"kernelgpt/internal/syzlang"
@@ -48,6 +60,9 @@ func main() {
 	plumbing := flag.Bool("plumbing", false, "merge the fd-plumbing/mmap surface (dup, pipe, epoll, mmap/munmap) into the suite")
 	uniform := flag.Bool("uniform", false, "disable the adaptive operator scheduler (uniform-random operator selection)")
 	opstats := flag.Bool("opstats", false, "print the per-operator mutation scheduler outcome")
+	corpusDir := flag.String("corpus", "", "persistent corpus store directory: warm-start from it and flush the evolved corpus back")
+	resume := flag.Bool("resume", false, "require the -corpus store to already hold seeds (fail instead of silently cold-starting)")
+	checkpoint := flag.Bool("checkpoint", false, "flush the corpus store at shard-unit boundaries, not only at campaign end")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -88,6 +103,27 @@ func main() {
 		return
 	}
 
+	if *resume && *corpusDir == "" {
+		fmt.Fprintln(os.Stderr, "-resume requires -corpus DIR")
+		os.Exit(2)
+	}
+	if *resume {
+		st, err := corpusstore.Open(*corpusDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		m, err := st.Manifest()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if len(m.Seeds) == 0 {
+			fmt.Fprintf(os.Stderr, "-resume: corpus store %s holds no seeds\n", *corpusDir)
+			os.Exit(2)
+		}
+	}
+
 	f := fuzz.New(tgt, kernel)
 	var statsList []*fuzz.Stats
 	var elapsed []time.Duration
@@ -95,6 +131,13 @@ func main() {
 	for i := 0; i < *reps; i++ {
 		cfg := fuzz.DefaultConfig(*execs, fuzz.RepSeed(*seed, i))
 		cfg.UniformOps = *uniform
+		cfg.CorpusDir = *corpusDir
+		cfg.Checkpoint = *checkpoint
+		if *corpusDir != "" {
+			cfg.StoreReport = func(r corpusstore.Report) {
+				fmt.Fprintln(os.Stderr, r.String())
+			}
+		}
 		if *progress {
 			rep := i + 1
 			cfg.Progress = func(p fuzz.Progress) {
@@ -104,8 +147,12 @@ func main() {
 		}
 		repStart := time.Now()
 		s, err := f.RunParallel(ctx, cfg, *shards)
-		elapsed = append(elapsed, time.Since(repStart))
-		statsList = append(statsList, s)
+		// s is nil only for pre-campaign failures (e.g. an unusable
+		// corpus store); cancellation still yields partial stats.
+		if s != nil {
+			elapsed = append(elapsed, time.Since(repStart))
+			statsList = append(statsList, s)
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "campaign interrupted: %v\n", err)
 			break

@@ -1,0 +1,99 @@
+// Corpus persistence and checkpoint/resume: campaigns that start
+// warm instead of rediscovering the same coverage every run.
+//
+// A cold campaign evolves a seed corpus from scratch and — with
+// fuzz.Config.CorpusDir set — flushes it to a persistent store: a
+// directory of content-addressed repro-text files plus a JSON
+// manifest carrying each seed's scheduling weight, lineage bonus, and
+// operator provenance. A later campaign pointed at the same store
+// imports those seeds (skipping any that no longer validate),
+// replays them to re-establish their coverage, and keeps evolving
+// from there. This walkthrough runs the cold campaign, then shows a
+// resumed campaign reaching the stored corpus's coverage on a
+// fraction of the budget — and what the same small budget covers
+// from a cold start.
+//
+// Run with: go run ./examples/corpusresume
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"kernelgpt/internal/corpus"
+	"kernelgpt/internal/fuzz"
+	"kernelgpt/internal/fuzz/corpusstore"
+	"kernelgpt/internal/prog"
+	"kernelgpt/internal/syzlang"
+	"kernelgpt/internal/vkernel"
+)
+
+func main() {
+	c := corpus.Build(corpus.TestConfig())
+	kernel := vkernel.New(c)
+	drivers := []string{"dm", "cec", "kvm", "kvm_vm", "kvm_vcpu"}
+
+	files := []*syzlang.File{}
+	for _, n := range drivers {
+		files = append(files, corpus.OracleSpec(c.Handler(n)))
+	}
+	plumb, err := c.PlumbingSpecFor(drivers...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tgt, err := prog.Compile(syzlang.MergeDedup(append(files, plumb)...), c.Env())
+	if err != nil {
+		log.Fatal(err)
+	}
+	f := fuzz.New(tgt, kernel)
+
+	dir, err := os.MkdirTemp("", "corpusresume-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// Cold campaign: full budget, corpus flushed to the store.
+	const coldBudget = 10_000
+	cold := fuzz.DefaultConfig(coldBudget, 1)
+	cold.CorpusDir = dir
+	coldStats := f.Run(cold)
+	fmt.Printf("cold campaign:    %5d execs -> %4d blocks, %d crashes, %d seeds persisted to %s\n",
+		coldStats.Execs, coldStats.CoverCount(), coldStats.UniqueCrashes(), coldStats.CorpusSize, dir)
+
+	// What the store itself covers: replay every stored seed once.
+	store, err := corpusstore.Open(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	seeds, rep, err := store.Load(tgt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stored := vkernel.NewCoverSet(kernel.NumBlocks())
+	vm := kernel.NewVM()
+	for _, st := range seeds {
+		for _, b := range vm.Run(st.Prog).Cov {
+			stored.Add(b)
+		}
+	}
+	fmt.Printf("stored corpus:    %5d seeds -> %4d blocks (%s)\n", rep.Loaded, stored.Count(), rep)
+
+	// Resumed campaign at 20%% of the cold budget: the store's seeds
+	// are imported and replayed, so its coverage is the baseline, and
+	// the remaining budget evolves the corpus further.
+	const resumeBudget = coldBudget / 5
+	resume := fuzz.DefaultConfig(resumeBudget, 2)
+	resume.CorpusDir = dir
+	resumed := f.Run(resume)
+
+	// A cold start at the same small budget, for contrast.
+	coldSmall := f.Run(fuzz.DefaultConfig(resumeBudget, 2))
+
+	fmt.Printf("resumed campaign: %5d execs -> %4d blocks (>= stored %d: %v)\n",
+		resumed.Execs, resumed.CoverCount(), stored.Count(), resumed.CoverCount() >= stored.Count())
+	fmt.Printf("cold at same budget: %2d execs -> %4d blocks\n", coldSmall.Execs, coldSmall.CoverCount())
+	fmt.Printf("\nwarm start reached %d blocks with %d%% of the budget; the cold start got %d%% of the way there\n",
+		resumed.CoverCount(), 100*resumeBudget/coldBudget, 100*coldSmall.CoverCount()/resumed.CoverCount())
+}

@@ -73,6 +73,29 @@ func BenchmarkCampaignUniform(b *testing.B) {
 	}
 }
 
+// BenchmarkCampaignResume measures the warm-start path: each
+// iteration loads the corpus store, imports and replays the stored
+// seeds, and runs a short campaign on top. The store itself is built
+// once outside the timer and read-only during iterations, so every
+// iteration does identical work.
+func BenchmarkCampaignResume(b *testing.B) {
+	dir := b.TempDir()
+	f := New(benchTarget(b), testKernel)
+	cold := DefaultConfig(2000, 1)
+	cold.NoTriage = true
+	cold.CorpusDir = dir
+	f.Run(cold)
+	cfg := DefaultConfig(500, 0)
+	cfg.NoTriage = true
+	cfg.CorpusDir = dir
+	cfg.ReadOnlyCorpus = true
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i)
+		f.Run(cfg)
+	}
+}
+
 // BenchmarkRunParallel measures the sharded campaign path end to end.
 func BenchmarkRunParallel(b *testing.B) {
 	f := New(benchTarget(b), testKernel)

@@ -25,9 +25,11 @@ package fuzz
 
 import (
 	"context"
+	"errors"
 	"runtime"
 	"sort"
 
+	"kernelgpt/internal/fuzz/corpusstore"
 	"kernelgpt/internal/fuzz/seedpool"
 	"kernelgpt/internal/pool"
 	"kernelgpt/internal/prog"
@@ -74,6 +76,36 @@ type Config struct {
 	// goroutines, but calls are serialized; the callback must not
 	// re-enter the fuzzer.
 	Progress func(Progress)
+	// CorpusDir, when non-empty, names a persistent corpus-store
+	// directory (fuzz/corpusstore). The campaign warm-starts from it:
+	// stored seeds are imported into the initial pool with their
+	// saved priorities and lineage bonuses (entries that no longer
+	// validate are skipped and reported via StoreReport), then
+	// replayed — each imported seed is executed once, counting
+	// against Execs — so the campaign's coverage baseline includes
+	// the stored corpus. When the campaign ends (including on
+	// cancellation) the evolved corpus is merged back into the store
+	// with a deterministic, capacity-bounded flush. An empty or
+	// absent store is a cold start that simply populates the
+	// directory. Store configuration errors surface from
+	// RunContext/RunParallel; the Run wrapper swallows them along
+	// with its stats (use RunContext when CorpusDir is set).
+	CorpusDir string
+	// Checkpoint additionally flushes the store at intermediate
+	// boundaries — after every completed work unit in RunParallel and
+	// every progressEvery execs in serial campaigns — so a killed
+	// campaign retains corpus progress. Requires CorpusDir.
+	// Intermediate checkpoint contents depend on unit completion
+	// order; the final flush does not.
+	Checkpoint bool
+	// ReadOnlyCorpus imports from CorpusDir without flushing back —
+	// for evaluation, replay, and benchmark runs that must not
+	// mutate the store.
+	ReadOnlyCorpus bool
+	// StoreReport, when set, receives the corpus-store load report
+	// (loaded/skipped entry counts and reasons) before the campaign
+	// starts.
+	StoreReport func(corpusstore.Report)
 }
 
 // Progress is one progress-callback update.
@@ -215,13 +247,80 @@ func (f *Fuzzer) Run(cfg Config) *Stats {
 // RunContext executes one serial campaign, honoring cancellation and
 // emitting Config.Progress updates as the budget is spent. On
 // cancellation the partial stats and the context error are returned.
+// With Config.CorpusDir set, the campaign warm-starts from the store
+// and flushes the evolved corpus back before returning (a flush
+// failure is joined into the returned error).
 func (f *Fuzzer) RunContext(ctx context.Context, cfg Config) (*Stats, error) {
-	return f.run(ctx, cfg)
+	store, seeds, err := f.openStore(cfg)
+	if err != nil {
+		return nil, err
+	}
+	camp := campaign{seeds: seeds}
+	if store != nil && cfg.Checkpoint && !cfg.ReadOnlyCorpus {
+		camp.checkpoint = func(corpus *seedpool.Pool, cover int) {
+			// Best-effort: a failed checkpoint must not kill the
+			// campaign; the final flush surfaces persistent errors.
+			flushStore(store, cfg, cover, seeds, corpus.Export())
+		}
+	}
+	stats, corpus, runErr := f.run(ctx, cfg, camp)
+	if store != nil && !cfg.ReadOnlyCorpus {
+		runErr = errors.Join(runErr, flushStore(store, cfg, stats.CoverCount(), seeds, corpus.Export()))
+	}
+	return stats, runErr
+}
+
+// campaign is the per-run state the entry points thread into the
+// loop: the imported seed snapshot and an optional checkpoint hook.
+type campaign struct {
+	// seeds is the corpus-store snapshot to import and replay.
+	seeds []seedpool.SeedState
+	// checkpoint, when set, is called at progress boundaries with the
+	// live pool and current cover count.
+	checkpoint func(corpus *seedpool.Pool, cover int)
+}
+
+// openStore resolves cfg's corpus-store configuration into a handle
+// and the imported (validated) seed snapshot. A nil store means no
+// persistence is configured.
+func (f *Fuzzer) openStore(cfg Config) (*corpusstore.Store, []seedpool.SeedState, error) {
+	if cfg.CorpusDir == "" {
+		return nil, nil, nil
+	}
+	store, err := corpusstore.Open(cfg.CorpusDir)
+	if err != nil {
+		return nil, nil, err
+	}
+	seeds, rep, err := store.Load(f.Target)
+	if err != nil {
+		return nil, nil, err
+	}
+	if cfg.StoreReport != nil {
+		cfg.StoreReport(*rep)
+	}
+	return store, seeds, nil
+}
+
+// corpusCap is the store/pool bound cfg selects.
+func corpusCap(cfg Config) int {
+	if cfg.CorpusCap > 0 {
+		return cfg.CorpusCap
+	}
+	return seedpool.DefaultCapacity
+}
+
+// flushStore merges the initial snapshot with campaign exports — in
+// the deterministic order the caller fixes — and saves the store.
+func flushStore(store *corpusstore.Store, cfg Config, cover int, initial []seedpool.SeedState, exports ...[]seedpool.SeedState) error {
+	sets := append([][]seedpool.SeedState{initial}, exports...)
+	return store.Save(corpusstore.Merge(corpusCap(cfg), sets...), cover)
 }
 
 // run is the campaign loop. Cancellation is checked between
 // executions, so the returned stats are always internally consistent.
-func (f *Fuzzer) run(ctx context.Context, cfg Config) (*Stats, error) {
+// The evolved seed pool is returned alongside the stats so entry
+// points can flush it to a corpus store.
+func (f *Fuzzer) run(ctx context.Context, cfg Config, camp campaign) (*Stats, *seedpool.Pool, error) {
 	if cfg.MaxCalls == 0 {
 		cfg.MaxCalls = 8
 	}
@@ -255,13 +354,53 @@ func (f *Fuzzer) run(ctx context.Context, cfg Config) (*Stats, error) {
 			})
 		}
 	}
-	for i := 0; i < cfg.Execs; i++ {
+	// observe folds one execution result into the stats: new coverage
+	// (returned) and crash discovery/dedup at execution index exec.
+	observe := func(p *prog.Prog, res *vkernel.Result, exec int) int {
+		newBlocks := 0
+		for _, b := range res.Cov {
+			if stats.Cover.Add(b) {
+				newBlocks++
+			}
+		}
+		if res.Crash != nil {
+			cr := stats.Crashes[res.Crash.Title]
+			if cr == nil {
+				cr = &CrashReport{
+					Title:     res.Crash.Title,
+					FirstExec: exec,
+					Repro:     triage(x, p, res.Crash.Title, cfg.NoTriage),
+				}
+				stats.Crashes[res.Crash.Title] = cr
+			}
+			cr.Count++
+		}
+		return newBlocks
+	}
+	// Warm start: import the stored snapshot with its scheduling
+	// state intact, then replay each imported seed so the campaign's
+	// coverage baseline includes the stored corpus. Replays spend
+	// budget and can (re)discover crashes like any other execution.
+	if len(camp.seeds) > 0 {
+		corpus.Import(camp.seeds)
+		for _, st := range camp.seeds {
+			if stats.Execs >= cfg.Execs || ctx.Err() != nil {
+				break
+			}
+			observe(st.Prog, x.Run(st.Prog), stats.Execs)
+			stats.Execs++
+		}
+	}
+	for i := stats.Execs; i < cfg.Execs; i++ {
 		if i%512 == 0 && ctx.Err() != nil {
 			stats.CorpusSize = corpus.Len()
-			return stats, ctx.Err()
+			return stats, corpus, ctx.Err()
 		}
 		if i > 0 && i%progressEvery == 0 {
 			emit(0)
+			if camp.checkpoint != nil {
+				camp.checkpoint(corpus, stats.CoverCount())
+			}
 		}
 		var p *prog.Prog
 		opIdx := -1
@@ -284,12 +423,7 @@ func (f *Fuzzer) run(ctx context.Context, cfg Config) (*Stats, error) {
 		}
 		res := x.Run(p)
 		stats.Execs++
-		newBlocks := 0
-		for _, b := range res.Cov {
-			if stats.Cover.Add(b) {
-				newBlocks++
-			}
-		}
+		newBlocks := observe(p, res, i)
 		opName := ""
 		if opIdx >= 0 {
 			// Feed the outcome back: the scheduler reweights the
@@ -301,22 +435,10 @@ func (f *Fuzzer) run(ctx context.Context, cfg Config) (*Stats, error) {
 			opName = stats.Ops[opIdx].Name
 		}
 		corpus.Add(p, newBlocks, opName)
-		if res.Crash != nil {
-			cr := stats.Crashes[res.Crash.Title]
-			if cr == nil {
-				cr = &CrashReport{
-					Title:     res.Crash.Title,
-					FirstExec: i,
-					Repro:     triage(x, p, res.Crash.Title, cfg.NoTriage),
-				}
-				stats.Crashes[res.Crash.Title] = cr
-			}
-			cr.Count++
-		}
 	}
 	stats.CorpusSize = corpus.Len()
 	emit(1)
-	return stats, nil
+	return stats, corpus, nil
 }
 
 // newSched builds the campaign's operator scheduler: adaptive by
@@ -357,13 +479,19 @@ func triage(x vkernel.Executor, p *prog.Prog, title string, skip bool) string {
 // repetitions (per-rep updates would interleave without attribution).
 // Cancellation stops remaining work; completed repetitions keep their
 // full stats and interrupted ones report partial stats.
+//
+// Corpus persistence (Config.CorpusDir) is ignored here: repetitions
+// are independent experiments, and warm-starting later reps from
+// earlier ones would couple them. Use Run/RunParallel per repetition
+// to accumulate a store deliberately.
 func (f *Fuzzer) RunRepetitions(ctx context.Context, cfg Config, n int) []*Stats {
 	out := make([]*Stats, n)
 	pool.Run(pool.Clamp(n, 0, runtime.GOMAXPROCS(0)), n, func(i int) {
 		c := cfg
 		c.Seed = RepSeed(cfg.Seed, i)
 		c.Progress = nil
-		out[i], _ = f.run(ctx, c)
+		c.CorpusDir = ""
+		out[i], _, _ = f.run(ctx, c, campaign{})
 	})
 	return out
 }

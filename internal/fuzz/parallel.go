@@ -2,9 +2,12 @@ package fuzz
 
 import (
 	"context"
+	"errors"
 	"runtime"
 	"sync"
 
+	"kernelgpt/internal/fuzz/corpusstore"
+	"kernelgpt/internal/fuzz/seedpool"
 	"kernelgpt/internal/pool"
 )
 
@@ -68,18 +71,34 @@ func unitSeed(base int64, i int) int64 {
 // only changes wall-clock time. Crash FirstExec indices are remapped
 // into the global budget (unit i's executions occupy [i·grain,
 // i·grain+budget)), which keeps discovery-time ordering meaningful
-// after the merge.
+// after the merge. When two units hit the same crash title, the
+// earliest remapped FirstExec's repro survives; an exact FirstExec
+// tie is broken by lexicographically smaller repro text, so the
+// merge never depends on unit completion order.
 //
 // Units restart corpus evolution from scratch, trading single-run
 // corpus depth for restart diversity (empirically a wash or slight
 // win on this substrate); for one maximally deep serial campaign use
 // Run, or set ShardExecs = Execs.
 //
+// With Config.CorpusDir set, the store is loaded once up front and
+// every unit warm-starts from that same snapshot (imports it and
+// replays it against its own budget), so the decomposition stays
+// worker-count-invariant. Completed units' corpora are merged back
+// deterministically — in unit order, deduplicated, capacity-bounded —
+// and flushed when the campaign ends; Config.Checkpoint additionally
+// flushes after each completed unit (those intermediate store states
+// depend on completion order, the final flush does not).
+//
 // Cancellation stops unstarted units and interrupts running ones; the
 // partial merge and ctx.Err() are returned. Config.Progress, when
 // set, is invoked after each unit completes with the merged counts so
 // far.
 func (f *Fuzzer) RunParallel(ctx context.Context, cfg Config, shards int) (*Stats, error) {
+	store, seeds, err := f.openStore(cfg)
+	if err != nil {
+		return nil, err
+	}
 	plan := planShards(cfg)
 	merged := &Stats{
 		Cover:   f.newCover(),
@@ -87,15 +106,29 @@ func (f *Fuzzer) RunParallel(ctx context.Context, cfg Config, shards int) (*Stat
 	}
 	var mu sync.Mutex
 	done := 0
+	exports := make([][]seedpool.SeedState, plan.units)
+	// flush merges the snapshot with every completed unit's corpus —
+	// in unit order, so the content is deterministic for a fixed set
+	// of completed units — and saves the store.
+	flush := func() error {
+		sets := append([][]seedpool.SeedState{seeds}, exports...)
+		return store.Save(corpusstore.Merge(corpusCap(cfg), sets...), merged.CoverCount())
+	}
 	pool.Run(pool.Clamp(plan.units, shards, runtime.GOMAXPROCS(0)), plan.units, func(i int) {
 		c := cfg
 		c.Execs = plan.budget(i)
 		c.Seed = unitSeed(cfg.Seed, i)
 		c.Progress = nil // per-unit campaigns report via the merge below
-		unit, _ := f.run(ctx, c)
+		unit, corpus, _ := f.run(ctx, c, campaign{seeds: seeds})
 		mu.Lock()
 		mergeInto(merged, unit, i*plan.grain)
 		done++
+		if store != nil && !cfg.ReadOnlyCorpus {
+			exports[i] = corpus.Export()
+			if cfg.Checkpoint {
+				flush() // best-effort; the final flush surfaces errors
+			}
+		}
 		if cfg.Progress != nil {
 			cfg.Progress(Progress{
 				ShardsDone: done, ShardsTotal: plan.units,
@@ -106,12 +139,17 @@ func (f *Fuzzer) RunParallel(ctx context.Context, cfg Config, shards int) (*Stat
 		}
 		mu.Unlock()
 	})
-	return merged, ctx.Err()
+	var saveErr error
+	if store != nil && !cfg.ReadOnlyCorpus {
+		saveErr = flush()
+	}
+	return merged, errors.Join(ctx.Err(), saveErr)
 }
 
 // mergeInto folds one unit's stats into the merged campaign view.
-// Every operation is commutative (set union, min-by-disjoint-key,
-// sum), so the merge result is independent of unit completion order.
+// Every operation is commutative and order-independent (set union,
+// min-by-totally-ordered-key, sum), so the merge result is identical
+// for any unit completion order.
 func mergeInto(dst, src *Stats, execBase int) {
 	dst.Cover.Union(src.Cover)
 	for title, cr := range src.Crashes {
@@ -124,7 +162,13 @@ func mergeInto(dst, src *Stats, execBase int) {
 			continue
 		}
 		have.Count += cr.Count
-		if first < have.FirstExec {
+		// The surviving repro is the one from the earliest remapped
+		// FirstExec; on an exact FirstExec tie (two units hitting the
+		// same title at the same remapped index) the lexicographically
+		// smaller repro text wins. Without the secondary key the
+		// survivor would depend on unit completion order, breaking the
+		// documented shard-count invariance.
+		if first < have.FirstExec || (first == have.FirstExec && cr.Repro < have.Repro) {
 			have.FirstExec = first
 			have.Repro = cr.Repro
 		}

@@ -5,6 +5,8 @@ import (
 	"reflect"
 	"testing"
 	"time"
+
+	"kernelgpt/internal/vkernel"
 )
 
 // mergedView reduces Stats to the comparable merged outcome: the
@@ -122,6 +124,44 @@ func TestRunRepetitionsMatchesSerial(t *testing.T) {
 		if par[i].CoverCount() != want.CoverCount() || par[i].UniqueCrashes() != want.UniqueCrashes() {
 			t.Fatalf("rep %d diverged from serial: cov %d vs %d", i, par[i].CoverCount(), want.CoverCount())
 		}
+	}
+}
+
+// TestMergeIntoTieBreakDeterministic is the regression test for the
+// shard-merge nondeterminism: two units hitting the same crash title
+// with equal remapped FirstExec must keep the same Repro regardless
+// of which unit's stats merge first (secondary key: lexicographically
+// smaller repro text).
+func TestMergeIntoTieBreakDeterministic(t *testing.T) {
+	unit := func(repro string, firstExec int) *Stats {
+		return &Stats{
+			Cover: &vkernel.CoverSet{},
+			Crashes: map[string]*CrashReport{
+				"same title": {Title: "same title", FirstExec: firstExec, Count: 1, Repro: repro},
+			},
+		}
+	}
+	// Unit 0 occupies [0, 100), unit 1 occupies [100, 200): FirstExec
+	// 150 in unit 0 and 50 in unit 1 remap to the same global index.
+	merge := func(order [2]int) string {
+		units := [2]*Stats{unit("bbb repro\n", 150), unit("aaa repro\n", 50)}
+		bases := [2]int{0, 100}
+		dst := &Stats{Cover: &vkernel.CoverSet{}, Crashes: map[string]*CrashReport{}}
+		for _, i := range order {
+			mergeInto(dst, units[i], bases[i])
+		}
+		cr := dst.Crashes["same title"]
+		if cr.FirstExec != 150 || cr.Count != 2 {
+			t.Fatalf("merge wrong: %+v", cr)
+		}
+		return cr.Repro
+	}
+	a, b := merge([2]int{0, 1}), merge([2]int{1, 0})
+	if a != b {
+		t.Fatalf("surviving repro depends on completion order: %q vs %q", a, b)
+	}
+	if a != "aaa repro\n" {
+		t.Fatalf("tie must keep the lexicographically smaller repro, got %q", a)
 	}
 }
 

@@ -18,6 +18,7 @@ package seedpool
 
 import (
 	"math/rand"
+	"sort"
 
 	"kernelgpt/internal/prog"
 )
@@ -118,14 +119,21 @@ func (p *Pool) Add(pr *prog.Prog, prio int, op string) bool {
 	if prio <= 0 {
 		return false
 	}
-	s := Seed{Prog: pr, Prio: prio, Op: op, seq: p.seq}
+	return p.admit(Seed{Prog: pr, Prio: prio, Op: op})
+}
+
+// admit runs the admission policy for a fully formed seed (possibly
+// carrying an imported lineage bonus), assigning its seq.
+func (p *Pool) admit(s Seed) bool {
+	s.seq = p.seq
 	p.seq++
+	w := int64(s.Weight())
 	if len(p.seeds) < p.cap {
 		p.seeds = append(p.seeds, s)
 		i := len(p.seeds) - 1
 		p.slot[s.seq] = i
-		p.fenAdd(i, int64(prio))
-		p.total += int64(prio)
+		p.fenAdd(i, w)
+		p.total += w
 		p.siftUp(i)
 		p.added++
 		return true
@@ -136,7 +144,7 @@ func (p *Pool) Add(pr *prog.Prog, prio int, op string) bool {
 		return false
 	}
 	delete(p.slot, p.seeds[0].seq)
-	d := int64(s.Weight() - p.seeds[0].Weight())
+	d := w - int64(p.seeds[0].Weight())
 	p.fenAdd(0, d)
 	p.total += d
 	p.seeds[0] = s
@@ -209,6 +217,66 @@ func (p *Pool) ForEach(fn func(Seed)) {
 	for _, s := range p.seeds {
 		fn(s)
 	}
+}
+
+// SeedState is one seed's persistable state: the program plus the
+// scheduling weights that Export/Import carry across campaigns (and
+// that the corpus store serializes to disk).
+type SeedState struct {
+	Prog *prog.Prog
+	// Prio is the base scheduling weight (new blocks at admission).
+	Prio int
+	// Bonus is the lineage bonus at export time.
+	Bonus int
+	// Op is the operator provenance ("" for generated seeds).
+	Op string
+}
+
+// Weight is the state's total scheduling weight.
+func (s SeedState) Weight() int { return s.Prio + s.Bonus }
+
+// Export snapshots the retained seeds with their priority and lineage
+// state, in deterministic order: descending weight, then admission
+// order. The snapshot shares Prog pointers with the pool; callers
+// must not mutate them.
+func (p *Pool) Export() []SeedState {
+	ordered := append([]Seed(nil), p.seeds...)
+	sort.Slice(ordered, func(i, j int) bool {
+		if wi, wj := ordered[i].Weight(), ordered[j].Weight(); wi != wj {
+			return wi > wj
+		}
+		return ordered[i].seq < ordered[j].seq
+	})
+	out := make([]SeedState, len(ordered))
+	for i, s := range ordered {
+		out[i] = SeedState{Prog: s.Prog, Prio: s.Prio, Bonus: s.bonus, Op: s.Op}
+	}
+	return out
+}
+
+// Import offers exported seeds back to the pool, preserving priority
+// and lineage state (bonuses are clamped to the lineage cap).
+// Admission follows the normal policy — a full pool keeps only offers
+// that outrank its current victim — and the number admitted is
+// returned.
+func (p *Pool) Import(seeds []SeedState) int {
+	n := 0
+	for _, st := range seeds {
+		if st.Prog == nil || st.Prio <= 0 {
+			continue
+		}
+		bonus := st.Bonus
+		if bonus < 0 {
+			bonus = 0
+		}
+		if bonus > maxLineageBonus {
+			bonus = maxLineageBonus
+		}
+		if p.admit(Seed{Prog: st.Prog, Prio: st.Prio, Op: st.Op, bonus: bonus}) {
+			n++
+		}
+	}
+	return n
 }
 
 // less orders eviction: lower weight first; among equals, the newer

@@ -245,3 +245,98 @@ func TestPoolOpProvenance(t *testing.T) {
 		t.Fatalf("provenance lost: %v", ops)
 	}
 }
+
+func TestPoolExportImportRoundTrip(t *testing.T) {
+	p := New(8)
+	progs := []*prog.Prog{mkProg(), mkProg(), mkProg()}
+	p.Add(progs[0], 5, "splice")
+	p.Add(progs[1], 2, "")
+	p.Add(progs[2], 9, "insert")
+	// Grow a lineage bonus on the weakest seed so Import must carry
+	// more than base priorities.
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 50; i++ {
+		_, ref := p.PickRef(r)
+		p.Reward(ref, 1)
+	}
+	exp := p.Export()
+	if len(exp) != 3 {
+		t.Fatalf("exported %d seeds", len(exp))
+	}
+	for i := 1; i < len(exp); i++ {
+		if exp[i].Weight() > exp[i-1].Weight() {
+			t.Fatalf("export not weight-ordered: %+v", exp)
+		}
+	}
+	q := New(8)
+	if n := q.Import(exp); n != 3 {
+		t.Fatalf("imported %d of 3", n)
+	}
+	if q.TotalPrio() != p.TotalPrio() {
+		t.Fatalf("weight mass not preserved: %d vs %d", q.TotalPrio(), p.TotalPrio())
+	}
+	if !equalExports(q.Export(), exp) {
+		t.Fatalf("round trip diverged:\n%+v\nvs\n%+v", q.Export(), exp)
+	}
+}
+
+// equalExports compares export snapshots by state (Prog identity
+// included).
+func equalExports(a, b []SeedState) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestPoolImportRespectsCapacityAndRanking(t *testing.T) {
+	exp := []SeedState{
+		{Prog: mkProg(), Prio: 9},
+		{Prog: mkProg(), Prio: 7, Bonus: 1},
+		{Prog: mkProg(), Prio: 1},
+	}
+	p := New(2)
+	if n := p.Import(exp); n != 2 {
+		t.Fatalf("imported %d into cap-2 pool", n)
+	}
+	got := p.Export()
+	if got[0].Prio != 9 || got[1].Prio != 7 {
+		t.Fatalf("wrong survivors: %+v", got)
+	}
+	// Invalid states are skipped, not admitted.
+	if p.Import([]SeedState{{Prog: nil, Prio: 5}, {Prog: mkProg(), Prio: 0}}) != 0 {
+		t.Fatal("invalid states admitted")
+	}
+}
+
+func TestPoolImportClampsBonus(t *testing.T) {
+	p := New(4)
+	p.Import([]SeedState{
+		{Prog: mkProg(), Prio: 3, Bonus: 10 * maxLineageBonus},
+		{Prog: mkProg(), Prio: 3, Bonus: -17},
+	})
+	exp := p.Export()
+	if exp[0].Bonus != maxLineageBonus || exp[1].Bonus != 0 {
+		t.Fatalf("bonuses not clamped: %+v", exp)
+	}
+}
+
+func TestPoolImportedLineageStaysRewardable(t *testing.T) {
+	p := New(4)
+	p.Import([]SeedState{{Prog: mkProg(), Prio: 4, Bonus: 2, Op: "splice"}})
+	r := rand.New(rand.NewSource(3))
+	_, ref := p.PickRef(r)
+	p.Reward(ref, 5)
+	exp := p.Export()
+	if exp[0].Bonus != 7 {
+		t.Fatalf("imported seed bonus not live: %+v", exp[0])
+	}
+	if exp[0].Op != "splice" {
+		t.Fatalf("provenance lost: %+v", exp[0])
+	}
+}

@@ -1,0 +1,80 @@
+package pool
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestClamp(t *testing.T) {
+	cases := []struct {
+		name                   string
+		n, requested, fallback int
+		want                   int
+	}{
+		{"normal request", 8, 4, 2, 4},
+		{"request equals n", 8, 8, 2, 8},
+		{"request above n clamps to n", 8, 100, 2, 8},
+		{"zero request uses fallback", 8, 0, 3, 3},
+		{"negative request uses fallback", 8, -5, 3, 3},
+		{"fallback above n clamps to n", 4, 0, 100, 4},
+		{"zero fallback floors at one", 8, 0, 0, 1},
+		{"negative fallback floors at one", 8, 0, -2, 1},
+		{"zero n floors at one", 0, 4, 2, 1},
+		{"one unit", 1, 8, 8, 1},
+	}
+	for _, tc := range cases {
+		if got := Clamp(tc.n, tc.requested, tc.fallback); got != tc.want {
+			t.Errorf("%s: Clamp(%d, %d, %d) = %d, want %d",
+				tc.name, tc.n, tc.requested, tc.fallback, got, tc.want)
+		}
+	}
+}
+
+// TestRunEveryUnitExactlyOnce: for serial and concurrent worker
+// counts — including more workers than units — every unit index runs
+// exactly once.
+func TestRunEveryUnitExactlyOnce(t *testing.T) {
+	const n = 37
+	for _, workers := range []int{1, 2, n + 16} {
+		var counts [n]int32
+		Run(workers, n, func(i int) {
+			atomic.AddInt32(&counts[i], 1)
+		})
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: unit %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestRunZeroUnits(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ran := int32(0)
+		Run(workers, 0, func(int) { atomic.AddInt32(&ran, 1) })
+		if ran != 0 {
+			t.Fatalf("workers=%d: %d units ran for n=0", workers, ran)
+		}
+	}
+}
+
+// TestRunConcurrentWorkersOverlap: with two workers, two units can be
+// in flight at once — Run is a worker pool, not a serial loop. A
+// serial execution would deadlock here (and fail via test timeout):
+// both units block until both have started.
+func TestRunConcurrentWorkersOverlap(t *testing.T) {
+	ready := make(chan struct{}, 2)
+	release := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		Run(2, 2, func(int) {
+			ready <- struct{}{}
+			<-release
+		})
+		close(finished)
+	}()
+	<-ready
+	<-ready
+	close(release)
+	<-finished
+}

@@ -141,7 +141,7 @@ func parseCallLine(t *Target, p *Prog, line string) (*Call, error) {
 	if sc == nil {
 		return nil, fmt.Errorf("unknown syscall %q", name)
 	}
-	d := &deserializer{src: line[open+1 : len(line)-1]}
+	d := &deserializer{src: line[open+1 : len(line)-1], calls: len(p.Calls)}
 	call := &Call{Sc: sc}
 	for i, f := range sc.Args {
 		if i > 0 {
@@ -165,6 +165,9 @@ func parseCallLine(t *Target, p *Prog, line string) (*Call, error) {
 type deserializer struct {
 	src string
 	i   int
+	// calls is the number of calls parsed before this line; a
+	// resource reference rN is only valid for N < calls.
+	calls int
 }
 
 func (d *deserializer) skipSpace() {
@@ -210,6 +213,12 @@ func (d *deserializer) value(ty *Type) (*Value, error) {
 			n, err := d.number()
 			if err != nil {
 				return nil, err
+			}
+			// Reject forward and self references at parse time: a
+			// resource can only use the result of an earlier call.
+			// (number() already rejects negative-style refs like r-1.)
+			if n >= uint64(d.calls) {
+				return nil, fmt.Errorf("resource reference r%d out of range (only %d earlier calls)", n, d.calls)
 			}
 			v.ResultOf = int(n)
 			return v, nil

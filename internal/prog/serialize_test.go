@@ -56,11 +56,48 @@ func TestDeserializeRejectsUnknownSyscall(t *testing.T) {
 	}
 }
 
-func TestDeserializeRejectsForwardReference(t *testing.T) {
+// TestDeserializeRejectsOutOfRangeReferences: rN with N >= the number
+// of earlier calls (forward or self references) must be rejected at
+// parse time, with the offending line number in the error — not
+// deferred to a lineless Validate failure.
+func TestDeserializeRejectsOutOfRangeReferences(t *testing.T) {
 	tgt := testTarget(t)
-	text := "ioctl$SET_CFG(r5, 0x7002, 0x0)\n"
-	if _, err := Deserialize(tgt, text); err == nil {
-		t.Fatal("forward resource reference accepted")
+	cases := []struct {
+		name, text, wantLine string
+	}{
+		{
+			name:     "forward ref in first call",
+			text:     "ioctl$SET_CFG(r5, 0x7002, 0x0)\n",
+			wantLine: "line 1",
+		},
+		{
+			name: "forward ref in later call",
+			text: "r0 = openat$dev(0xffffff9c, &\"/dev/testdev\", 0x2, 0x0)\n" +
+				"ioctl$SET_CFG(r2, 0x7002, 0x0)\n",
+			wantLine: "line 2",
+		},
+		{
+			name: "self ref",
+			text: "r0 = openat$dev(0xffffff9c, &\"/dev/testdev\", 0x2, 0x0)\n" +
+				"ioctl$SET_CFG(r1, 0x7002, 0x0)\n",
+			wantLine: "line 2",
+		},
+		{
+			name:     "negative-style ref",
+			text:     "ioctl$SET_CFG(r-1, 0x7002, 0x0)\n",
+			wantLine: "line 1",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Deserialize(tgt, tc.text)
+			if err == nil {
+				t.Fatalf("accepted:\n%s", tc.text)
+			}
+			if !strings.Contains(err.Error(), tc.wantLine) {
+				t.Fatalf("error %q does not name %s", err, tc.wantLine)
+			}
+		})
 	}
 }
 
