@@ -3,8 +3,10 @@
 // human-suite syzlang specifications per handler. It also reads and
 // writes the persistent fuzzing-corpus store format
 // (internal/fuzz/corpusstore): -store lists a store's entries and
-// re-validates each one against the full oracle target, and -add
-// inserts a repro file into a store with a measured priority.
+// re-validates each one against the full oracle target (exiting
+// nonzero when any entry is invalid or stale, so CI can gate on
+// store health), -add inserts a repro file into a store with a
+// measured priority, and -merge folds one store into another.
 //
 // Usage:
 //
@@ -13,6 +15,7 @@
 //	corpusdump -handler dm -what oracle          # its ground-truth spec
 //	corpusdump -store /tmp/corpus                # list + validate a corpus store
 //	corpusdump -store /tmp/corpus -add repro.txt # add a repro to the store
+//	corpusdump -store /tmp/a -merge /tmp/b       # merge store b into store a
 package main
 
 import (
@@ -36,12 +39,14 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "corpus scale")
 	store := flag.String("store", "", "corpus store directory to list and validate")
 	add := flag.String("add", "", "repro file to add into the -store")
+	merge := flag.String("merge", "", "source corpus store directory to merge into the -store")
+	mergeCap := flag.Int("merge-cap", 0, "seed bound for -merge (0 = lossless: keep every seed of both stores)")
 	flag.Parse()
 
 	c := corpus.Build(corpus.Config{Scale: *scale})
 
 	if *store != "" {
-		storeMain(c, *store, *add)
+		storeMain(c, *store, *add, *merge, *mergeCap)
 		return
 	}
 
@@ -71,7 +76,7 @@ func main() {
 	}
 
 	if *out == "" {
-		fmt.Fprintln(os.Stderr, "usage: corpusdump -out DIR | -handler NAME [-what source|oracle|human] | -store DIR [-add FILE]")
+		fmt.Fprintln(os.Stderr, "usage: corpusdump -out DIR | -handler NAME [-what source|oracle|human] | -store DIR [-add FILE | -merge SRCDIR]")
 		os.Exit(2)
 	}
 	files := 0
@@ -132,8 +137,10 @@ func oracleTarget(c *corpus.Corpus) (*prog.Target, error) {
 	return prog.Compile(spec, c.Env())
 }
 
-// storeMain is the corpus-store mode: list + validate, or add a repro.
-func storeMain(c *corpus.Corpus, dir, add string) {
+// storeMain is the corpus-store mode: list + validate (exiting
+// nonzero when any entry fails re-validation), merge another store
+// in, or add a repro.
+func storeMain(c *corpus.Corpus, dir, add, merge string, mergeCap int) {
 	tgt, err := oracleTarget(c)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -144,8 +151,16 @@ func storeMain(c *corpus.Corpus, dir, add string) {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	if add != "" && merge != "" {
+		fmt.Fprintln(os.Stderr, "-add and -merge are mutually exclusive")
+		os.Exit(2)
+	}
 	if add != "" {
 		addToStore(c, st, tgt, add)
+		return
+	}
+	if merge != "" {
+		mergeStores(st, tgt, merge, mergeCap)
 		return
 	}
 	m, err := st.Manifest()
@@ -180,6 +195,61 @@ func storeMain(c *corpus.Corpus, dir, add string) {
 		fmt.Printf("%-25s %6d  %-10s %6s  %s\n", e.File, e.Prio+e.Bonus, op, calls, status)
 	}
 	fmt.Printf("%d valid, %d skipped\n", rep.Loaded, len(rep.Skipped))
+	// Invalid/stale entries are an actionable condition (a spec drifted,
+	// a file was corrupted): make the exit status say so for CI.
+	if len(rep.Skipped) > 0 {
+		os.Exit(1)
+	}
+}
+
+// mergeStores folds the src store into dst via corpusstore.Merge:
+// union of both, deduplicated by program text keeping the
+// higher-weight copy, bounded deterministically. The default bound is
+// lossless — every seed of both stores survives minus duplicates —
+// because a CLI merge must not silently truncate a store built with a
+// larger-than-default capacity; pass -merge-cap to shrink. Invalid
+// src entries are reported and left behind; invalid dst entries
+// refuse the merge (rewriting dst would delete them).
+func mergeStores(dst *corpusstore.Store, tgt *prog.Target, srcDir string, mergeCap int) {
+	src, err := corpusstore.Open(srcDir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	srcSeeds, srcRep, err := src.Load(tgt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if len(srcRep.Skipped) > 0 {
+		fmt.Fprintf(os.Stderr, "note: %d invalid source entries stay behind (%s)\n", len(srcRep.Skipped), srcRep)
+	}
+	dstSeeds, dstRep, err := dst.Load(tgt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if len(dstRep.Skipped) > 0 {
+		fmt.Fprintf(os.Stderr, "%s\nrefusing to rewrite a store with invalid entries (a rewrite would delete them); inspect with: corpusdump -store %s\n", dstRep, dst.Dir())
+		os.Exit(1)
+	}
+	cover := dstRep.CoverBlocks
+	if srcRep.CoverBlocks > cover {
+		cover = srcRep.CoverBlocks
+	}
+	if mergeCap <= 0 {
+		mergeCap = len(dstSeeds) + len(srcSeeds)
+		if mergeCap == 0 {
+			mergeCap = 1 // Merge treats <=0 as the default capacity
+		}
+	}
+	merged := corpusstore.Merge(mergeCap, dstSeeds, srcSeeds)
+	if err := dst.Save(merged, cover); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("merged %s (%d seeds) into %s: now %d seeds (was %d)\n",
+		src.Dir(), len(srcSeeds), dst.Dir(), len(merged), len(dstSeeds))
 }
 
 // addToStore measures a repro's coverage on the kernel and merges it

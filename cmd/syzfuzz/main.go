@@ -23,10 +23,20 @@
 //
 //	syzfuzz -suite oracle -execs 50000 -corpus /tmp/corpus
 //	syzfuzz -suite oracle -execs 10000 -corpus /tmp/corpus -resume
+//
+// Campaigns can also pool with other workers through a coordination
+// hub (cmd/syzhub): -hub URL registers the campaign, pushes its
+// corpus/coverage/crash deltas at checkpoint boundaries, and imports
+// the merged global corpus back. -stats-json FILE writes the final
+// merged stats in the hub wire schema for scripting.
+//
+//	syzfuzz -suite oracle -execs 25000 -hub http://127.0.0.1:7700
+//	syzfuzz -suite oracle -execs 5000 -stats-json results.json
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -40,6 +50,7 @@ import (
 	"kernelgpt/internal/engine"
 	"kernelgpt/internal/fuzz"
 	"kernelgpt/internal/fuzz/corpusstore"
+	"kernelgpt/internal/hub"
 	"kernelgpt/internal/llm"
 	"kernelgpt/internal/prog"
 	"kernelgpt/internal/syzlang"
@@ -63,6 +74,9 @@ func main() {
 	corpusDir := flag.String("corpus", "", "persistent corpus store directory: warm-start from it and flush the evolved corpus back")
 	resume := flag.Bool("resume", false, "require the -corpus store to already hold seeds (fail instead of silently cold-starting)")
 	checkpoint := flag.Bool("checkpoint", false, "flush the corpus store at shard-unit boundaries, not only at campaign end")
+	hubURL := flag.String("hub", "", "coordination hub base URL (e.g. http://127.0.0.1:7700): sync corpus/coverage/crashes at checkpoint boundaries")
+	hubName := flag.String("hub-name", "", "worker label in the hub's stats (default hostname:pid)")
+	statsJSON := flag.String("stats-json", "", "write the final merged stats as JSON to FILE (the hub wire schema; \"-\" = stdout)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -133,6 +147,18 @@ func main() {
 		cfg.UniformOps = *uniform
 		cfg.CorpusDir = *corpusDir
 		cfg.Checkpoint = *checkpoint
+		if *hubURL != "" {
+			// One registration per repetition: each rep is an
+			// independent campaign whose counters restart from zero,
+			// so reusing a client would make the hub see regressing
+			// stats and stale crash deltas.
+			cl, err := dialHub(ctx, *hubURL, *hubName, i, *reps, tgt)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			cfg.Hub = cl
+		}
 		if *corpusDir != "" {
 			cfg.StoreReport = func(r corpusstore.Report) {
 				fmt.Fprintln(os.Stderr, r.String())
@@ -167,6 +193,12 @@ func main() {
 	fmt.Printf("mean cov=%.1f mean crashes=%.1f throughput=%.0f execs/sec\n",
 		fuzz.MeanCover(statsList), fuzz.MeanCrashes(statsList),
 		execRate(totalExecs, time.Since(start)))
+	if *statsJSON != "" {
+		if err := writeStatsJSON(*statsJSON, statsList); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 	if *opstats {
 		printOpStats(statsList)
 	}
@@ -215,6 +247,43 @@ func printOpStats(statsList []*fuzz.Stats) {
 		}
 		fmt.Printf("%-14s %6d  %10d  %8.1f\n", m.Name, m.Picks, m.NewBlocks, yield)
 	}
+}
+
+// dialHub registers one repetition's worker with the hub, labeling it
+// name/repN when several repetitions share a run.
+func dialHub(ctx context.Context, url, name string, rep, reps int, tgt *prog.Target) (*hub.Client, error) {
+	if name == "" {
+		host, _ := os.Hostname()
+		name = fmt.Sprintf("%s:%d", host, os.Getpid())
+	}
+	if reps > 1 {
+		name = fmt.Sprintf("%s/rep%d", name, rep+1)
+	}
+	cl, err := hub.Dial(ctx, url, name, tgt)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "hub %s: registered as %s (%d seeds pooled)\n", url, cl.WorkerID(), cl.HubSeeds)
+	if fp := hub.Fingerprint(tgt); fp != cl.HubFingerprint {
+		fmt.Fprintf(os.Stderr, "hub note: suite fingerprint %s differs from hub's %s; seeds outside the shared surface are skipped on each side\n",
+			fp, cl.HubFingerprint)
+	}
+	return cl, nil
+}
+
+// writeStatsJSON dumps the run's per-rep and merged stats in the hub
+// wire schema (hub.CampaignDump), to a file or stdout ("-").
+func writeStatsJSON(path string, statsList []*fuzz.Stats) error {
+	data, err := json.MarshalIndent(hub.DumpStats(statsList), "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
 }
 
 // execRate converts a campaign's budget and wall time to execs/sec.

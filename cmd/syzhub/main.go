@@ -1,0 +1,116 @@
+// Command syzhub runs the multi-campaign coordination daemon: an
+// HTTP hub that fuzzing workers (syzfuzz -hub, or any embedder of
+// internal/hub.Client) register with to pool their corpora, crashes,
+// and coverage. The hub maintains an authoritative on-disk corpus
+// store — restartable: a new syzhub over the same -store continues
+// the generation lineage and workers transparently re-register — a
+// global crash table deduplicated by normalized repro text, and live
+// aggregated stats.
+//
+// The hub validates pushed programs against the widest target the
+// synthetic kernel supports (every loaded handler's oracle spec plus
+// the fd-plumbing surface), so workers running narrower suites can
+// all pool into one store; each worker re-validates pulled seeds
+// against its own target and skips what it cannot parse.
+//
+// Endpoints:
+//
+//	POST /v1/register  worker announce         (internal/hub proto)
+//	POST /v1/sync      push deltas, pull merged corpus diff
+//	GET  /v1/stats     aggregated live stats (JSON)
+//	GET  /v1/crashes   global deduplicated crash table (JSON)
+//	GET  /healthz      liveness probe
+//
+// Usage:
+//
+//	syzhub -store /var/lib/syzhub/corpus
+//	syzhub -addr 127.0.0.1:7700 -store /tmp/hub -cap 1024 -v
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	"kernelgpt/internal/corpus"
+	"kernelgpt/internal/fuzz/corpusstore"
+	"kernelgpt/internal/hub"
+	"kernelgpt/internal/prog"
+	"kernelgpt/internal/syzlang"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7700", "listen address")
+	storeDir := flag.String("store", "", "authoritative corpus store directory (required)")
+	capacity := flag.Int("cap", 0, "merged corpus bound (0 = seedpool default)")
+	scale := flag.Float64("scale", 1.0, "corpus scale (must match the workers')")
+	verbose := flag.Bool("v", false, "log every registration and sync")
+	flag.Parse()
+
+	if *storeDir == "" {
+		fmt.Fprintln(os.Stderr, "usage: syzhub -store DIR [-addr HOST:PORT] [-cap N] [-v]")
+		os.Exit(2)
+	}
+
+	c := corpus.Build(corpus.Config{Scale: *scale})
+	tgt, err := widestTarget(c)
+	if err != nil {
+		log.Fatal(err)
+	}
+	store, err := corpusstore.Open(*storeDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := []hub.Option{hub.WithCapacity(*capacity)}
+	if *verbose {
+		opts = append(opts, hub.WithLog(log.Printf))
+	}
+	h, err := hub.New(tgt, store, opts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := h.Stats()
+	log.Printf("syzhub: %d syscalls (fingerprint %s), store %s: %d seeds at generation %d",
+		len(tgt.Syscalls), hub.Fingerprint(tgt), *storeDir, st.Seeds, st.Generation)
+
+	srv := &http.Server{Addr: *addr, Handler: h.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		shutdown, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(shutdown)
+	}()
+	log.Printf("syzhub: listening on http://%s", *addr)
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.Fatal(err)
+	}
+	final := h.Stats()
+	log.Printf("syzhub: shut down: %d seeds, %d union cover, %d crashes from %d workers",
+		final.Seeds, final.UnionCover, final.Crashes, len(final.Workers))
+}
+
+// widestTarget compiles the merged ground-truth specs of every loaded
+// handler plus the fd-plumbing surface — the same target corpusdump
+// re-validates stores against, so any program a worker could have
+// found parses here.
+func widestTarget(c *corpus.Corpus) (*prog.Target, error) {
+	files := []*syzlang.File{}
+	for _, h := range c.Handlers {
+		if h.Loaded {
+			files = append(files, corpus.OracleSpec(h))
+		}
+	}
+	files = append(files, c.PlumbingSuite())
+	spec := syzlang.MergeDedup(files...)
+	if errs := syzlang.Validate(spec, c.Env()); len(errs) > 0 {
+		return nil, fmt.Errorf("widest suite invalid: %v", errs[0])
+	}
+	return prog.Compile(spec, c.Env())
+}

@@ -57,11 +57,20 @@ type Entry struct {
 	Bonus int `json:"bonus,omitempty"`
 	// Op is the mutation operator that bred the seed ("" = generated).
 	Op string `json:"op,omitempty"`
+	// Gen is the store generation that first admitted the entry
+	// (see Manifest.Generation). Always >= 1 in manifests written by
+	// this version; 0 marks entries from pre-generation manifests.
+	Gen int `json:"gen,omitempty"`
 }
 
 // Manifest is the JSON index of a store directory.
 type Manifest struct {
 	Version int `json:"version"`
+	// Generation counts Saves: every Save bumps it by one and stamps
+	// entries whose program file was not in the previous manifest with
+	// the new value. Diff uses it to ship only entries added after a
+	// point in time — the hub's incremental corpus-sync primitive.
+	Generation int `json:"generation,omitempty"`
 	// CoverBlocks is the covered-block count of the campaign that
 	// last flushed the store (metadata for tooling; Load reports it).
 	CoverBlocks int     `json:"cover_blocks"`
@@ -146,8 +155,24 @@ func (s *Store) Manifest() (*Manifest, error) {
 // manifest is renamed into place last, and prog files no longer
 // referenced are removed best-effort — so a reader always sees a
 // consistent (old or new) store.
+//
+// Save advances the store generation: entries whose program file the
+// previous manifest already indexed keep their admission generation,
+// new entries are stamped with the fresh one. An unreadable previous
+// manifest restarts the generation lineage rather than failing the
+// save (the data being written is intact either way).
 func (s *Store) Save(seeds []seedpool.SeedState, coverBlocks int) error {
-	m := &Manifest{Version: Version, CoverBlocks: coverBlocks}
+	prevGen := map[string]int{}
+	gen := 1
+	if prev, err := s.Manifest(); err == nil {
+		gen = prev.Generation + 1
+		for _, e := range prev.Seeds {
+			if e.Gen > 0 {
+				prevGen[e.File] = e.Gen
+			}
+		}
+	}
+	m := &Manifest{Version: Version, Generation: gen, CoverBlocks: coverBlocks}
 	keep := map[string]bool{}
 	for _, st := range seeds {
 		if st.Prog == nil || st.Prio <= 0 {
@@ -162,7 +187,11 @@ func (s *Store) Save(seeds []seedpool.SeedState, coverBlocks int) error {
 			return fmt.Errorf("corpusstore: %w", err)
 		}
 		keep[name] = true
-		m.Seeds = append(m.Seeds, Entry{File: name, Prio: st.Prio, Bonus: st.Bonus, Op: st.Op})
+		eg := gen
+		if g, ok := prevGen[name]; ok {
+			eg = g
+		}
+		m.Seeds = append(m.Seeds, Entry{File: name, Prio: st.Prio, Bonus: st.Bonus, Op: st.Op, Gen: eg})
 	}
 	data, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {
@@ -215,6 +244,38 @@ func (s *Store) Load(t *prog.Target) ([]seedpool.SeedState, *Report, error) {
 	}
 	rep.Loaded = len(out)
 	return out, rep, nil
+}
+
+// Diff loads only the entries admitted after generation since — the
+// incremental form of Load that lets a sync ship just the seeds a
+// reader has not seen yet. since <= 0 selects everything (entries
+// from pre-generation manifests carry Gen 0 and are included only
+// then). The store's current generation is returned so the caller can
+// resume from it; entries that fail validation are skipped and
+// reported exactly as in Load. The hub serves its pull diffs from an
+// in-memory mirror of the same manifest generations (hub.Hub.diff
+// keeps the selection semantics aligned with this method); Diff is
+// the store-level form for tooling and out-of-process readers.
+func (s *Store) Diff(t *prog.Target, since int) ([]seedpool.SeedState, int, *Report, error) {
+	m, err := s.Manifest()
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	rep := &Report{CoverBlocks: m.CoverBlocks}
+	var out []seedpool.SeedState
+	for _, e := range m.Seeds {
+		if since > 0 && e.Gen <= since {
+			continue
+		}
+		st, reason := s.loadEntry(t, e)
+		if reason != "" {
+			rep.Skipped = append(rep.Skipped, Skip{File: e.File, Reason: reason})
+			continue
+		}
+		out = append(out, st)
+	}
+	rep.Loaded = len(out)
+	return out, m.Generation, rep, nil
 }
 
 // loadEntry validates one entry; a non-empty reason means skip.

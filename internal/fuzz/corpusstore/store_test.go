@@ -274,3 +274,105 @@ func TestMergeOrderIndependentOnDisjointSets(t *testing.T) {
 		}
 	}
 }
+
+func TestSaveAdvancesGenerationAndStampsNewEntries(t *testing.T) {
+	tgt := targetFor(t, "dm")
+	seeds := genSeeds(t, tgt, 5)
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Save(seeds[:3], 10); err != nil {
+		t.Fatal(err)
+	}
+	m, err := st.Manifest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Generation != 1 {
+		t.Fatalf("first save generation = %d, want 1", m.Generation)
+	}
+	for _, e := range m.Seeds {
+		if e.Gen != 1 {
+			t.Fatalf("first-save entry stamped gen %d: %+v", e.Gen, e)
+		}
+	}
+	// Second save: carried-forward entries keep gen 1, new ones get 2.
+	if err := st.Save(seeds, 20); err != nil {
+		t.Fatal(err)
+	}
+	m, err = st.Manifest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Generation != 2 {
+		t.Fatalf("second save generation = %d, want 2", m.Generation)
+	}
+	gens := map[int]int{}
+	for _, e := range m.Seeds {
+		gens[e.Gen]++
+	}
+	if gens[1] != 3 || gens[2] != 2 {
+		t.Fatalf("gen distribution %v, want 3 at gen 1 and 2 at gen 2", gens)
+	}
+}
+
+func TestDiffShipsOnlyNewEntries(t *testing.T) {
+	tgt := targetFor(t, "dm")
+	seeds := genSeeds(t, tgt, 6)
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Save(seeds[:4], 10); err != nil {
+		t.Fatal(err)
+	}
+	all, gen, rep, err := st.Diff(tgt, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 4 || gen != 1 || len(rep.Skipped) != 0 {
+		t.Fatalf("full diff: %d seeds at gen %d (%+v)", len(all), gen, rep)
+	}
+	// Nothing new since the current generation.
+	none, gen2, _, err := st.Diff(tgt, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(none) != 0 || gen2 != gen {
+		t.Fatalf("empty diff returned %d seeds at gen %d", len(none), gen2)
+	}
+	if err := st.Save(seeds, 20); err != nil {
+		t.Fatal(err)
+	}
+	fresh, gen3, _, err := st.Diff(tgt, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen3 != gen+1 || len(fresh) != 2 {
+		t.Fatalf("incremental diff: %d seeds at gen %d, want 2 at gen %d", len(fresh), gen3, gen+1)
+	}
+	want := map[string]bool{
+		seeds[4].Prog.Serialize(): true,
+		seeds[5].Prog.Serialize(): true,
+	}
+	for _, s := range fresh {
+		if !want[s.Prog.Serialize()] {
+			t.Fatalf("diff shipped an old entry: %q", s.Prog.Serialize())
+		}
+	}
+}
+
+func TestDiffOnEmptyStore(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds, gen, rep, err := st.Diff(targetFor(t, "dm"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seeds) != 0 || gen != 0 || rep.Loaded != 0 {
+		t.Fatalf("empty store diff: %d seeds gen %d %+v", len(seeds), gen, rep)
+	}
+}

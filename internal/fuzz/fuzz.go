@@ -106,6 +106,50 @@ type Config struct {
 	// (loaded/skipped entry counts and reasons) before the campaign
 	// starts.
 	StoreReport func(corpusstore.Report)
+	// Hub, when set, attaches the campaign to a coordination hub
+	// (internal/hub.Client implements this). At every checkpoint
+	// boundary — each progressEvery execs in serial campaigns, which
+	// RunParallel units inherit — the campaign pushes its corpus
+	// export, new coverage, and crashes, and imports the seeds the hub
+	// returns into the live pool (weights reconciled, never demoted);
+	// a final push-only sync runs when the campaign ends. Syncs are
+	// best-effort: an unreachable hub never fails the campaign.
+	//
+	// Imported remote seeds change subsequent mutation picks, so a
+	// hub-attached campaign is deterministic only if the hub's
+	// responses are (e.g. workers syncing in a fixed order); detached
+	// determinism guarantees do not transfer.
+	Hub HubSync
+}
+
+// HubSync is the campaign-side face of a coordination hub: one
+// two-way exchange of fuzzing state. Implementations must be safe for
+// concurrent use (RunParallel units share one hub connection).
+type HubSync interface {
+	// Sync pushes the campaign snapshot and returns remote seeds to
+	// import. A nil seed slice with nil error is a valid "nothing new"
+	// response.
+	Sync(ctx context.Context, st SyncState) ([]seedpool.SeedState, error)
+}
+
+// SyncState is the campaign snapshot handed to a hub sync. The hub
+// client diffs it against what it already shipped, so handing the
+// full cumulative state every time is correct and cheap.
+type SyncState struct {
+	// Seeds is the current corpus export (weight-ordered).
+	Seeds []seedpool.SeedState
+	// Cover is the campaign's covered-block set. Read-only for the
+	// hook; it aliases live campaign state.
+	Cover *vkernel.CoverSet
+	// Execs is the budget spent so far.
+	Execs int
+	// Crashes holds every crash found so far, with cumulative counts.
+	Crashes []CrashReport
+	// Ops is the per-operator outcome so far.
+	Ops []OpStat
+	// Final marks the campaign-end sync: the hook should push but not
+	// return imports (there is no campaign left to use them).
+	Final bool
 }
 
 // Progress is one progress-callback update.
@@ -401,6 +445,7 @@ func (f *Fuzzer) run(ctx context.Context, cfg Config, camp campaign) (*Stats, *s
 			if camp.checkpoint != nil {
 				camp.checkpoint(corpus, stats.CoverCount())
 			}
+			hubSync(ctx, cfg, corpus, stats, false)
 		}
 		var p *prog.Prog
 		opIdx := -1
@@ -438,7 +483,40 @@ func (f *Fuzzer) run(ctx context.Context, cfg Config, camp campaign) (*Stats, *s
 	}
 	stats.CorpusSize = corpus.Len()
 	emit(1)
+	hubSync(ctx, cfg, corpus, stats, true)
 	return stats, corpus, nil
+}
+
+// hubSync runs one hub exchange when the campaign is hub-attached:
+// push the cumulative snapshot, reconcile returned remote seeds into
+// the live pool (skipped on the final sync — there is no campaign
+// left to use them). Best-effort: errors leave the campaign running
+// detached until the next boundary retries.
+func hubSync(ctx context.Context, cfg Config, corpus *seedpool.Pool, stats *Stats, final bool) {
+	if cfg.Hub == nil {
+		return
+	}
+	remote, err := cfg.Hub.Sync(ctx, SyncState{
+		Seeds:   corpus.Export(),
+		Cover:   stats.Cover,
+		Execs:   stats.Execs,
+		Crashes: crashList(stats),
+		Ops:     append([]OpStat(nil), stats.Ops...),
+		Final:   final,
+	})
+	if err != nil || final {
+		return
+	}
+	corpus.Reconcile(remote)
+}
+
+// crashList snapshots the crash table in sorted-title order.
+func crashList(stats *Stats) []CrashReport {
+	out := make([]CrashReport, 0, len(stats.Crashes))
+	for _, title := range stats.CrashTitles() {
+		out = append(out, *stats.Crashes[title])
+	}
+	return out
 }
 
 // newSched builds the campaign's operator scheduler: adaptive by
@@ -491,6 +569,7 @@ func (f *Fuzzer) RunRepetitions(ctx context.Context, cfg Config, n int) []*Stats
 		c.Seed = RepSeed(cfg.Seed, i)
 		c.Progress = nil
 		c.CorpusDir = ""
+		c.Hub = nil // like CorpusDir: sharing would couple the reps
 		out[i], _, _ = f.run(ctx, c, campaign{})
 	})
 	return out

@@ -90,10 +90,26 @@ func unitSeed(base int64, i int) int64 {
 // flushes after each completed unit (those intermediate store states
 // depend on completion order, the final flush does not).
 //
+// With Config.Hub set, units do not sync individually (their local
+// counters would masquerade as the worker's cumulative stats);
+// instead one exchange runs after each completed unit with the merged
+// campaign state — cumulative and monotone — plus a Final push when
+// the campaign ends. Remote seeds pulled at a boundary warm-start the
+// units that launch afterwards (merged into their snapshot and
+// replayed, like stored seeds), which makes unit warm-starts depend
+// on sync timing when units run concurrently — one more reason the
+// detached determinism guarantees do not transfer to hub-attached
+// runs.
+//
 // Cancellation stops unstarted units and interrupts running ones; the
 // partial merge and ctx.Err() are returned. Config.Progress, when
 // set, is invoked after each unit completes with the merged counts so
-// far.
+// far, and periodically while units run: running units relay their
+// serial progress every progressEvery execs, and the aggregated
+// update reports the live exec total (merged units plus every running
+// unit's last report) alongside the merged-so-far cover and crash
+// counts. Exec counts are monotone non-decreasing across the whole
+// update stream; cover and crash counts advance when units complete.
 func (f *Fuzzer) RunParallel(ctx context.Context, cfg Config, shards int) (*Stats, error) {
 	store, seeds, err := f.openStore(cfg)
 	if err != nil {
@@ -106,6 +122,20 @@ func (f *Fuzzer) RunParallel(ctx context.Context, cfg Config, shards int) (*Stat
 	}
 	var mu sync.Mutex
 	done := 0
+	// liveExecs tracks each running unit's last progress report;
+	// sumLive is their sum. A unit's contribution moves from sumLive
+	// into merged.Execs when it completes, so emitted exec totals
+	// never regress.
+	liveExecs := make([]int, plan.units)
+	sumLive := 0
+	emit := func() {
+		cfg.Progress(Progress{
+			ShardsDone: done, ShardsTotal: plan.units,
+			Execs: merged.Execs + sumLive, Cover: merged.CoverCount(),
+			Crashes: merged.UniqueCrashes(),
+			Ops:     append([]OpStat(nil), merged.Ops...),
+		})
+	}
 	exports := make([][]seedpool.SeedState, plan.units)
 	// flush merges the snapshot with every completed unit's corpus —
 	// in unit order, so the content is deterministic for a fixed set
@@ -114,31 +144,89 @@ func (f *Fuzzer) RunParallel(ctx context.Context, cfg Config, shards int) (*Stat
 		sets := append([][]seedpool.SeedState{seeds}, exports...)
 		return store.Save(corpusstore.Merge(corpusCap(cfg), sets...), merged.CoverCount())
 	}
+	// Hub attachment: units must not inherit cfg.Hub — each would push
+	// its unit-local counters as the worker's cumulative stats.
+	// Instead, one exchange runs at every unit boundary with the
+	// merged (cumulative, monotone) campaign state, and pulled remote
+	// seeds warm-start the units that launch afterwards.
+	var remote []seedpool.SeedState
+	hubExchange := func(st SyncState) {
+		pulled, err := cfg.Hub.Sync(ctx, st)
+		if err != nil || st.Final || len(pulled) == 0 {
+			return // best-effort, like every hub sync
+		}
+		mu.Lock()
+		remote = append(remote, pulled...)
+		mu.Unlock()
+	}
 	pool.Run(pool.Clamp(plan.units, shards, runtime.GOMAXPROCS(0)), plan.units, func(i int) {
 		c := cfg
 		c.Execs = plan.budget(i)
 		c.Seed = unitSeed(cfg.Seed, i)
-		c.Progress = nil // per-unit campaigns report via the merge below
-		unit, corpus, _ := f.run(ctx, c, campaign{seeds: seeds})
+		c.Hub = nil
+		c.Progress = nil
+		if cfg.Progress != nil {
+			c.Progress = func(p Progress) {
+				// The unit's own final update (ShardsDone=1) is
+				// superseded by the authoritative merge below; relay
+				// only the periodic ones.
+				if p.ShardsDone != 0 {
+					return
+				}
+				mu.Lock()
+				sumLive += p.Execs - liveExecs[i]
+				liveExecs[i] = p.Execs
+				emit()
+				mu.Unlock()
+			}
+		}
 		mu.Lock()
+		campSeeds := seeds
+		if len(remote) > 0 {
+			// Remote seeds pulled so far join the warm-start snapshot
+			// (deduplicated, bounded); like stored seeds, they are
+			// replayed against the unit's budget.
+			campSeeds = corpusstore.Merge(corpusCap(cfg), seeds, remote)
+		}
+		mu.Unlock()
+		unit, corpus, _ := f.run(ctx, c, campaign{seeds: campSeeds})
+		mu.Lock()
+		sumLive -= liveExecs[i]
+		liveExecs[i] = 0
 		mergeInto(merged, unit, i*plan.grain)
 		done++
-		if store != nil && !cfg.ReadOnlyCorpus {
+		if store != nil || cfg.Hub != nil {
 			exports[i] = corpus.Export()
-			if cfg.Checkpoint {
-				flush() // best-effort; the final flush surfaces errors
+		}
+		if store != nil && !cfg.ReadOnlyCorpus && cfg.Checkpoint {
+			flush() // best-effort; the final flush surfaces errors
+		}
+		var sync *SyncState
+		if cfg.Hub != nil {
+			sync = &SyncState{
+				Seeds: exports[i], Cover: merged.Cover.Clone(),
+				Execs: merged.Execs, Crashes: crashList(merged),
+				Ops: append([]OpStat(nil), merged.Ops...),
 			}
 		}
 		if cfg.Progress != nil {
-			cfg.Progress(Progress{
-				ShardsDone: done, ShardsTotal: plan.units,
-				Execs: merged.Execs, Cover: merged.CoverCount(),
-				Crashes: merged.UniqueCrashes(),
-				Ops:     append([]OpStat(nil), merged.Ops...),
-			})
+			emit()
 		}
 		mu.Unlock()
+		if sync != nil {
+			hubExchange(*sync) // outside mu: a slow hub must not stall merges
+		}
 	})
+	if cfg.Hub != nil {
+		// Campaign-end push: the deterministic merged corpus and final
+		// counters, marked Final so the hub can close out the worker.
+		hubExchange(SyncState{
+			Seeds: corpusstore.Merge(corpusCap(cfg), append([][]seedpool.SeedState{seeds}, exports...)...),
+			Cover: merged.Cover.Clone(), Execs: merged.Execs,
+			Crashes: crashList(merged), Ops: append([]OpStat(nil), merged.Ops...),
+			Final: true,
+		})
+	}
 	var saveErr error
 	if store != nil && !cfg.ReadOnlyCorpus {
 		saveErr = flush()

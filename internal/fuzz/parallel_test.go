@@ -3,6 +3,7 @@ package fuzz
 import (
 	"context"
 	"reflect"
+	"sync"
 	"testing"
 	"time"
 
@@ -176,5 +177,46 @@ func TestShardPlan(t *testing.T) {
 	}
 	if unitSeed(1, 0) == unitSeed(1, 1) || unitSeed(1, 0) == unitSeed(2, 0) {
 		t.Fatal("unit seeds must differ across units and bases")
+	}
+}
+
+func TestRunParallelPeriodicProgressMonotone(t *testing.T) {
+	f := New(targetFor(t, "dm"), testKernel)
+	cfg := DefaultConfig(4096, 3)
+	cfg.ShardExecs = 2048 // 2 units; each emits a periodic update at exec 1024
+	var mu sync.Mutex
+	var updates []Progress
+	cfg.Progress = func(p Progress) {
+		mu.Lock()
+		updates = append(updates, p)
+		mu.Unlock()
+	}
+	if _, err := f.RunParallel(context.Background(), cfg, 2); err != nil {
+		t.Fatal(err)
+	}
+	if len(updates) <= 2 {
+		t.Fatalf("want periodic updates beyond the 2 unit completions, got %d", len(updates))
+	}
+	for i := 1; i < len(updates); i++ {
+		if updates[i].Execs < updates[i-1].Execs {
+			t.Fatalf("exec counts regressed: %d then %d (update %d)",
+				updates[i-1].Execs, updates[i].Execs, i)
+		}
+		if updates[i].ShardsDone < updates[i-1].ShardsDone {
+			t.Fatalf("ShardsDone regressed at update %d: %+v", i, updates)
+		}
+	}
+	mid := false
+	for _, p := range updates {
+		if p.ShardsDone == 0 && p.Execs > 0 {
+			mid = true // a periodic update fired before any unit completed
+		}
+	}
+	if !mid {
+		t.Fatal("no aggregated update arrived while units were still running")
+	}
+	last := updates[len(updates)-1]
+	if last.ShardsDone != 2 || last.ShardsTotal != 2 || last.Execs != 4096 {
+		t.Fatalf("final update wrong: %+v", last)
 	}
 }

@@ -279,6 +279,78 @@ func (p *Pool) Import(seeds []SeedState) int {
 	return n
 }
 
+// Reconcile imports seeds that may duplicate programs the pool
+// already holds — the hub-sync import path, where remote workers keep
+// rediscovering the same programs. Seeds are deduplicated by
+// serialized program text (within the batch and against the pool):
+// a duplicate of a retained seed reconciles weights instead of
+// admitting a second copy, raising the retained seed's priority and
+// bonus to the incoming copy's when the incoming copy weighs more
+// (weights never decrease — a remote's colder view must not demote a
+// locally productive lineage). New programs go through the normal
+// admission policy. Returns seeds admitted and seeds reconciled
+// upward.
+//
+// Unlike Import, Reconcile serializes every retained program to build
+// the text index — checkpoint-cadence work, not hot-path work (and
+// skipped entirely for an empty batch, the steady state of a hub
+// sync with nothing new).
+func (p *Pool) Reconcile(seeds []SeedState) (added, reconciled int) {
+	if len(seeds) == 0 {
+		return 0, 0
+	}
+	index := make(map[string]uint64, len(p.seeds))
+	for _, s := range p.seeds {
+		index[s.Prog.Serialize()] = s.seq
+	}
+	for _, st := range seeds {
+		if st.Prog == nil || st.Prio <= 0 {
+			continue
+		}
+		bonus := st.Bonus
+		if bonus < 0 {
+			bonus = 0
+		}
+		if bonus > maxLineageBonus {
+			bonus = maxLineageBonus
+		}
+		text := st.Prog.Serialize()
+		if ref, ok := index[text]; ok {
+			if p.raiseWeight(ref, st.Prio, bonus) {
+				reconciled++
+			}
+			continue
+		}
+		s := Seed{Prog: st.Prog, Prio: st.Prio, Op: st.Op, bonus: bonus}
+		seq := p.seq // admit assigns this seq
+		if p.admit(s) {
+			index[text] = seq
+			added++
+		}
+	}
+	return added, reconciled
+}
+
+// raiseWeight lifts the seed identified by ref to the given priority
+// and bonus when they weigh more than its current state. Reports
+// whether the weight changed.
+func (p *Pool) raiseWeight(ref uint64, prio, bonus int) bool {
+	i, ok := p.slot[ref]
+	if !ok {
+		return false
+	}
+	s := &p.seeds[i]
+	if prio+bonus <= s.Weight() {
+		return false
+	}
+	delta := int64(prio + bonus - s.Weight())
+	s.Prio, s.bonus = prio, bonus
+	p.fenAdd(i, delta)
+	p.total += delta
+	p.siftDown(i) // weight increased: may need to sink below children
+	return true
+}
+
 // less orders eviction: lower weight first; among equals, the newer
 // admission (higher seq) goes first.
 func less(a, b Seed) bool {

@@ -340,3 +340,89 @@ func TestPoolImportedLineageStaysRewardable(t *testing.T) {
 		t.Fatalf("provenance lost: %+v", exp[0])
 	}
 }
+
+// namedProg builds a program whose serialized text is distinct per
+// name (Reconcile dedups by text, so mkProg's empty programs all
+// collide).
+func namedProg(name string) *prog.Prog {
+	return &prog.Prog{Calls: []*prog.Call{{Sc: &prog.Syscall{Name: name}}}}
+}
+
+func TestReconcileDedupsByTextAndRaisesWeight(t *testing.T) {
+	p := New(8)
+	local := namedProg("a")
+	p.Add(local, 5, "")
+	p.Add(namedProg("b"), 2, "")
+
+	remote := []SeedState{
+		{Prog: namedProg("a"), Prio: 9, Bonus: 1}, // duplicate, heavier: reconcile up
+		{Prog: namedProg("b"), Prio: 1},           // duplicate, lighter: no demotion
+		{Prog: namedProg("c"), Prio: 4, Op: "splice"},
+		{Prog: namedProg("c"), Prio: 3}, // batch-internal duplicate, lighter
+	}
+	added, reconciled := p.Reconcile(remote)
+	if added != 1 || reconciled != 1 {
+		t.Fatalf("added=%d reconciled=%d, want 1/1", added, reconciled)
+	}
+	if p.Len() != 3 {
+		t.Fatalf("pool holds %d seeds, want 3 (no duplicate copies)", p.Len())
+	}
+	weights := map[string]int{}
+	held := map[string]*prog.Prog{}
+	p.ForEach(func(s Seed) {
+		weights[s.Prog.Calls[0].Sc.Name] = s.Weight()
+		held[s.Prog.Calls[0].Sc.Name] = s.Prog
+	})
+	if weights["a"] != 10 {
+		t.Fatalf(`seed "a" weight %d, want 10 (raised to remote copy)`, weights["a"])
+	}
+	if held["a"] != local {
+		t.Fatal("reconciliation must keep the local program, not swap in the remote copy")
+	}
+	if weights["b"] != 2 {
+		t.Fatalf(`seed "b" weight %d, want 2 (remote colder copy must not demote)`, weights["b"])
+	}
+	if weights["c"] != 4 {
+		t.Fatalf(`seed "c" weight %d, want 4 (heavier batch copy first)`, weights["c"])
+	}
+	if p.TotalPrio() != int64(10+2+4) {
+		t.Fatalf("weight mass %d, want 16", p.TotalPrio())
+	}
+}
+
+func TestReconcilePickRespectsRaisedWeight(t *testing.T) {
+	p := New(4)
+	p.Add(namedProg("cold"), 1, "")
+	p.Add(namedProg("hot"), 1, "")
+	p.Reconcile([]SeedState{{Prog: namedProg("hot"), Prio: 50}})
+	r := rand.New(rand.NewSource(3))
+	hot := 0
+	for i := 0; i < 500; i++ {
+		if pr := p.Pick(r); pr.Calls[0].Sc.Name == "hot" {
+			hot++
+		}
+	}
+	// Weight 50 vs 1: the hot seed must dominate selection.
+	if hot < 400 {
+		t.Fatalf("hot seed picked %d/500 times; raised weight not feeding Pick", hot)
+	}
+}
+
+func TestReconcileAdmissionFollowsPolicy(t *testing.T) {
+	p := New(2)
+	p.Add(namedProg("a"), 5, "")
+	p.Add(namedProg("b"), 4, "")
+	// A weaker offer is rejected; a stronger one evicts the victim.
+	added, _ := p.Reconcile([]SeedState{
+		{Prog: namedProg("c"), Prio: 3},
+		{Prog: namedProg("d"), Prio: 6},
+	})
+	if added != 1 {
+		t.Fatalf("added=%d, want 1 (only the outranking offer)", added)
+	}
+	names := map[string]bool{}
+	p.ForEach(func(s Seed) { names[s.Prog.Calls[0].Sc.Name] = true })
+	if !names["a"] || !names["d"] || names["b"] || names["c"] {
+		t.Fatalf("wrong survivors: %v", names)
+	}
+}

@@ -1,0 +1,306 @@
+package hub
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"kernelgpt/internal/fuzz"
+	"kernelgpt/internal/fuzz/corpusstore"
+	"kernelgpt/internal/fuzz/seedpool"
+	"kernelgpt/internal/prog"
+	"kernelgpt/internal/vkernel"
+)
+
+// Client is the campaign-embedded hub connection; it implements
+// fuzz.HubSync. Each Sync diffs the campaign snapshot against what
+// the hub has already seen — seeds are pushed once (content-addressed
+// dedup), coverage as new-block deltas, crashes as count deltas — and
+// imports the merged corpus diff the hub returns. Transient transport
+// and server errors are retried with doubling backoff; a hub restart
+// is survived by transparent re-registration and a generation reset.
+//
+// Client is safe for concurrent use; syncs serialize on an internal
+// mutex (parallel campaign units share one connection).
+type Client struct {
+	baseURL     string
+	target      *prog.Target
+	hc          *http.Client
+	attempts    int
+	backoff     time.Duration
+	name        string
+	fingerprint string
+
+	mu       sync.Mutex
+	workerID string
+	gen      int
+	pushed   map[string]bool
+	lastCov  *vkernel.CoverSet
+	crashes  map[string]int
+
+	// HubFingerprint is the hub target's fingerprint as reported at
+	// registration (read-only after Dial).
+	HubFingerprint string
+	// HubSeeds is the hub corpus size at registration.
+	HubSeeds int
+}
+
+// ClientOption configures a Client.
+type ClientOption func(*Client)
+
+// WithHTTPClient substitutes the transport (tests, custom timeouts).
+func WithHTTPClient(hc *http.Client) ClientOption {
+	return func(c *Client) { c.hc = hc }
+}
+
+// WithRetry sets the per-request try count and initial backoff
+// (doubling between tries; context cancellation interrupts the
+// sleep). attempts < 1 means one try.
+func WithRetry(attempts int, backoff time.Duration) ClientOption {
+	return func(c *Client) { c.attempts = attempts; c.backoff = backoff }
+}
+
+// Dial registers a worker with the hub at baseURL and returns the
+// connected client. The worker's fingerprint is derived from its
+// compiled target; name labels it in the hub's stats.
+func Dial(ctx context.Context, baseURL, name string, t *prog.Target, opts ...ClientOption) (*Client, error) {
+	c := &Client{
+		baseURL:     baseURL,
+		target:      t,
+		hc:          &http.Client{Timeout: 30 * time.Second},
+		attempts:    3,
+		backoff:     100 * time.Millisecond,
+		name:        name,
+		fingerprint: Fingerprint(t),
+		pushed:      map[string]bool{},
+		lastCov:     &vkernel.CoverSet{},
+		crashes:     map[string]int{},
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	if err := c.register(ctx); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// register performs the /v1/register exchange. Callers hold c.mu or
+// have exclusive access (Dial).
+func (c *Client) register(ctx context.Context) error {
+	var resp RegisterResponse
+	err := c.do(ctx, "/v1/register", RegisterRequest{
+		Version: ProtoVersion, Name: c.name, Fingerprint: c.fingerprint,
+	}, &resp)
+	if err != nil {
+		return fmt.Errorf("hub register: %w", err)
+	}
+	c.workerID = resp.WorkerID
+	c.HubFingerprint = resp.HubFingerprint
+	c.HubSeeds = resp.Seeds
+	return nil
+}
+
+// WorkerID returns the hub-assigned identity (it can change after a
+// transparent re-registration).
+func (c *Client) WorkerID() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.workerID
+}
+
+// Generation returns the last store generation pulled.
+func (c *Client) Generation() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.gen
+}
+
+// Sync implements fuzz.HubSync: one push/pull exchange at a campaign
+// checkpoint boundary.
+func (c *Client) Sync(ctx context.Context, st fuzz.SyncState) ([]seedpool.SeedState, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	req := SyncRequest{
+		Version:  ProtoVersion,
+		WorkerID: c.workerID,
+		SinceGen: c.gen,
+		Final:    st.Final,
+		Stats: WorkerStats{
+			Execs: st.Execs, Cover: st.Cover.Count(), Crashes: len(st.Crashes),
+			Ops: opsJSON(st.Ops),
+		},
+	}
+	// Corpus delta: seeds whose content address the hub has not seen
+	// from us (either direction), capped per batch.
+	sentFiles := make([]string, 0, MaxPushBatch)
+	for _, s := range st.Seeds {
+		if len(req.Seeds) >= MaxPushBatch {
+			break // remainder ships at the next boundary
+		}
+		text := s.Prog.Serialize()
+		file := corpusstore.FileFor(text)
+		if c.pushed[file] {
+			continue
+		}
+		req.Seeds = append(req.Seeds, WireSeed{Text: text, Prio: s.Prio, Bonus: s.Bonus, Op: s.Op})
+		sentFiles = append(sentFiles, file)
+	}
+	// Coverage delta: blocks covered since the previous successful
+	// sync.
+	st.Cover.ForEach(func(b vkernel.BlockID) {
+		if !c.lastCov.Has(b) {
+			req.NewBlocks = append(req.NewBlocks, b)
+		}
+	})
+	// Crashes: new titles, or titles whose hit count grew, with
+	// cumulative counts (the hub differences per worker, so a retry
+	// that repeats a committed report adds nothing).
+	for _, cr := range st.Crashes {
+		if cr.Count > c.crashes[cr.Title] {
+			req.Crashes = append(req.Crashes, WireCrash{Title: cr.Title, Repro: cr.Repro, Count: cr.Count})
+		}
+	}
+
+	var resp SyncResponse
+	if err := c.do(ctx, "/v1/sync", req, &resp); err != nil {
+		if !isUnknownWorker(err) {
+			return nil, err
+		}
+		// The hub restarted and lost our registration: re-register,
+		// reset the pull cursor, and retry once. The content-addressed
+		// push dedup stays valid — the restarted hub reloaded its
+		// corpus from the store — but its union coverage and crash
+		// table are in-memory only, so those deltas restart from zero:
+		// rebuild the request with the full cumulative state.
+		if err := c.register(ctx); err != nil {
+			return nil, err
+		}
+		c.lastCov = &vkernel.CoverSet{}
+		c.crashes = map[string]int{}
+		req.WorkerID = c.workerID
+		req.SinceGen = 0
+		req.NewBlocks = st.Cover.Blocks()
+		req.Crashes = nil
+		for _, cr := range st.Crashes {
+			if cr.Count > 0 {
+				req.Crashes = append(req.Crashes, WireCrash{Title: cr.Title, Repro: cr.Repro, Count: cr.Count})
+			}
+		}
+		if err := c.do(ctx, "/v1/sync", req, &resp); err != nil {
+			return nil, err
+		}
+	}
+
+	// The exchange succeeded: commit the local dedup state.
+	for _, f := range sentFiles {
+		c.pushed[f] = true
+	}
+	c.lastCov = st.Cover.Clone()
+	for _, cr := range st.Crashes {
+		if cr.Count > c.crashes[cr.Title] {
+			c.crashes[cr.Title] = cr.Count
+		}
+	}
+	if resp.Generation < req.SinceGen {
+		c.gen = 0 // hub generation went backwards (restart): re-pull
+	} else {
+		c.gen = resp.Generation
+	}
+	// Import the pulled diff: deserialize against our own (possibly
+	// narrower) target, skip what does not parse, and remember the
+	// hub already holds these so we never push them back.
+	var out []seedpool.SeedState
+	for _, ws := range resp.Seeds {
+		p, err := prog.Deserialize(c.target, ws.Text)
+		if err != nil {
+			continue
+		}
+		c.pushed[corpusstore.FileFor(ws.Text)] = true
+		out = append(out, seedpool.SeedState{Prog: p, Prio: ws.Prio, Bonus: ws.Bonus, Op: ws.Op})
+	}
+	return out, nil
+}
+
+// statusError is a non-2xx HTTP reply.
+type statusError struct {
+	code int
+	msg  string
+}
+
+func (e *statusError) Error() string {
+	return fmt.Sprintf("hub: HTTP %d: %s", e.code, e.msg)
+}
+
+func isUnknownWorker(err error) bool {
+	se, ok := err.(*statusError)
+	return ok && se.code == http.StatusNotFound
+}
+
+// retryable reports whether a request should be retried: transport
+// errors and server-side (5xx) failures are; client-side (4xx)
+// rejections are not.
+func retryable(err error) bool {
+	if se, ok := err.(*statusError); ok {
+		return se.code >= 500
+	}
+	return true
+}
+
+// do POSTs one JSON request with retry/backoff (the retry discipline
+// mirrors the llm middleware: doubling sleeps, context cancellation
+// is never retried and interrupts the backoff).
+func (c *Client) do(ctx context.Context, path string, in, out any) error {
+	delay := c.backoff
+	attempts := c.attempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var err error
+	for try := 0; try < attempts; try++ {
+		if try > 0 && delay > 0 {
+			t := time.NewTimer(delay)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return ctx.Err()
+			case <-t.C:
+			}
+			delay *= 2
+		}
+		err = c.post(ctx, path, in, out)
+		if err == nil || ctx.Err() != nil || !retryable(err) {
+			return err
+		}
+	}
+	return err
+}
+
+// post performs one JSON POST exchange.
+func (c *Client) post(ctx context.Context, path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.baseURL+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var er ErrorResponse
+		json.NewDecoder(resp.Body).Decode(&er)
+		return &statusError{code: resp.StatusCode, msg: er.Error}
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

@@ -1,0 +1,169 @@
+package hub
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"kernelgpt/internal/fuzz"
+	"kernelgpt/internal/fuzz/corpusstore"
+	"kernelgpt/internal/fuzz/seedpool"
+	"kernelgpt/internal/prog"
+	"kernelgpt/internal/vkernel"
+)
+
+// flakyHub wraps a real hub handler, failing the first n requests per
+// path with HTTP 503.
+func flakyHub(t *testing.T, failFirst int32) (*httptest.Server, *atomic.Int32) {
+	t.Helper()
+	tgt := targetFor(t, "dm")
+	_, inner := newHub(t, tgt)
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= failFirst {
+			writeError(w, http.StatusServiceUnavailable, "transient")
+			return
+		}
+		// Proxy to the real hub.
+		resp, err := http.Post(inner.URL+r.URL.Path, "application/json", r.Body)
+		if err != nil {
+			writeError(w, http.StatusBadGateway, "%v", err)
+			return
+		}
+		defer resp.Body.Close()
+		w.WriteHeader(resp.StatusCode)
+		buf := make([]byte, 64<<10)
+		for {
+			n, err := resp.Body.Read(buf)
+			if n > 0 {
+				w.Write(buf[:n])
+			}
+			if err != nil {
+				return
+			}
+		}
+	}))
+	t.Cleanup(srv.Close)
+	return srv, &calls
+}
+
+func TestClientRetryRecoversTransientErrors(t *testing.T) {
+	srv, calls := flakyHub(t, 2)
+	c, err := Dial(context.Background(), srv.URL, "w", targetFor(t, "dm"),
+		WithRetry(4, time.Millisecond))
+	if err != nil {
+		t.Fatalf("retry should have absorbed two 503s: %v", err)
+	}
+	if c.WorkerID() == "" {
+		t.Fatal("no worker id after successful registration")
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("expected 3 tries, saw %d", got)
+	}
+}
+
+func TestClientRetryGivesUpOnPersistentFailure(t *testing.T) {
+	srv, calls := flakyHub(t, 1000)
+	_, err := Dial(context.Background(), srv.URL, "w", targetFor(t, "dm"),
+		WithRetry(3, 0))
+	if err == nil {
+		t.Fatal("dial against a dead hub must fail")
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("expected exactly 3 tries, saw %d", got)
+	}
+}
+
+func TestClientBackoffHonorsCancellation(t *testing.T) {
+	srv, calls := flakyHub(t, 1000)
+	tgt := targetFor(t, "dm")
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		// An hour of backoff: only cancellation can end this promptly.
+		_, err := Dial(ctx, srv.URL, "w", tgt, WithRetry(5, time.Hour))
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("want context.Canceled, got %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("client slept through cancellation")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("cancellation must stop further tries: saw %d calls", got)
+	}
+}
+
+func TestClientDoesNotRetryClientErrors(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		writeError(w, http.StatusBadRequest, "bad protocol version")
+	}))
+	defer srv.Close()
+	_, err := Dial(context.Background(), srv.URL, "w", targetFor(t, "dm"),
+		WithRetry(5, time.Millisecond))
+	if err == nil {
+		t.Fatal("4xx must surface as an error")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("4xx must not be retried: saw %d calls", got)
+	}
+}
+
+// TestSyncFailureLeavesDeltasPending: when a sync fails, nothing is
+// marked shipped — the next successful sync re-pushes everything the
+// hub missed.
+func TestSyncFailureLeavesDeltasPending(t *testing.T) {
+	tgt := targetFor(t, "dm")
+	store, err := corpusstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hub, err := New(tgt, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	handler := hub.Handler()
+	broken := atomic.Bool{}
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if broken.Load() && r.URL.Path == "/v1/sync" {
+			writeError(w, http.StatusServiceUnavailable, "down")
+			return
+		}
+		handler.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+	ctx := context.Background()
+	c, err := Dial(ctx, srv.URL, "w", tgt, WithRetry(1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := prog.NewGen(tgt, 9)
+	st := fuzz.SyncState{
+		Seeds: []seedpool.SeedState{{Prog: g.Generate(3), Prio: 2}},
+		Cover: vkernel.NewCoverSet(8),
+	}
+	st.Cover.Add(3)
+	broken.Store(true)
+	if _, err := c.Sync(ctx, st); err == nil {
+		t.Fatal("sync against a dead hub must fail")
+	}
+	broken.Store(false)
+	if _, err := c.Sync(ctx, st); err != nil {
+		t.Fatal(err)
+	}
+	hs := hub.Stats()
+	if hs.Seeds != 1 || hs.UnionCover != 1 {
+		t.Fatalf("retry after failure lost deltas: %+v", hs)
+	}
+}

@@ -1,0 +1,462 @@
+package hub
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"kernelgpt/internal/fuzz/corpusstore"
+	"kernelgpt/internal/fuzz/seedpool"
+	"kernelgpt/internal/prog"
+	"kernelgpt/internal/vkernel"
+)
+
+// Hub is the coordination daemon's state: the authoritative merged
+// corpus (mirrored to an on-disk corpusstore after every mutating
+// sync), the global crash-dedup table, per-worker bookkeeping, and
+// the union coverage map. All request handling serializes on one
+// mutex — the hub's unit of work is a batch exchange at checkpoint
+// cadence, not a hot path.
+type Hub struct {
+	target *prog.Target
+	store  *corpusstore.Store
+	cap    int
+	logf   func(format string, args ...any)
+	now    func() time.Time
+
+	mu sync.Mutex
+	// states is the merged corpus image (what the store holds);
+	// entries/generation mirror the store manifest after each save,
+	// so pull diffs reuse the store's generation bookkeeping. texts
+	// caches each entry's serialized program by file name.
+	states  []seedpool.SeedState
+	entries []corpusstore.Entry
+	gen     int
+	texts   map[string]string
+	cover   *vkernel.CoverSet
+	crashes map[string]*crashRecord
+	workers map[string]*worker
+
+	nextWorker    int
+	rejectedSeeds int
+	crashReports  int
+	start         time.Time
+}
+
+// worker is one registered campaign's bookkeeping.
+type worker struct {
+	id          string
+	name        string
+	fingerprint string
+	lastSync    time.Time
+	final       bool
+	stats       WorkerStats
+	// crashCounts is the worker's last reported cumulative hit count
+	// per normalized repro; recordCrash differences against it so
+	// retried reports fold in exactly once.
+	crashCounts map[string]int
+}
+
+// crashRecord is one globally deduplicated crash, keyed in
+// Hub.crashes by normalized repro text.
+type crashRecord struct {
+	title       string
+	repro       string // normalized
+	firstWorker string
+	count       int
+	reports     int
+	workers     map[string]bool
+}
+
+// Option configures a Hub.
+type Option func(*Hub)
+
+// WithCapacity bounds the merged corpus (<= 0 selects
+// seedpool.DefaultCapacity).
+func WithCapacity(n int) Option { return func(h *Hub) { h.cap = n } }
+
+// WithLog directs hub event logging (registrations, syncs, saves).
+func WithLog(logf func(format string, args ...any)) Option {
+	return func(h *Hub) { h.logf = logf }
+}
+
+// withNow overrides the hub clock (tests).
+func withNow(now func() time.Time) Option { return func(h *Hub) { h.now = now } }
+
+// New opens a hub over the given compiled target and corpus store.
+// An existing store warm-starts the hub: its entries become the
+// initial merged corpus (invalid ones are skipped, as in any load)
+// and its generation lineage continues, so workers of a previous hub
+// instance can keep syncing. Union coverage restarts empty — workers
+// re-push their full cover on their first sync.
+func New(t *prog.Target, store *corpusstore.Store, opts ...Option) (*Hub, error) {
+	h := &Hub{
+		target:  t,
+		store:   store,
+		logf:    func(string, ...any) {},
+		now:     time.Now,
+		texts:   map[string]string{},
+		cover:   &vkernel.CoverSet{},
+		crashes: map[string]*crashRecord{},
+		workers: map[string]*worker{},
+	}
+	for _, o := range opts {
+		o(h)
+	}
+	if h.cap <= 0 {
+		h.cap = seedpool.DefaultCapacity
+	}
+	h.start = h.now()
+	states, rep, err := store.Load(t)
+	if err != nil {
+		return nil, fmt.Errorf("hub: %w", err)
+	}
+	h.states = states
+	if len(rep.Skipped) > 0 {
+		h.logf("hub: store load skipped %d entries", len(rep.Skipped))
+	}
+	if err := h.refreshIndex(); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// refreshIndex re-reads the store manifest into the in-memory mirror
+// (entries with generations, current generation, text cache).
+func (h *Hub) refreshIndex() error {
+	m, err := h.store.Manifest()
+	if err != nil {
+		return fmt.Errorf("hub: %w", err)
+	}
+	h.entries = m.Seeds
+	h.gen = m.Generation
+	texts := make(map[string]string, len(h.states))
+	for _, st := range h.states {
+		text := st.Prog.Serialize()
+		texts[corpusstore.FileFor(text)] = text
+	}
+	h.texts = texts
+	return nil
+}
+
+// Handler returns the hub's HTTP interface.
+func (h *Hub) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/register", h.handleRegister)
+	mux.HandleFunc("/v1/sync", h.handleSync)
+	mux.HandleFunc("/v1/stats", h.handleStats)
+	mux.HandleFunc("/v1/crashes", h.handleCrashes)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	return mux
+}
+
+// writeJSON serializes one response body.
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(body)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// decode parses a JSON request body and enforces the protocol
+// version, writing the error response itself on failure.
+func decode(w http.ResponseWriter, r *http.Request, version *int, body any) bool {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return false
+	}
+	if err := json.NewDecoder(r.Body).Decode(body); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	if *version != ProtoVersion {
+		writeError(w, http.StatusBadRequest, "protocol version %d not supported (hub speaks %d)", *version, ProtoVersion)
+		return false
+	}
+	return true
+}
+
+func (h *Hub) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req RegisterRequest
+	if !decode(w, r, &req.Version, &req) {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.nextWorker++
+	id := fmt.Sprintf("w%d", h.nextWorker)
+	h.workers[id] = &worker{id: id, name: req.Name, fingerprint: req.Fingerprint, crashCounts: map[string]int{}}
+	hubFP := Fingerprint(h.target)
+	h.logf("hub: registered %s (%s, fingerprint %s)", id, req.Name, req.Fingerprint)
+	writeJSON(w, http.StatusOK, RegisterResponse{
+		Version: ProtoVersion, WorkerID: id, Generation: h.gen,
+		Seeds: len(h.states), HubFingerprint: hubFP,
+	})
+}
+
+func (h *Hub) handleSync(w http.ResponseWriter, r *http.Request) {
+	var req SyncRequest
+	if !decode(w, r, &req.Version, &req) {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	wk := h.workers[req.WorkerID]
+	if wk == nil {
+		writeError(w, http.StatusNotFound, "unknown worker %q (hub restarted? re-register)", req.WorkerID)
+		return
+	}
+	// Push: validate incoming programs against the hub target, merge
+	// into the authoritative image, persist, refresh the generation
+	// mirror.
+	var incoming []seedpool.SeedState
+	rejected := 0
+	for _, ws := range req.Seeds {
+		p, err := prog.Deserialize(h.target, ws.Text)
+		if err != nil || ws.Prio <= 0 {
+			rejected++
+			continue
+		}
+		incoming = append(incoming, seedpool.SeedState{Prog: p, Prio: ws.Prio, Bonus: ws.Bonus, Op: ws.Op})
+	}
+	h.rejectedSeeds += rejected
+	if len(incoming) > 0 {
+		// Commit to memory only after the store accepts the image, so
+		// a failed save leaves stats, pull diffs, and disk agreeing
+		// (the client retries the whole sync).
+		merged := corpusstore.Merge(h.cap, h.states, incoming)
+		if err := h.store.Save(merged, h.cover.Count()); err != nil {
+			writeError(w, http.StatusInternalServerError, "store save: %v", err)
+			return
+		}
+		h.states = merged
+		if err := h.refreshIndex(); err != nil {
+			writeError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+	}
+	for _, b := range req.NewBlocks {
+		h.cover.Add(b)
+	}
+	for _, wc := range req.Crashes {
+		h.recordCrash(wk, wc)
+	}
+	// Concurrent unit completions can deliver snapshots out of order
+	// (they post outside the campaign's merge lock); keep the stats
+	// monotone by ignoring a snapshot older than the recorded one.
+	if req.Stats.Execs >= wk.stats.Execs {
+		wk.stats = req.Stats
+	}
+	wk.lastSync = h.now()
+	wk.final = wk.final || req.Final
+	seeds, gen := h.diff(req.SinceGen)
+	h.logf("hub: sync %s: +%d seeds (%d rejected), +%d blocks, %d crash reports -> %d seeds at gen %d",
+		req.WorkerID, len(incoming), rejected, len(req.NewBlocks), len(req.Crashes), len(seeds), gen)
+	writeJSON(w, http.StatusOK, SyncResponse{
+		Version: ProtoVersion, Generation: gen, Seeds: seeds, RejectedSeeds: rejected,
+	})
+}
+
+// diff collects the corpus entries admitted after generation since,
+// batched in whole generations up to MaxPullBatch seeds, and returns
+// the generation the batch reaches (the client's next SinceGen).
+// Callers hold h.mu.
+func (h *Hub) diff(since int) ([]WireSeed, int) {
+	type cand struct {
+		e    corpusstore.Entry
+		text string
+	}
+	var cands []cand
+	for _, e := range h.entries {
+		// Same selection as corpusstore.Diff: since <= 0 means
+		// everything, including Gen-0 entries from pre-generation
+		// manifests (a warm start from a legacy store must still
+		// serve its corpus to first-time pullers).
+		if since > 0 && e.Gen <= since {
+			continue
+		}
+		if text, ok := h.texts[e.File]; ok {
+			cands = append(cands, cand{e: e, text: text})
+		}
+	}
+	if len(cands) == 0 {
+		return nil, h.gen
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].e.Gen != cands[j].e.Gen {
+			return cands[i].e.Gen < cands[j].e.Gen
+		}
+		return cands[i].text < cands[j].text
+	})
+	out := make([]WireSeed, 0, len(cands))
+	reached := since
+	for i := 0; i < len(cands); {
+		g := cands[i].e.Gen
+		j := i
+		for j < len(cands) && cands[j].e.Gen == g {
+			j++
+		}
+		// Take whole generations while the batch has room; always take
+		// at least one so the client makes progress.
+		if len(out) > 0 && len(out)+(j-i) > MaxPullBatch {
+			break
+		}
+		for ; i < j; i++ {
+			c := cands[i]
+			out = append(out, WireSeed{Text: c.text, Prio: c.e.Prio, Bonus: c.e.Bonus, Op: c.e.Op})
+		}
+		reached = g
+	}
+	if reached == h.gen || len(out) == 0 {
+		return out, h.gen
+	}
+	return out, reached
+}
+
+// recordCrash folds one report into the global dedup table. The key
+// is the normalized repro text — re-serialized through the hub target
+// when it parses, raw otherwise — so the same crash reported by
+// different workers (or in cosmetically different formatting)
+// collapses into one record. The first reporter keeps attribution.
+// Counts arrive cumulative per worker and are differenced against the
+// worker's previous report, so a retried sync folds in exactly once.
+// Callers hold h.mu.
+func (h *Hub) recordCrash(wk *worker, wc WireCrash) {
+	key := wc.Repro
+	if p, err := prog.Deserialize(h.target, wc.Repro); err == nil {
+		key = p.Serialize()
+	}
+	delta := wc.Count - wk.crashCounts[key]
+	if delta <= 0 {
+		return // retry of a committed report, or a stale snapshot
+	}
+	wk.crashCounts[key] = wc.Count
+	h.crashReports++
+	rec := h.crashes[key]
+	if rec == nil {
+		rec = &crashRecord{
+			title: wc.Title, repro: key, firstWorker: wk.id,
+			workers: map[string]bool{},
+		}
+		h.crashes[key] = rec
+	}
+	rec.count += delta
+	rec.reports++
+	rec.workers[wk.id] = true
+}
+
+func (h *Hub) handleStats(w http.ResponseWriter, r *http.Request) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	writeJSON(w, http.StatusOK, h.statsLocked())
+}
+
+// statsLocked builds the monitoring document. Callers hold h.mu.
+func (h *Hub) statsLocked() HubStats {
+	st := HubStats{
+		Version:       ProtoVersion,
+		Generation:    h.gen,
+		Seeds:         len(h.states),
+		UnionCover:    h.cover.Count(),
+		Crashes:       len(h.crashes),
+		CrashReports:  h.crashReports,
+		RejectedSeeds: h.rejectedSeeds,
+	}
+	ops := map[string]*OpJSON{}
+	var opOrder []string
+	ids := make([]string, 0, len(h.workers))
+	for id := range h.workers {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if len(ids[i]) != len(ids[j]) {
+			return len(ids[i]) < len(ids[j]) // w2 before w10
+		}
+		return ids[i] < ids[j]
+	})
+	for _, id := range ids {
+		wk := h.workers[id]
+		wj := WorkerJSON{
+			ID: wk.id, Name: wk.name, Fingerprint: wk.fingerprint,
+			Final: wk.final, Stats: wk.stats,
+		}
+		if !wk.lastSync.IsZero() {
+			wj.LastSyncUnix = wk.lastSync.Unix()
+		}
+		st.Workers = append(st.Workers, wj)
+		st.Execs += wk.stats.Execs
+		for _, op := range wk.stats.Ops {
+			o := ops[op.Name]
+			if o == nil {
+				o = &OpJSON{Name: op.Name}
+				ops[op.Name] = o
+				opOrder = append(opOrder, op.Name)
+			}
+			o.Picks += op.Picks
+			o.NewBlocks += op.NewBlocks
+		}
+	}
+	sort.Strings(opOrder)
+	for _, name := range opOrder {
+		st.Ops = append(st.Ops, *ops[name])
+	}
+	if up := h.now().Sub(h.start).Seconds(); up > 0 {
+		st.ExecsPerSec = float64(st.Execs) / up
+	}
+	return st
+}
+
+func (h *Hub) handleCrashes(w http.ResponseWriter, r *http.Request) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	writeJSON(w, http.StatusOK, h.crashesLocked())
+}
+
+// crashesLocked renders the dedup table sorted by title then repro.
+// Callers hold h.mu.
+func (h *Hub) crashesLocked() []CrashJSON {
+	out := make([]CrashJSON, 0, len(h.crashes))
+	for _, rec := range h.crashes {
+		out = append(out, CrashJSON{
+			Title: rec.title, Repro: rec.repro, FirstWorker: rec.firstWorker,
+			Count: rec.count, Reports: rec.reports, Workers: len(rec.workers),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Title != out[j].Title {
+			return out[i].Title < out[j].Title
+		}
+		return out[i].Repro < out[j].Repro
+	})
+	return out
+}
+
+// Stats snapshots the monitoring document (the programmatic form of
+// GET /v1/stats).
+func (h *Hub) Stats() HubStats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.statsLocked()
+}
+
+// Crashes snapshots the global crash table (GET /v1/crashes).
+func (h *Hub) Crashes() []CrashJSON {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.crashesLocked()
+}
+
+// UnionCover clones the hub's merged coverage set.
+func (h *Hub) UnionCover() *vkernel.CoverSet {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.cover.Clone()
+}

@@ -1,0 +1,280 @@
+// Package hub is the multi-campaign coordination daemon and its
+// embedded campaign client. Independent fuzzing campaigns — separate
+// processes, machines, or CI jobs — register with a hub, periodically
+// push their corpus deltas, new coverage, and crashes, and pull the
+// merged global corpus diff since their last sync. The hub maintains
+// an authoritative on-disk corpus store (fuzz/corpusstore), a global
+// crash-dedup table keyed by normalized repro text (first reporter
+// wins, duplicate reports tracked), and live aggregated stats served
+// as JSON for monitoring.
+//
+// The wire protocol is versioned JSON over HTTP: POST /v1/register
+// and /v1/sync carry the types below; GET /v1/stats and /v1/crashes
+// serve the monitoring views; GET /healthz answers liveness probes.
+// Syncs are batched in both directions — a push ships at most
+// MaxPushBatch seeds (the client keeps the rest for the next
+// boundary) and a pull response ships whole store generations up to
+// MaxPullBatch seeds, returning the generation the client should
+// resume from.
+package hub
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"sort"
+
+	"kernelgpt/internal/fuzz"
+	"kernelgpt/internal/prog"
+	"kernelgpt/internal/vkernel"
+)
+
+// ProtoVersion is the wire-protocol version this package speaks.
+// Requests carrying a different version are rejected with HTTP 400.
+const ProtoVersion = 1
+
+const (
+	// MaxPushBatch bounds the seeds one sync pushes.
+	MaxPushBatch = 256
+	// MaxPullBatch bounds the seeds one sync response returns. The
+	// bound is applied in whole generations so a client's resume
+	// generation never splits one.
+	MaxPullBatch = 512
+)
+
+// RegisterRequest announces a worker to the hub.
+type RegisterRequest struct {
+	Version int `json:"version"`
+	// Name labels the worker in stats (hostname:pid by convention).
+	Name string `json:"name"`
+	// Fingerprint identifies the worker's compiled syscall surface
+	// (see Fingerprint). Workers with different fingerprints may share
+	// a hub: seeds are validated against each side's own target, so a
+	// narrower worker simply skips seeds it cannot parse.
+	Fingerprint string `json:"fingerprint"`
+}
+
+// RegisterResponse assigns the worker its hub identity.
+type RegisterResponse struct {
+	Version  int    `json:"version"`
+	WorkerID string `json:"worker_id"`
+	// Generation is the store generation at registration; the first
+	// sync pulls everything after 0 regardless, this is informational.
+	Generation int `json:"generation"`
+	// Seeds is the hub corpus size at registration.
+	Seeds int `json:"seeds"`
+	// HubFingerprint is the hub target's fingerprint, so a worker can
+	// warn when its spec surface differs from the hub's.
+	HubFingerprint string `json:"hub_fingerprint"`
+}
+
+// WireSeed is one corpus entry in flight: the serialized program plus
+// the seedpool scheduling state the corpusstore manifest persists.
+type WireSeed struct {
+	Text  string `json:"text"`
+	Prio  int    `json:"prio"`
+	Bonus int    `json:"bonus,omitempty"`
+	Op    string `json:"op,omitempty"`
+}
+
+// WireCrash is one crash report in flight. Count is the worker's
+// cumulative local hit count; the hub differences it against the
+// worker's previous report, which keeps retried syncs idempotent — a
+// delta encoding would double-count whenever a response is lost
+// after the server already committed the exchange.
+type WireCrash struct {
+	Title string `json:"title"`
+	Repro string `json:"repro"`
+	Count int    `json:"count"`
+}
+
+// OpJSON is one mutation operator's outcome (fuzz.OpStat on the
+// wire).
+type OpJSON struct {
+	Name      string `json:"name"`
+	Picks     int    `json:"picks"`
+	NewBlocks int    `json:"new_blocks"`
+}
+
+// WorkerStats is a worker's cumulative campaign counters, refreshed
+// on every sync.
+type WorkerStats struct {
+	Execs   int      `json:"execs"`
+	Cover   int      `json:"cover"`
+	Crashes int      `json:"crashes"`
+	Ops     []OpJSON `json:"ops,omitempty"`
+}
+
+// SyncRequest is one worker→hub exchange: push the deltas, pull the
+// merged corpus diff since SinceGen.
+type SyncRequest struct {
+	Version  int    `json:"version"`
+	WorkerID string `json:"worker_id"`
+	// SinceGen is the last store generation the worker has pulled.
+	SinceGen int `json:"since_gen"`
+	// Seeds are corpus entries the worker has not pushed before.
+	Seeds []WireSeed `json:"seeds,omitempty"`
+	// NewBlocks are block IDs covered since the previous sync.
+	NewBlocks []vkernel.BlockID `json:"new_blocks,omitempty"`
+	// Crashes are crash reports new or grown since the previous sync.
+	Crashes []WireCrash `json:"crashes,omitempty"`
+	// Stats is the worker's cumulative campaign snapshot.
+	Stats WorkerStats `json:"stats"`
+	// Final marks the worker's campaign-end sync.
+	Final bool `json:"final,omitempty"`
+}
+
+// SyncResponse carries the merged corpus diff back.
+type SyncResponse struct {
+	Version int `json:"version"`
+	// Generation is the store generation the returned seeds reach;
+	// the client resumes from it. It can be lower than the request's
+	// SinceGen after a hub restart — clients must then restart from 0.
+	Generation int `json:"generation"`
+	// Seeds is the corpus diff (SinceGen, Generation].
+	Seeds []WireSeed `json:"seeds,omitempty"`
+	// RejectedSeeds counts pushed seeds the hub's target could not
+	// parse (stale or out-of-surface programs).
+	RejectedSeeds int `json:"rejected_seeds,omitempty"`
+}
+
+// ErrorResponse is the JSON body of every non-2xx reply.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// CrashJSON is one globally deduplicated crash in the monitoring
+// views (/v1/crashes and -stats-json dumps).
+type CrashJSON struct {
+	Title string `json:"title"`
+	// Repro is the normalized repro text the dedup table keys on.
+	Repro string `json:"repro"`
+	// FirstWorker is the worker that reported the crash first
+	// (first-reporter-wins attribution).
+	FirstWorker string `json:"first_worker,omitempty"`
+	// Count is the total hits summed across workers.
+	Count int `json:"count"`
+	// Reports counts sync reports that mentioned the crash; Workers
+	// counts distinct reporting workers (Workers > 1 means the crash
+	// was independently rediscovered — a deduplicated duplicate).
+	Reports int `json:"reports,omitempty"`
+	Workers int `json:"workers,omitempty"`
+	// FirstExec is the exec index of the first local discovery (only
+	// meaningful in single-campaign dumps).
+	FirstExec int `json:"first_exec,omitempty"`
+}
+
+// HubStats is the GET /v1/stats monitoring document.
+type HubStats struct {
+	Version    int `json:"version"`
+	Generation int `json:"generation"`
+	// Seeds is the merged corpus size; UnionCover the globally merged
+	// covered-block count.
+	Seeds      int `json:"seeds"`
+	UnionCover int `json:"union_cover"`
+	// Execs sums the latest cumulative exec counts of every worker;
+	// ExecsPerSec divides by the hub's uptime.
+	Execs       int     `json:"execs"`
+	ExecsPerSec float64 `json:"execs_per_sec"`
+	// Crashes counts deduplicated crashes; CrashReports the sync
+	// reports folded into them; RejectedSeeds pushes the hub's target
+	// could not parse.
+	Crashes       int `json:"crashes"`
+	CrashReports  int `json:"crash_reports"`
+	RejectedSeeds int `json:"rejected_seeds"`
+	// Ops is the per-operator yield summed across workers.
+	Ops     []OpJSON     `json:"ops,omitempty"`
+	Workers []WorkerJSON `json:"workers"`
+}
+
+// WorkerJSON is one registered worker in the stats view.
+type WorkerJSON struct {
+	ID          string `json:"id"`
+	Name        string `json:"name,omitempty"`
+	Fingerprint string `json:"fingerprint"`
+	// LastSyncUnix is the wall-clock time of the worker's latest
+	// sync, in Unix seconds (0 = registered but never synced).
+	LastSyncUnix int64       `json:"last_sync_unix,omitempty"`
+	Final        bool        `json:"final,omitempty"`
+	Stats        WorkerStats `json:"stats"`
+}
+
+// CampaignStats is the wire form of one campaign's fuzz.Stats — the
+// schema syzfuzz -stats-json writes, shared with the hub's monitoring
+// views so scripts parse one format everywhere.
+type CampaignStats struct {
+	Execs      int         `json:"execs"`
+	Cover      int         `json:"cover"`
+	CorpusSize int         `json:"corpus_size"`
+	Crashes    []CrashJSON `json:"crashes,omitempty"`
+	Ops        []OpJSON    `json:"ops,omitempty"`
+}
+
+// CampaignDump is a full syzfuzz -stats-json document: per-repetition
+// stats plus the cross-repetition aggregates the CLI prints.
+type CampaignDump struct {
+	Version      int             `json:"version"`
+	Reps         []CampaignStats `json:"reps"`
+	UnionCover   int             `json:"union_cover"`
+	MeanCover    float64         `json:"mean_cover"`
+	UnionCrashes int             `json:"union_crashes"`
+}
+
+// FromStats converts one campaign outcome to its wire form.
+func FromStats(s *fuzz.Stats) CampaignStats {
+	out := CampaignStats{
+		Execs:      s.Execs,
+		Cover:      s.CoverCount(),
+		CorpusSize: s.CorpusSize,
+		Ops:        opsJSON(s.Ops),
+	}
+	for _, title := range s.CrashTitles() {
+		cr := s.Crashes[title]
+		out.Crashes = append(out.Crashes, CrashJSON{
+			Title: cr.Title, Repro: cr.Repro, Count: cr.Count, FirstExec: cr.FirstExec,
+		})
+	}
+	return out
+}
+
+// DumpStats builds the full -stats-json document from a run's
+// per-repetition stats.
+func DumpStats(reps []*fuzz.Stats) CampaignDump {
+	d := CampaignDump{Version: ProtoVersion, Reps: []CampaignStats{}}
+	for _, s := range reps {
+		d.Reps = append(d.Reps, FromStats(s))
+	}
+	d.UnionCover = fuzz.UnionCover(reps).Count()
+	d.MeanCover = fuzz.MeanCover(reps)
+	d.UnionCrashes = len(fuzz.UnionCrashTitles(reps))
+	return d
+}
+
+// opsJSON converts operator stats, dropping operators that never ran.
+func opsJSON(ops []fuzz.OpStat) []OpJSON {
+	var out []OpJSON
+	for _, op := range ops {
+		if op.Picks == 0 && op.NewBlocks == 0 {
+			continue
+		}
+		out = append(out, OpJSON{Name: op.Name, Picks: op.Picks, NewBlocks: op.NewBlocks})
+	}
+	return out
+}
+
+// Fingerprint digests a compiled target's syscall surface: the sorted
+// syscall names hashed to a short stable hex string. Two targets
+// compiled from the same specs fingerprint identically regardless of
+// declaration order.
+func Fingerprint(t *prog.Target) string {
+	names := make([]string, 0, len(t.Syscalls))
+	for _, sc := range t.Syscalls {
+		names = append(names, sc.Name)
+	}
+	sort.Strings(names)
+	h := sha256.New()
+	for _, n := range names {
+		h.Write([]byte(n))
+		h.Write([]byte{0})
+	}
+	return hex.EncodeToString(h.Sum(nil)[:8])
+}

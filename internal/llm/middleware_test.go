@@ -283,3 +283,133 @@ func TestSimConcurrentDeterminism(t *testing.T) {
 		t.Fatalf("usage lost calls under concurrency: %+v", u)
 	}
 }
+
+// clientFunc adapts a function to Client for cancel-path tests that
+// need call-site control over the context.
+type clientFunc struct {
+	fn    func(ctx context.Context, req Request) (Response, error)
+	calls int32
+}
+
+func (c *clientFunc) Complete(ctx context.Context, req Request) (Response, error) {
+	atomic.AddInt32(&c.calls, 1)
+	return c.fn(ctx, req)
+}
+func (c *clientFunc) Usage() Usage { return Usage{} }
+func (c *clientFunc) Name() string { return "func" }
+
+// TestRetryCancellationStopsFurtherTries pins the exact try count on
+// the cancel path: after the first failure the retry middleware must
+// park in its backoff sleep and never reach the inner client again
+// once the context dies (the hub client reuses this discipline for
+// sync retries, where a second post after cancellation would leak
+// work past a campaign's shutdown).
+func TestRetryCancellationStopsFurtherTries(t *testing.T) {
+	fake := &fakeClient{failFirst: 10}
+	c := Chain(fake, WithRetry(5, time.Hour))
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Complete(ctx, req("p"))
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("want context.Canceled, got %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("retry slept through cancellation")
+	}
+	fake.mu.Lock()
+	calls := fake.calls
+	fake.mu.Unlock()
+	if calls != 1 {
+		t.Fatalf("cancellation must stop further tries: %d inner calls", calls)
+	}
+}
+
+// TestRetryDoesNotRetryMidCallCancellation: when the context dies
+// while the inner call is in flight (and the call consequently
+// fails), the failure must surface immediately instead of being
+// treated as transient and retried.
+func TestRetryDoesNotRetryMidCallCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	inner := &clientFunc{fn: func(ctx context.Context, req Request) (Response, error) {
+		cancel() // the context dies mid-call
+		return Response{}, ctx.Err()
+	}}
+	c := Chain(inner, WithRetry(5, 0))
+	_, err := c.Complete(ctx, req("p"))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if n := atomic.LoadInt32(&inner.calls); n != 1 {
+		t.Fatalf("mid-call cancellation retried: %d inner calls", n)
+	}
+}
+
+// TestRetryDeadlineInterruptsBackoff: an expiring deadline behaves
+// like cancellation — the backoff sleep ends early and the deadline
+// error surfaces with no further tries.
+func TestRetryDeadlineInterruptsBackoff(t *testing.T) {
+	fake := &fakeClient{failFirst: 10}
+	c := Chain(fake, WithRetry(5, time.Hour))
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Complete(ctx, req("p"))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want context.DeadlineExceeded, got %v", err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("deadline did not interrupt the backoff sleep")
+	}
+	fake.mu.Lock()
+	defer fake.mu.Unlock()
+	if fake.calls != 1 {
+		t.Fatalf("deadline must stop further tries: %d inner calls", fake.calls)
+	}
+}
+
+// TestConcurrencyLimitCancelWhileBlocked: a caller parked on a full
+// semaphore must abort on cancellation without ever reaching the
+// inner client.
+func TestConcurrencyLimitCancelWhileBlocked(t *testing.T) {
+	release := make(chan struct{})
+	inner := &clientFunc{fn: func(ctx context.Context, req Request) (Response, error) {
+		<-release
+		return Response{Text: "ok"}, nil
+	}}
+	c := Chain(inner, WithConcurrencyLimit(1))
+	// Occupy the only slot.
+	first := make(chan struct{})
+	go func() {
+		close(first)
+		c.Complete(context.Background(), req("holder"))
+	}()
+	<-first
+	time.Sleep(5 * time.Millisecond) // let the holder take the slot
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Complete(ctx, req("blocked"))
+		done <- err
+	}()
+	time.Sleep(5 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("want context.Canceled, got %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("blocked caller ignored cancellation")
+	}
+	close(release)
+	if n := atomic.LoadInt32(&inner.calls); n != 1 {
+		t.Fatalf("cancelled waiter leaked through to the inner client: %d calls", n)
+	}
+}
