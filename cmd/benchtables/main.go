@@ -6,10 +6,16 @@
 //	benchtables -quick           # small corpus, small budgets
 //	benchtables -only table3     # one experiment
 //	benchtables -execs 20000     # override campaign budget
+//	benchtables -json out.json   # also export the tables as JSON
+//
+// -json writes every table that ran as structured JSON (id, title,
+// header, rows, notes) for scripted consumers; the human-readable
+// tables still print to stdout.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -28,6 +34,7 @@ func main() {
 	seed := flag.Int64("seed", 0, "override base seed")
 	model := flag.String("model", "", "analysis model (gpt-4, gpt-4o, gpt-3.5)")
 	workers := flag.Int("workers", 0, "override generation worker-pool size")
+	jsonOut := flag.String("json", "", "also write the tables that ran as JSON to FILE (\"-\" = stdout)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -86,6 +93,7 @@ func main() {
 		}
 	}
 	ran := 0
+	var tables []*bench.Table
 	for _, e := range exps {
 		if len(want) > 0 && !want[e.id] {
 			continue
@@ -94,11 +102,49 @@ func main() {
 			fmt.Fprintln(os.Stderr, "interrupted — remaining experiments skipped; tables already printed may be partial")
 			os.Exit(1)
 		}
-		fmt.Println(e.run())
+		t := e.run()
+		fmt.Println(t)
+		tables = append(tables, t)
 		ran++
 	}
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "no experiment matched -only=%s\n", *only)
 		os.Exit(2)
 	}
+	if *jsonOut != "" {
+		if err := exportJSON(*jsonOut, tables); err != nil {
+			fmt.Fprintln(os.Stderr, "benchtables:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// tableJSON is the structured export of one rendered table.
+type tableJSON struct {
+	ID     string     `json:"id"`
+	Title  string     `json:"title"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
+	Notes  []string   `json:"notes,omitempty"`
+}
+
+func exportJSON(path string, tables []*bench.Table) error {
+	doc := struct {
+		Tables []tableJSON `json:"tables"`
+	}{Tables: make([]tableJSON, 0, len(tables))}
+	for _, t := range tables {
+		doc.Tables = append(doc.Tables, tableJSON{
+			ID: t.ID, Title: t.Title, Header: t.Header, Rows: t.Rows, Notes: t.Notes,
+		})
+	}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(out)
+		return err
+	}
+	return os.WriteFile(path, out, 0o644)
 }

@@ -32,6 +32,15 @@
 //
 //	syzfuzz -suite oracle -execs 25000 -hub http://127.0.0.1:7700
 //	syzfuzz -suite oracle -execs 5000 -stats-json results.json
+//
+// For capacity planning, -trace FILE appends every progress update as
+// a JSON line (exec count, union coverage, wall-clock offset) — the
+// yield-curve input of `syzplan fit` — and -shard-execs pins the work
+// unit grain so a recorded run's decomposition can be replayed by the
+// simulator.
+//
+//	syzfuzz -suite oracle -execs 30000 -shards 3 -shard-execs 2048 \
+//	    -trace trace.jsonl -stats-json stats.json
 package main
 
 import (
@@ -53,6 +62,7 @@ import (
 	"kernelgpt/internal/hub"
 	"kernelgpt/internal/llm"
 	"kernelgpt/internal/prog"
+	"kernelgpt/internal/sim"
 	"kernelgpt/internal/syzlang"
 	"kernelgpt/internal/vkernel"
 )
@@ -66,7 +76,9 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "corpus scale")
 	model := flag.String("model", "gpt-4", "analysis model for the kernelgpt suite")
 	shards := flag.Int("shards", 1, "fuzzing worker shards per repetition (results are shard-count-invariant)")
+	shardExecs := flag.Int("shard-execs", 0, "executions per shard work unit (0 = scale with the budget)")
 	progress := flag.Bool("progress", false, "print shard progress as campaigns run")
+	tracePath := flag.String("trace", "", "append each progress update as a JSON line to FILE (the trace `syzplan fit` consumes; implies periodic updates)")
 	repro := flag.String("repro", "", "replay (and minimize) a serialized repro file instead of fuzzing")
 	plumbing := flag.Bool("plumbing", false, "merge the fd-plumbing/mmap surface (dup, pipe, epoll, mmap/munmap) into the suite")
 	uniform := flag.Bool("uniform", false, "disable the adaptive operator scheduler (uniform-random operator selection)")
@@ -141,10 +153,21 @@ func main() {
 	f := fuzz.New(tgt, kernel)
 	var statsList []*fuzz.Stats
 	var elapsed []time.Duration
+	var traceEnc *json.Encoder
+	if *tracePath != "" {
+		tf, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer tf.Close()
+		traceEnc = json.NewEncoder(tf)
+	}
 	start := time.Now()
 	for i := 0; i < *reps; i++ {
 		cfg := fuzz.DefaultConfig(*execs, fuzz.RepSeed(*seed, i))
 		cfg.UniformOps = *uniform
+		cfg.ShardExecs = *shardExecs
 		cfg.CorpusDir = *corpusDir
 		cfg.Checkpoint = *checkpoint
 		if *hubURL != "" {
@@ -164,11 +187,22 @@ func main() {
 				fmt.Fprintln(os.Stderr, r.String())
 			}
 		}
-		if *progress {
+		if *progress || traceEnc != nil {
 			rep := i + 1
+			printUpdates := *progress
 			cfg.Progress = func(p fuzz.Progress) {
-				fmt.Fprintf(os.Stderr, "rep %d: shard %d/%d, %d execs, cov=%d crashes=%d\n",
-					rep, p.ShardsDone, p.ShardsTotal, p.Execs, p.Cover, p.Crashes)
+				if printUpdates {
+					fmt.Fprintf(os.Stderr, "rep %d: shard %d/%d, %d execs, cov=%d crashes=%d\n",
+						rep, p.ShardsDone, p.ShardsTotal, p.Execs, p.Cover, p.Crashes)
+				}
+				if traceEnc != nil {
+					// Progress callbacks are serialized by the fuzzer,
+					// so the trace file needs no extra locking.
+					traceEnc.Encode(sim.TracePoint{
+						Rep: rep, ElapsedNs: p.ElapsedNs,
+						Execs: p.Execs, Cover: p.Cover, Crashes: p.Crashes,
+					})
+				}
 			}
 		}
 		repStart := time.Now()

@@ -28,6 +28,7 @@ import (
 	"errors"
 	"runtime"
 	"sort"
+	"time"
 
 	"kernelgpt/internal/fuzz/corpusstore"
 	"kernelgpt/internal/fuzz/seedpool"
@@ -165,6 +166,13 @@ type Progress struct {
 	// Ops is the merged per-operator scheduler snapshot so far (nil
 	// until the first mutation has been credited).
 	Ops []OpStat
+	// ElapsedNs is the wall-clock offset, in nanoseconds, since the
+	// emitting entry point (RunContext, RunParallel) started its
+	// campaign. It is monotone non-decreasing across one campaign's
+	// update stream, giving downstream consumers (trace files, the
+	// internal/sim calibration) a time axis instead of having to
+	// infer time from exec counts.
+	ElapsedNs int64
 }
 
 // OpStat is one mutation operator's campaign outcome: how often the
@@ -217,6 +225,23 @@ type Stats struct {
 	// Ops is the per-operator mutation outcome in canonical operator
 	// order (merged by name across shards).
 	Ops []OpStat
+	// Elapsed is the campaign's wall-clock duration: the time spent
+	// inside the campaign loop (serial runs) or between RunParallel
+	// entry and the merged result (sharded runs).
+	Elapsed time.Duration
+	// WorkTime is the summed busy time of the campaign's work units.
+	// For a serial campaign it equals Elapsed; for RunParallel it is
+	// the sum of per-unit elapsed times, so WorkTime/Elapsed
+	// approximates the effective worker parallelism. It includes
+	// triage and (in serial campaigns) hub syncs.
+	WorkTime time.Duration
+	// TriageTime is the portion of WorkTime spent minimizing crash
+	// repros (zero with Config.NoTriage).
+	TriageTime time.Duration
+	// SyncTime is the wall-clock time spent in hub exchanges and
+	// Syncs the number of exchanges attempted (zero when detached).
+	SyncTime time.Duration
+	Syncs    int
 }
 
 // OpByName returns the named operator's campaign outcome, or a zero
@@ -368,6 +393,7 @@ func (f *Fuzzer) run(ctx context.Context, cfg Config, camp campaign) (*Stats, *s
 	if cfg.MaxCalls == 0 {
 		cfg.MaxCalls = 8
 	}
+	start := time.Now()
 	g := prog.NewGen(f.Target, cfg.Seed)
 	g.Enabled = cfg.Enabled
 	g.NoLocality = cfg.NoLocality
@@ -376,6 +402,14 @@ func (f *Fuzzer) run(ctx context.Context, cfg Config, camp campaign) (*Stats, *s
 		Cover:   f.newCover(),
 		Crashes: map[string]*CrashReport{},
 	}
+	// The wall-clock fields are stamped on every exit path (including
+	// cancellation) so partial stats still carry calibration ground
+	// truth. For a serial campaign the loop IS the work unit, so
+	// WorkTime equals Elapsed.
+	defer func() {
+		stats.Elapsed = time.Since(start)
+		stats.WorkTime = stats.Elapsed
+	}()
 	corpus := seedpool.New(cfg.CorpusCap)
 	sched := newSched(cfg)
 	ops := sched.Ops()
@@ -394,7 +428,8 @@ func (f *Fuzzer) run(ctx context.Context, cfg Config, camp campaign) (*Stats, *s
 			cfg.Progress(Progress{
 				ShardsDone: done, ShardsTotal: 1, Execs: stats.Execs,
 				Cover: stats.CoverCount(), Crashes: stats.UniqueCrashes(),
-				Ops: append([]OpStat(nil), stats.Ops...),
+				Ops:       append([]OpStat(nil), stats.Ops...),
+				ElapsedNs: time.Since(start).Nanoseconds(),
 			})
 		}
 	}
@@ -410,10 +445,14 @@ func (f *Fuzzer) run(ctx context.Context, cfg Config, camp campaign) (*Stats, *s
 		if res.Crash != nil {
 			cr := stats.Crashes[res.Crash.Title]
 			if cr == nil {
+				t0 := time.Now()
 				cr = &CrashReport{
 					Title:     res.Crash.Title,
 					FirstExec: exec,
 					Repro:     triage(x, p, res.Crash.Title, cfg.NoTriage),
+				}
+				if !cfg.NoTriage {
+					stats.TriageTime += time.Since(t0)
 				}
 				stats.Crashes[res.Crash.Title] = cr
 			}
@@ -496,6 +535,11 @@ func hubSync(ctx context.Context, cfg Config, corpus *seedpool.Pool, stats *Stat
 	if cfg.Hub == nil {
 		return
 	}
+	t0 := time.Now()
+	defer func() {
+		stats.SyncTime += time.Since(t0)
+		stats.Syncs++
+	}()
 	remote, err := cfg.Hub.Sync(ctx, SyncState{
 		Seeds:   corpus.Export(),
 		Cover:   stats.Cover,

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"runtime"
 	"sync"
+	"time"
 
 	"kernelgpt/internal/fuzz/corpusstore"
 	"kernelgpt/internal/fuzz/seedpool"
@@ -115,6 +116,7 @@ func (f *Fuzzer) RunParallel(ctx context.Context, cfg Config, shards int) (*Stat
 	if err != nil {
 		return nil, err
 	}
+	start := time.Now()
 	plan := planShards(cfg)
 	merged := &Stats{
 		Cover:   f.newCover(),
@@ -134,6 +136,9 @@ func (f *Fuzzer) RunParallel(ctx context.Context, cfg Config, shards int) (*Stat
 			Execs: merged.Execs + sumLive, Cover: merged.CoverCount(),
 			Crashes: merged.UniqueCrashes(),
 			Ops:     append([]OpStat(nil), merged.Ops...),
+			// One clock for the whole merged stream: unit-local
+			// offsets are not relayed, so the stream stays monotone.
+			ElapsedNs: time.Since(start).Nanoseconds(),
 		})
 	}
 	exports := make([][]seedpool.SeedState, plan.units)
@@ -151,13 +156,15 @@ func (f *Fuzzer) RunParallel(ctx context.Context, cfg Config, shards int) (*Stat
 	// seeds warm-start the units that launch afterwards.
 	var remote []seedpool.SeedState
 	hubExchange := func(st SyncState) {
+		t0 := time.Now()
 		pulled, err := cfg.Hub.Sync(ctx, st)
-		if err != nil || st.Final || len(pulled) == 0 {
-			return // best-effort, like every hub sync
-		}
 		mu.Lock()
-		remote = append(remote, pulled...)
-		mu.Unlock()
+		merged.SyncTime += time.Since(t0)
+		merged.Syncs++
+		if err == nil && !st.Final {
+			remote = append(remote, pulled...)
+		}
+		mu.Unlock() // errors are best-effort, like every hub sync
 	}
 	pool.Run(pool.Clamp(plan.units, shards, runtime.GOMAXPROCS(0)), plan.units, func(i int) {
 		c := cfg
@@ -231,6 +238,7 @@ func (f *Fuzzer) RunParallel(ctx context.Context, cfg Config, shards int) (*Stat
 	if store != nil && !cfg.ReadOnlyCorpus {
 		saveErr = flush()
 	}
+	merged.Elapsed = time.Since(start)
 	return merged, errors.Join(ctx.Err(), saveErr)
 }
 
@@ -263,6 +271,14 @@ func mergeInto(dst, src *Stats, execBase int) {
 	}
 	dst.Execs += src.Execs
 	dst.CorpusSize += src.CorpusSize
+	// Wall-clock aggregates: a unit is a serial campaign, so its
+	// Elapsed is one unit's busy time ("per-unit elapsed"); the merged
+	// WorkTime is their sum. Elapsed of the merged campaign is stamped
+	// by RunParallel itself from its own clock.
+	dst.WorkTime += src.WorkTime
+	dst.TriageTime += src.TriageTime
+	dst.SyncTime += src.SyncTime
+	dst.Syncs += src.Syncs
 	for _, op := range src.Ops {
 		merged := false
 		for i := range dst.Ops {

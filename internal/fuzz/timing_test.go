@@ -1,0 +1,82 @@
+package fuzz
+
+import (
+	"context"
+	"testing"
+)
+
+// TestSerialTiming checks the wall-clock ground-truth fields a serial
+// campaign records for sim calibration: elapsed and work time are set,
+// triage time is a share of work time, and the progress stream carries
+// a monotone time axis.
+func TestSerialTiming(t *testing.T) {
+	f := New(targetFor(t, "dm"), testKernel)
+	cfg := DefaultConfig(6000, 3)
+	var elapsed []int64
+	cfg.Progress = func(p Progress) { elapsed = append(elapsed, p.ElapsedNs) }
+	stats, err := f.RunContext(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Elapsed <= 0 || stats.WorkTime != stats.Elapsed {
+		t.Fatalf("serial campaign wall clock wrong: elapsed=%v work=%v", stats.Elapsed, stats.WorkTime)
+	}
+	if stats.TriageTime < 0 || stats.TriageTime > stats.WorkTime {
+		t.Fatalf("triage time %v outside [0, %v]", stats.TriageTime, stats.WorkTime)
+	}
+	if stats.UniqueCrashes() > 0 && stats.TriageTime == 0 {
+		t.Fatal("campaign triaged crashes but recorded no triage time")
+	}
+	if stats.Syncs != 0 || stats.SyncTime != 0 {
+		t.Fatalf("detached campaign recorded syncs: %d (%v)", stats.Syncs, stats.SyncTime)
+	}
+	if len(elapsed) == 0 {
+		t.Fatal("no progress updates")
+	}
+	for i := 1; i < len(elapsed); i++ {
+		if elapsed[i] < elapsed[i-1] {
+			t.Fatalf("progress ElapsedNs not monotone: %v", elapsed)
+		}
+	}
+	if last := elapsed[len(elapsed)-1]; last <= 0 || last > stats.Elapsed.Nanoseconds() {
+		t.Fatalf("final progress elapsed %d vs campaign elapsed %d", last, stats.Elapsed.Nanoseconds())
+	}
+}
+
+// TestNoTriageRecordsNoTriageTime pins the documented contract:
+// TriageTime is zero when triage is disabled.
+func TestNoTriageRecordsNoTriageTime(t *testing.T) {
+	f := New(targetFor(t, "dm"), testKernel)
+	cfg := DefaultConfig(6000, 3)
+	cfg.NoTriage = true
+	if stats := f.Run(cfg); stats.TriageTime != 0 {
+		t.Fatalf("NoTriage campaign recorded triage time %v", stats.TriageTime)
+	}
+}
+
+// TestParallelTiming checks the merged wall-clock aggregates: WorkTime
+// sums per-unit elapsed (so it is at least the wall clock on a busy
+// campaign with several units), and the merged progress stream shares
+// one monotone clock.
+func TestParallelTiming(t *testing.T) {
+	f := New(targetFor(t, "dm"), testKernel)
+	cfg := DefaultConfig(4096, 7)
+	cfg.ShardExecs = 1024
+	var elapsed []int64
+	cfg.Progress = func(p Progress) { elapsed = append(elapsed, p.ElapsedNs) }
+	stats, err := f.RunParallel(context.Background(), cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Elapsed <= 0 {
+		t.Fatalf("merged Elapsed not stamped: %v", stats.Elapsed)
+	}
+	if stats.WorkTime <= 0 {
+		t.Fatalf("merged WorkTime not accumulated: %v", stats.WorkTime)
+	}
+	for i := 1; i < len(elapsed); i++ {
+		if elapsed[i] < elapsed[i-1] {
+			t.Fatalf("merged progress ElapsedNs not monotone: %v", elapsed)
+		}
+	}
+}

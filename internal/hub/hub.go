@@ -3,6 +3,7 @@ package hub
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"sort"
 	"sync"
@@ -54,10 +55,28 @@ type worker struct {
 	lastSync    time.Time
 	final       bool
 	stats       WorkerStats
+	// sync aggregates the worker's per-sync service time and payload
+	// size (count/sum/max), the operator-facing cost of keeping this
+	// worker attached.
+	sync SyncAggJSON
 	// crashCounts is the worker's last reported cumulative hit count
 	// per normalized repro; recordCrash differences against it so
 	// retried reports fold in exactly once.
 	crashCounts map[string]int
+}
+
+// observeSync folds one exchange's service time and payload size into
+// a sync aggregate.
+func observeSync(a *SyncAggJSON, serviceNs, payloadBytes int64) {
+	a.Count++
+	a.ServiceNsSum += serviceNs
+	if serviceNs > a.ServiceNsMax {
+		a.ServiceNsMax = serviceNs
+	}
+	a.BytesSum += payloadBytes
+	if payloadBytes > a.BytesMax {
+		a.BytesMax = payloadBytes
+	}
 }
 
 // crashRecord is one globally deduplicated crash, keyed in
@@ -167,26 +186,32 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 }
 
 // decode parses a JSON request body and enforces the protocol
-// version, writing the error response itself on failure.
-func decode(w http.ResponseWriter, r *http.Request, version *int, body any) bool {
+// version, writing the error response itself on failure. It returns
+// the payload size in bytes so handlers can account sync cost.
+func decode(w http.ResponseWriter, r *http.Request, version *int, body any) (int64, bool) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "POST only")
-		return false
+		return 0, false
 	}
-	if err := json.NewDecoder(r.Body).Decode(body); err != nil {
+	data, err := io.ReadAll(r.Body)
+	if err != nil {
 		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
-		return false
+		return 0, false
+	}
+	if err := json.Unmarshal(data, body); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return int64(len(data)), false
 	}
 	if *version != ProtoVersion {
 		writeError(w, http.StatusBadRequest, "protocol version %d not supported (hub speaks %d)", *version, ProtoVersion)
-		return false
+		return int64(len(data)), false
 	}
-	return true
+	return int64(len(data)), true
 }
 
 func (h *Hub) handleRegister(w http.ResponseWriter, r *http.Request) {
 	var req RegisterRequest
-	if !decode(w, r, &req.Version, &req) {
+	if _, ok := decode(w, r, &req.Version, &req); !ok {
 		return
 	}
 	h.mu.Lock()
@@ -204,16 +229,23 @@ func (h *Hub) handleRegister(w http.ResponseWriter, r *http.Request) {
 
 func (h *Hub) handleSync(w http.ResponseWriter, r *http.Request) {
 	var req SyncRequest
-	if !decode(w, r, &req.Version, &req) {
+	payload, ok := decode(w, r, &req.Version, &req)
+	if !ok {
 		return
 	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	// Service time is measured from lock acquisition: the hub's own
+	// work (validate, merge, save, diff), excluding queueing behind
+	// other syncs — the queueing delay is what capacity planning
+	// derives FROM this number, so baking it in would double-count.
+	svcStart := h.now()
 	wk := h.workers[req.WorkerID]
 	if wk == nil {
 		writeError(w, http.StatusNotFound, "unknown worker %q (hub restarted? re-register)", req.WorkerID)
 		return
 	}
+	defer func() { observeSync(&wk.sync, h.now().Sub(svcStart).Nanoseconds(), payload) }()
 	// Push: validate incoming programs against the hub target, merge
 	// into the authoritative image, persist, refresh the generation
 	// mirror.
@@ -386,12 +418,23 @@ func (h *Hub) statsLocked() HubStats {
 		wk := h.workers[id]
 		wj := WorkerJSON{
 			ID: wk.id, Name: wk.name, Fingerprint: wk.fingerprint,
-			Final: wk.final, Stats: wk.stats,
+			Final: wk.final, Stats: wk.stats, Sync: wk.sync,
 		}
 		if !wk.lastSync.IsZero() {
 			wj.LastSyncUnix = wk.lastSync.Unix()
 		}
 		st.Workers = append(st.Workers, wj)
+		// Hub-wide sync load: totals across workers, worst single
+		// exchange anywhere.
+		st.Sync.Count += wk.sync.Count
+		st.Sync.ServiceNsSum += wk.sync.ServiceNsSum
+		st.Sync.BytesSum += wk.sync.BytesSum
+		if wk.sync.ServiceNsMax > st.Sync.ServiceNsMax {
+			st.Sync.ServiceNsMax = wk.sync.ServiceNsMax
+		}
+		if wk.sync.BytesMax > st.Sync.BytesMax {
+			st.Sync.BytesMax = wk.sync.BytesMax
+		}
 		st.Execs += wk.stats.Execs
 		for _, op := range wk.stats.Ops {
 			o := ops[op.Name]

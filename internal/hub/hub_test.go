@@ -9,6 +9,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"kernelgpt/internal/corpus"
 	"kernelgpt/internal/fuzz"
@@ -424,5 +425,61 @@ func postJSON(t *testing.T, url string, in, out any) {
 	}
 	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestSyncServiceAggregates checks the per-worker sync cost accounting
+// that capacity planning consumes: exchange count, service time under a
+// deterministic stepping clock, and payload byte totals.
+func TestSyncServiceAggregates(t *testing.T) {
+	tgt := targetFor(t, "dm")
+	var tick int64
+	clock := func() time.Time {
+		tick++
+		return time.Unix(0, tick*int64(time.Millisecond))
+	}
+	hub, srv := newHub(t, tgt, withNow(clock))
+	ctx := context.Background()
+	c, err := Dial(ctx, srv.URL, "w", tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := prog.NewGen(tgt, 41)
+	cover := vkernel.NewCoverSet(16)
+	cover.Add(2)
+	for i := 0; i < 2; i++ {
+		st := fuzz.SyncState{
+			Seeds: []seedpool.SeedState{{Prog: g.Generate(3), Prio: i + 1}},
+			Cover: cover, Execs: 100 * (i + 1),
+		}
+		if _, err := c.Sync(ctx, st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := hub.Stats()
+	if len(st.Workers) != 1 {
+		t.Fatalf("want 1 worker, got %+v", st.Workers)
+	}
+	agg := st.Workers[0].Sync
+	if agg.Count != 2 {
+		t.Fatalf("want 2 recorded syncs, got %d", agg.Count)
+	}
+	// The stepping clock advances 1ms per reading, so every exchange
+	// observes a positive, millisecond-quantized service time.
+	if agg.ServiceNsSum < 2*int64(time.Millisecond) {
+		t.Fatalf("service time not measured: %+v", agg)
+	}
+	if agg.ServiceNsMax <= 0 || agg.ServiceNsMax > agg.ServiceNsSum {
+		t.Fatalf("service max inconsistent: %+v", agg)
+	}
+	if agg.BytesSum <= 0 || agg.BytesMax <= 0 || agg.BytesMax > agg.BytesSum {
+		t.Fatalf("payload bytes not accounted: %+v", agg)
+	}
+	if agg.MeanServiceNs() <= 0 {
+		t.Fatalf("mean service time %v", agg.MeanServiceNs())
+	}
+	// The hub-wide aggregate mirrors the single worker's.
+	if st.Sync != agg {
+		t.Fatalf("hub-wide sync agg %+v != worker agg %+v", st.Sync, agg)
 	}
 }

@@ -184,6 +184,34 @@ type HubStats struct {
 	// Ops is the per-operator yield summed across workers.
 	Ops     []OpJSON     `json:"ops,omitempty"`
 	Workers []WorkerJSON `json:"workers"`
+	// Sync is the hub-wide sync cost aggregate (sums over workers;
+	// maxes are the worst single sync seen anywhere).
+	Sync SyncAggJSON `json:"sync"`
+}
+
+// SyncAggJSON aggregates the cost of a worker's /v1/sync exchanges:
+// how many ran, how long the hub spent serving them (time under the
+// hub lock — merge, save, diff — excluding queueing), and how large
+// the request payloads were. Count/sum/max lets operators read mean
+// and worst-case sync cost per worker straight off /v1/stats, and
+// gives `syzplan fit` the hub-side service-time coefficient.
+type SyncAggJSON struct {
+	Count int `json:"count"`
+	// ServiceNsSum/ServiceNsMax aggregate per-sync service time in
+	// nanoseconds.
+	ServiceNsSum int64 `json:"service_ns_sum"`
+	ServiceNsMax int64 `json:"service_ns_max"`
+	// BytesSum/BytesMax aggregate request payload sizes.
+	BytesSum int64 `json:"bytes_sum"`
+	BytesMax int64 `json:"bytes_max"`
+}
+
+// MeanServiceNs returns the average per-sync service time.
+func (a SyncAggJSON) MeanServiceNs() float64 {
+	if a.Count == 0 {
+		return 0
+	}
+	return float64(a.ServiceNsSum) / float64(a.Count)
 }
 
 // WorkerJSON is one registered worker in the stats view.
@@ -196,6 +224,8 @@ type WorkerJSON struct {
 	LastSyncUnix int64       `json:"last_sync_unix,omitempty"`
 	Final        bool        `json:"final,omitempty"`
 	Stats        WorkerStats `json:"stats"`
+	// Sync aggregates the worker's sync service times and payloads.
+	Sync SyncAggJSON `json:"sync"`
 }
 
 // CampaignStats is the wire form of one campaign's fuzz.Stats — the
@@ -207,6 +237,15 @@ type CampaignStats struct {
 	CorpusSize int         `json:"corpus_size"`
 	Crashes    []CrashJSON `json:"crashes,omitempty"`
 	Ops        []OpJSON    `json:"ops,omitempty"`
+	// Wall-clock ground truth (fuzz.Stats timing fields, in
+	// nanoseconds): campaign elapsed, summed per-unit work time,
+	// triage share, and hub-sync cost. `syzplan fit` calibrates its
+	// cost model from these.
+	ElapsedNs int64 `json:"elapsed_ns,omitempty"`
+	WorkNs    int64 `json:"work_ns,omitempty"`
+	TriageNs  int64 `json:"triage_ns,omitempty"`
+	SyncNs    int64 `json:"sync_ns,omitempty"`
+	Syncs     int   `json:"syncs,omitempty"`
 }
 
 // CampaignDump is a full syzfuzz -stats-json document: per-repetition
@@ -226,6 +265,11 @@ func FromStats(s *fuzz.Stats) CampaignStats {
 		Cover:      s.CoverCount(),
 		CorpusSize: s.CorpusSize,
 		Ops:        opsJSON(s.Ops),
+		ElapsedNs:  s.Elapsed.Nanoseconds(),
+		WorkNs:     s.WorkTime.Nanoseconds(),
+		TriageNs:   s.TriageTime.Nanoseconds(),
+		SyncNs:     s.SyncTime.Nanoseconds(),
+		Syncs:      s.Syncs,
 	}
 	for _, title := range s.CrashTitles() {
 		cr := s.Crashes[title]

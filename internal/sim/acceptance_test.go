@@ -1,0 +1,151 @@
+package sim_test
+
+import (
+	"context"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+
+	"kernelgpt/internal/corpus"
+	"kernelgpt/internal/fuzz"
+	"kernelgpt/internal/fuzz/corpusstore"
+	"kernelgpt/internal/hub"
+	"kernelgpt/internal/prog"
+	"kernelgpt/internal/sim"
+	"kernelgpt/internal/syzlang"
+	"kernelgpt/internal/vkernel"
+)
+
+// TestValidateAgainstRealCampaign is the ISSUE-6 acceptance gate run
+// in-process: a real 3-worker RunParallel campaign attached to a real
+// hub produces a Progress trace and timing stats; `syzplan fit`'s
+// pipeline (bench priors → yield fit → calibration) builds a model
+// from them; and Validate must predict the run's exec total within
+// ±10% and its final union coverage within ±5%. Fit and prediction
+// are exercised twice to pin determinism.
+func TestValidateAgainstRealCampaign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real campaign: seconds of fuzzing")
+	}
+	c := corpus.Build(corpus.TestConfig())
+	kernel := vkernel.New(c)
+	f := &syzlang.File{}
+	for _, n := range []string{"dm", "cec"} {
+		h := c.Handler(n)
+		if h == nil {
+			t.Fatalf("no handler %q", n)
+		}
+		f.Merge(corpus.OracleSpec(h))
+	}
+	tgt, err := prog.Compile(f, c.Env())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	store, err := corpusstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := hub.New(tgt, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(h.Handler())
+	defer srv.Close()
+	ctx := context.Background()
+	client, err := hub.Dial(ctx, srv.URL, "acceptance", tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		execs      = 12_000
+		shardExecs = 1024
+		workers    = 3
+		seed       = int64(5)
+	)
+	cfg := fuzz.DefaultConfig(execs, seed)
+	cfg.ShardExecs = shardExecs
+	cfg.Hub = client
+	var trace []sim.TracePoint
+	cfg.Progress = func(p fuzz.Progress) {
+		trace = append(trace, sim.TracePoint{
+			ElapsedNs: p.ElapsedNs, Execs: p.Execs, Cover: p.Cover, Crashes: p.Crashes,
+		})
+	}
+	fz := fuzz.New(tgt, kernel)
+	stats, err := fz.RunParallel(ctx, cfg, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Execs != execs || stats.CoverCount() == 0 {
+		t.Fatalf("campaign degenerate: execs=%d cover=%d", stats.Execs, stats.CoverCount())
+	}
+
+	rec := sim.RunRecord{
+		Workers: workers, ShardExecs: shardExecs, Seed: seed, Hub: true,
+		Execs: stats.Execs, Cover: stats.CoverCount(), Crashes: stats.UniqueCrashes(),
+		ElapsedNs: stats.Elapsed.Nanoseconds(),
+		WorkNs:    stats.WorkTime.Nanoseconds(),
+		TriageNs:  stats.TriageTime.Nanoseconds(),
+		SyncNs:    stats.SyncTime.Nanoseconds(),
+		Syncs:     stats.Syncs,
+	}
+	if agg := h.Stats().Sync; agg.Count > 0 {
+		rec.HubServiceNsMean = agg.MeanServiceNs()
+	}
+
+	buildModel := func() *sim.Model {
+		t.Helper()
+		medians, err := sim.LoadBenchMedians(filepath.Join("..", "..", "BENCH_fuzz.json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		costs, err := sim.FitCosts(medians)
+		if err != nil {
+			t.Fatal(err)
+		}
+		yield, err := sim.FitYield(trace)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := &sim.Model{Cost: costs, Yield: yield}
+		m.Calibrate(rec)
+		return m
+	}
+	m := buildModel()
+	t.Logf("rec: %+v", rec)
+	t.Logf("model: %+v", m)
+
+	// Wall tolerance is loose: the container's CPU count and load are
+	// not the model's to predict (per-exec calibration self-corrects
+	// for oversubscription, makespan noise remains).
+	v, err := sim.Validate(m, rec, 0.10, 0.05, 0.50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("real: execs=%d cover=%d elapsed=%dms; predicted: execs=%d cover=%d wall=%dms (errors exec=%.1f%% cover=%.1f%% wall=%.1f%%)",
+		rec.Execs, rec.Cover, rec.ElapsedNs/1e6,
+		v.PredExecs, v.PredCover, v.PredWallNs/1e6,
+		100*v.ExecErr, 100*v.CoverErr, 100*v.WallErr)
+	if v.ExecErr > 0.10 {
+		t.Errorf("exec prediction off by %.1f%% (bar ±10%%)", 100*v.ExecErr)
+	}
+	if v.CoverErr > 0.05 {
+		t.Errorf("cover prediction off by %.1f%% (bar ±5%%)", 100*v.CoverErr)
+	}
+
+	// Determinism per seed: refit from the same trace and revalidate —
+	// the model and every prediction must be bit-identical.
+	m2 := buildModel()
+	if *m2 != *m {
+		t.Fatalf("refit produced a different model:\n%+v\n%+v", m, m2)
+	}
+	v2, err := sim.Validate(m2, rec, 0.10, 0.05, 0.50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.PredExecs != v.PredExecs || v2.PredCover != v.PredCover || v2.PredWallNs != v.PredWallNs {
+		t.Fatalf("predictions not deterministic: %+v vs %+v", v, v2)
+	}
+}

@@ -1,0 +1,167 @@
+package sim
+
+import (
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// syntheticTrace samples a known yield curve, so fits can be scored
+// against ground truth.
+func syntheticTrace(truth YieldModel, step, n int) []TracePoint {
+	var pts []TracePoint
+	for i := 1; i <= n; i++ {
+		e := i * step
+		pts = append(pts, TracePoint{
+			ElapsedNs: int64(e) * 1000,
+			Execs:     e,
+			Cover:     int(math.Round(truth.Cover(float64(e)))),
+		})
+	}
+	return pts
+}
+
+func TestFitYieldRecoversCurve(t *testing.T) {
+	truth := YieldModel{Cmax: 1200, K: 3000, B: 0.8}
+	pts := syntheticTrace(truth, 500, 40)
+	got, err := FitYield(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Parameters need not match exactly (the surface has shallow
+	// valleys), but predictions across the observed range and beyond
+	// must track the generator closely.
+	for _, e := range []float64{500, 2000, 8000, 20000, 40000} {
+		want, have := truth.Cover(e), got.Cover(e)
+		if rel := math.Abs(have-want) / want; rel > 0.03 {
+			t.Fatalf("fit off at %v execs: want cover %.1f, got %.1f (%.1f%%)", e, want, have, 100*rel)
+		}
+	}
+}
+
+func TestFitYieldDeterministic(t *testing.T) {
+	pts := syntheticTrace(YieldModel{Cmax: 900, K: 1500, B: 1.2}, 400, 25)
+	a, err := FitYield(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FitYield(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("same trace fitted differently: %+v vs %+v", a, b)
+	}
+}
+
+func TestFitYieldMonotone(t *testing.T) {
+	y, err := FitYield(syntheticTrace(YieldModel{Cmax: 700, K: 800, B: 0.6}, 300, 30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := -1.0
+	for e := 0; e <= 50000; e += 250 {
+		c := y.Cover(float64(e))
+		if c < prev {
+			t.Fatalf("fitted curve not monotone at %d execs: %v < %v", e, c, prev)
+		}
+		if c > y.Cmax {
+			t.Fatalf("fitted curve exceeds its own asymptote at %d execs: %v > %v", e, c, y.Cmax)
+		}
+		prev = c
+	}
+	// The analytic inverse must invert the forward map.
+	for _, e := range []float64{100, 1000, 10000} {
+		if back := y.Execs(y.Cover(e)); math.Abs(back-e)/e > 1e-6 {
+			t.Fatalf("Execs(Cover(%v)) = %v", e, back)
+		}
+	}
+	if !math.IsInf(y.Execs(y.Cmax+1), 1) {
+		t.Fatal("cover beyond the asymptote must need infinite execs")
+	}
+}
+
+func TestModelRoundTrip(t *testing.T) {
+	pts := syntheticTrace(YieldModel{Cmax: 1100, K: 2200, B: 0.9}, 500, 20)
+	yield, err := FitYield(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &Model{
+		Cost: CostModel{
+			ExecNs: 12090, MutateNs: 93411, TriageNs: 22504,
+			CheckpointNs: 1e6, SyncBaseNs: 2e6, SyncPerSeedNs: 1e4,
+			HubServiceNs: 5e5, LLMGenNs: 3e6,
+		},
+		Yield:          yield,
+		SeedsPerSync:   17.5,
+		CrashesPerExec: 2.5e-4,
+		FittedFrom:     "test",
+	}
+	path := filepath.Join(t.TempDir(), "model.json")
+	if err := m.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadModel(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *m {
+		t.Fatalf("model did not round-trip:\nsaved  %+v\nloaded %+v", m, got)
+	}
+}
+
+func TestFitCostsFromGateFile(t *testing.T) {
+	// The checked-in gate baseline is a valid fit input directly.
+	medians, err := LoadBenchMedians(filepath.Join("..", "..", "BENCH_fuzz.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := FitCosts(medians)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.ExecNs <= 0 || c.MutateNs <= 0 || c.TriageNs <= 0 {
+		t.Fatalf("gate medians produced degenerate costs: %+v", c)
+	}
+	// Triage is the campaign-vs-NoTriage gap per exec; with the
+	// current baseline it is a minority share of the total.
+	if c.TriageNs >= c.ExecNs+c.MutateNs {
+		t.Fatalf("triage cost dominates the exec path: %+v", c)
+	}
+}
+
+func TestFitYieldRejectsThinTraces(t *testing.T) {
+	_, err := FitYield([]TracePoint{{Execs: 10, Cover: 5}})
+	if err == nil || !strings.Contains(err.Error(), "at least 3") {
+		t.Fatalf("thin trace fitted anyway: %v", err)
+	}
+}
+
+func TestCalibrateOverridesCosts(t *testing.T) {
+	m := &Model{
+		Cost:  CostModel{ExecNs: 100, MutateNs: 100, TriageNs: 50},
+		Yield: YieldModel{Cmax: 100, K: 100, B: 1},
+	}
+	m.Calibrate(RunRecord{
+		Execs: 1000, Cover: 90, Crashes: 2,
+		WorkNs: 400_000, TriageNs: 100_000,
+		SyncNs: 30_000, Syncs: 10,
+		HubServiceNsMean: 1200, SeedsPerSync: 4,
+	})
+	if got := m.Cost.TriageNs; got != 100 {
+		t.Fatalf("triage not recalibrated: %v", got)
+	}
+	// Core 300ns/exec split by the 1:1 prior.
+	if m.Cost.ExecNs != 150 || m.Cost.MutateNs != 150 {
+		t.Fatalf("core split wrong: %+v", m.Cost)
+	}
+	// Sync round-trip 3000ns minus 1200ns hub service = client base.
+	if m.Cost.HubServiceNs != 1200 || m.Cost.SyncBaseNs != 1800 {
+		t.Fatalf("sync decomposition wrong: %+v", m.Cost)
+	}
+	if m.SeedsPerSync != 4 || m.CrashesPerExec != 0.002 {
+		t.Fatalf("payload/crash rates wrong: %+v", m)
+	}
+}

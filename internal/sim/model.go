@@ -1,0 +1,138 @@
+package sim
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+)
+
+// CostModel is the per-event nanosecond coefficients of the fleet.
+// All costs are per occurrence; the simulator multiplies them by
+// event counts derived from the fleet config.
+type CostModel struct {
+	// ExecNs is one program execution on the virtual kernel.
+	ExecNs float64 `json:"exec_ns"`
+	// MutateNs is the per-exec overhead around the execution itself:
+	// mutation, operator scheduling, coverage bookkeeping, corpus
+	// admission.
+	MutateNs float64 `json:"mutate_ns"`
+	// TriageNs is the amortized per-exec cost of crash triage
+	// (minimization of discovered repros, spread over the budget).
+	TriageNs float64 `json:"triage_ns"`
+	// CheckpointNs is one corpus-store flush at a unit boundary.
+	CheckpointNs float64 `json:"checkpoint_ns"`
+	// SyncBaseNs is the client-side fixed cost of one hub exchange
+	// (serialization, HTTP round-trip) excluding the hub's service
+	// time, which is modeled separately because it serializes across
+	// workers.
+	SyncBaseNs float64 `json:"sync_base_ns"`
+	// SyncPerSeedNs is the marginal client-side cost per seed shipped
+	// in a sync payload.
+	SyncPerSeedNs float64 `json:"sync_per_seed_ns"`
+	// HubServiceNs is the hub-side service time of one sync — the
+	// merge/save/diff work done under the hub lock. Syncs queue behind
+	// it FIFO, so this coefficient is what makes sync fan-in a
+	// bottleneck at scale.
+	HubServiceNs float64 `json:"hub_service_ns"`
+	// LLMGenNs is the latency of generating one spec/seed program via
+	// the LLM engine, paid up front before fuzzing starts.
+	LLMGenNs float64 `json:"llm_gen_ns"`
+}
+
+// perExecNs is the busy time one execution costs a worker.
+func (c CostModel) perExecNs() float64 {
+	return c.ExecNs + c.MutateNs + c.TriageNs
+}
+
+// YieldModel maps cumulative execs to expected union coverage with a
+// saturating diminishing-returns curve:
+//
+//	Cover(e) = Cmax · (1 − (1 + e/K)^−B)
+//
+// Cmax is the asymptotic reachable block count, K the exec scale at
+// which returns start diminishing, and B the decay sharpness. The
+// form starts at 0, grows monotonically, saturates at Cmax, and has
+// the analytic inverse Execs(c) used by planner queries.
+type YieldModel struct {
+	Cmax float64 `json:"cmax"`
+	K    float64 `json:"k"`
+	B    float64 `json:"b"`
+}
+
+// Cover predicts union coverage after execs executions.
+func (y YieldModel) Cover(execs float64) float64 {
+	if execs <= 0 || y.Cmax <= 0 || y.K <= 0 || y.B <= 0 {
+		return 0
+	}
+	return y.Cmax * (1 - math.Pow(1+execs/y.K, -y.B))
+}
+
+// Execs inverts Cover: the exec budget at which the model first
+// reaches cover blocks. Returns +Inf when cover ≥ Cmax (unreachable
+// under the fitted curve).
+func (y YieldModel) Execs(cover float64) float64 {
+	if cover <= 0 {
+		return 0
+	}
+	if y.Cmax <= 0 || cover >= y.Cmax {
+		return math.Inf(1)
+	}
+	return y.K * (math.Pow(1-cover/y.Cmax, -1/y.B) - 1)
+}
+
+// Valid reports whether the yield parameters describe a usable curve.
+func (y YieldModel) Valid() bool {
+	return y.Cmax > 0 && y.K > 0 && y.B > 0 &&
+		!math.IsInf(y.Cmax, 0) && !math.IsInf(y.K, 0) && !math.IsInf(y.B, 0)
+}
+
+// Model is the full fitted campaign model — the on-disk document
+// `syzplan fit` writes and run/sweep/validate consume.
+type Model struct {
+	Cost  CostModel  `json:"cost"`
+	Yield YieldModel `json:"yield"`
+	// SeedsPerSync is the mean seed payload of one hub exchange,
+	// scaling the per-seed sync cost.
+	SeedsPerSync float64 `json:"seeds_per_sync,omitempty"`
+	// CrashesPerExec is the observed unique-crash discovery rate, used
+	// only to project expected crash counts (it does not affect time).
+	CrashesPerExec float64 `json:"crashes_per_exec,omitempty"`
+	// FittedFrom records the provenance of the coefficients (free
+	// text: bench file, trace file, calibration run).
+	FittedFrom string `json:"fitted_from,omitempty"`
+}
+
+// Validate checks the model is usable for simulation.
+func (m *Model) Validate() error {
+	if m.Cost.perExecNs() <= 0 {
+		return errors.New("sim: cost model has no positive per-exec time (fit costs first)")
+	}
+	if !m.Yield.Valid() {
+		return errors.New("sim: yield model not fitted (Cmax/K/B must be positive and finite)")
+	}
+	return nil
+}
+
+// Save writes the model as indented JSON.
+func (m *Model) Save(path string) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadModel reads a model file written by Save.
+func LoadModel(path string) (*Model, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m Model
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &m, nil
+}

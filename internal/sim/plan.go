@@ -1,0 +1,82 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+)
+
+// PlanResult answers a min-workers planner query.
+type PlanResult struct {
+	TargetCover int   `json:"target_cover"`
+	DeadlineNs  int64 `json:"deadline_ns"`
+	// ExecsNeeded is the exec budget the yield curve demands for the
+	// target (0 when the target is unreachable).
+	ExecsNeeded int `json:"execs_needed"`
+	// Feasible reports whether some worker count ≤ the searched
+	// maximum meets the deadline; Workers is the smallest such count.
+	Feasible bool `json:"feasible"`
+	Workers  int  `json:"workers,omitempty"`
+	// Result is the simulated outcome at the chosen worker count.
+	Result *Result `json:"result,omitempty"`
+}
+
+// MinWorkers finds the smallest worker count that reaches targetCover
+// blocks within deadlineNs, scanning 1..maxWorkers. The exec budget
+// is derived from the yield curve's inverse (with a small margin for
+// rounding); base supplies the remaining fleet shape (grain, hub,
+// checkpointing). Returns an infeasible PlanResult when the target
+// exceeds the fitted asymptote or no searched fleet makes the
+// deadline.
+func MinWorkers(m *Model, base FleetConfig, targetCover int, deadlineNs int64, maxWorkers int) (PlanResult, error) {
+	if err := m.Validate(); err != nil {
+		return PlanResult{}, err
+	}
+	if targetCover <= 0 || deadlineNs <= 0 || maxWorkers <= 0 {
+		return PlanResult{}, fmt.Errorf("sim: min-workers query needs positive target (%d), deadline (%d), and max workers (%d)",
+			targetCover, deadlineNs, maxWorkers)
+	}
+	out := PlanResult{TargetCover: targetCover, DeadlineNs: deadlineNs}
+	need := m.Yield.Execs(float64(targetCover))
+	if math.IsInf(need, 1) {
+		return out, nil // beyond the curve's asymptote: no budget reaches it
+	}
+	// Margin absorbs the round-trip through integer execs and the
+	// curve's flatness near the target.
+	execs := int(math.Ceil(need * 1.01))
+	if execs < 1 {
+		execs = 1
+	}
+	out.ExecsNeeded = execs
+	for w := 1; w <= maxWorkers; w++ {
+		cfg := base
+		cfg.Workers = w
+		cfg.Execs = execs
+		cfg.DeadlineNs = 0
+		r, err := Simulate(m, cfg)
+		if err != nil {
+			return PlanResult{}, err
+		}
+		if r.WallNs <= deadlineNs && r.Cover >= targetCover {
+			out.Feasible = true
+			out.Workers = w
+			out.Result = &r
+			return out, nil
+		}
+	}
+	return out, nil
+}
+
+// Sweep simulates every configuration and returns the results in
+// input order. Errors abort the sweep (a bad config list is a caller
+// bug, not a partial answer).
+func Sweep(m *Model, cfgs []FleetConfig) ([]Result, error) {
+	out := make([]Result, 0, len(cfgs))
+	for i, cfg := range cfgs {
+		r, err := Simulate(m, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("sweep config %d: %w", i, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
