@@ -77,17 +77,25 @@ func main() {
 	}
 	results := Compare(gate, observed, tol)
 	failed := false
+	info := 0
 	for _, r := range results {
 		fmt.Println(r)
 		if r.Failed() {
 			failed = true
+		}
+		if r.Informational() {
+			info++
 		}
 	}
 	if failed {
 		fmt.Fprintf(os.Stderr, "benchgate: regression beyond ±%.0f%% tolerance\n", tol*100)
 		os.Exit(1)
 	}
-	fmt.Printf("benchgate: %d benchmarks within ±%.0f%% of baseline\n", len(results), tol*100)
+	fmt.Printf("benchgate: %d benchmarks within ±%.0f%% of baseline", len(results)-info, tol*100)
+	if info > 0 {
+		fmt.Printf("; %d informational (not in baseline; -record to gate)", info)
+	}
+	fmt.Println()
 }
 
 // Sample is one benchmark measurement.
@@ -260,7 +268,10 @@ type Result struct {
 // Failed reports whether this result fails the gate. A baseline
 // benchmark that was not measured fails too: a gate that goes green
 // because a benched package stopped running is no gate at all
-// (removing a benchmark intentionally requires -record).
+// (removing a benchmark intentionally requires -record). The inverse
+// — measured but not in the baseline — is informational only (see
+// Informational), so adding a benchmark never demands a same-commit
+// re-record.
 func (r Result) Failed() bool {
 	if r.MissingBench {
 		return true
@@ -268,11 +279,16 @@ func (r Result) Failed() bool {
 	return !r.MissingBase && r.Ratio > 1+r.Tolerance
 }
 
+// Informational reports whether this result is printed for visibility
+// only and takes no part in the gate verdict: a benchmark that ran
+// but has no recorded baseline yet.
+func (r Result) Informational() bool { return r.MissingBase }
+
 // String renders the verdict line.
 func (r Result) String() string {
 	switch {
 	case r.MissingBase:
-		return fmt.Sprintf("SKIP %-60s not in baseline (run -record to gate it)", r.Name)
+		return fmt.Sprintf("INFO %-60s not in baseline (informational; run -record to gate it)", r.Name)
 	case r.MissingBench:
 		return fmt.Sprintf("FAIL %-60s in baseline but not measured (re-record to drop it)", r.Name)
 	case r.Failed():

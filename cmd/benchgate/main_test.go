@@ -126,6 +126,46 @@ func TestGateReportsMissingEntries(t *testing.T) {
 	}
 }
 
+// TestNewBenchmarksAreInformational pins the add-a-benchmark
+// workflow: a benchmark present in the run but absent from the gate
+// is reported as INFO — visible, but with no effect on the verdict —
+// so landing new benchmarks (BenchmarkVMRunCompiled,
+// BenchmarkVMRunBatch) never demands a same-commit re-record, even
+// when the new numbers would look like wild regressions of nothing.
+func TestNewBenchmarksAreInformational(t *testing.T) {
+	observed := map[string]Sample{
+		"kernelgpt/internal/fuzz.BenchmarkCampaign":         {NsPerOp: 100, AllocsPerOp: 100, HasAllocs: true},
+		"kernelgpt/internal/vkernel.BenchmarkVMRunCompiled": {NsPerOp: 1e12, AllocsPerOp: 1e6, HasAllocs: true},
+		"kernelgpt/internal/vkernel.BenchmarkVMRunBatch":    {NsPerOp: 1e12},
+	}
+	results := Compare(gateFor(100, 100), observed, 0.15)
+	if len(results) != 3 {
+		t.Fatalf("want 3 results, got %+v", results)
+	}
+	infos := 0
+	for _, r := range results {
+		if !r.MissingBase {
+			if r.Informational() {
+				t.Fatalf("gated benchmark reported informational: %+v", r)
+			}
+			continue
+		}
+		infos++
+		if !r.Informational() {
+			t.Fatalf("ungated benchmark not informational: %+v", r)
+		}
+		if r.Failed() {
+			t.Fatalf("ungated benchmark failed the gate: %+v", r)
+		}
+		if !strings.HasPrefix(r.String(), "INFO") {
+			t.Fatalf("ungated benchmark not printed as INFO: %q", r.String())
+		}
+	}
+	if infos != 2 {
+		t.Fatalf("want 2 informational results, got %d: %+v", infos, results)
+	}
+}
+
 func TestRecordRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "BENCH.json")

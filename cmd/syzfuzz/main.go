@@ -41,6 +41,17 @@
 //
 //	syzfuzz -suite oracle -execs 30000 -shards 3 -shard-execs 2048 \
 //	    -trace trace.jsonl -stats-json stats.json
+//
+// -cpuprofile / -memprofile write runtime/pprof profiles of the
+// campaign. The checked-in default.pgo at the module root was
+// produced with exactly:
+//
+//	go run ./cmd/syzfuzz -suite oracle -plumbing -execs 400000 -reps 1 \
+//	    -seed 1 -cpuprofile default.pgo
+//
+// and rebuilt binaries pick it up via `go build -pgo=default.pgo`
+// (see README "Compiled execution & PGO" for the re-baseline
+// workflow).
 package main
 
 import (
@@ -50,6 +61,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -89,10 +102,42 @@ func main() {
 	hubURL := flag.String("hub", "", "coordination hub base URL (e.g. http://127.0.0.1:7700): sync corpus/coverage/crashes at checkpoint boundaries")
 	hubName := flag.String("hub-name", "", "worker label in the hub's stats (default hostname:pid)")
 	statsJSON := flag.String("stats-json", "", "write the final merged stats as JSON to FILE (the hub wire schema; \"-\" = stdout)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to FILE (the PGO input; see README \"Compiled execution & PGO\")")
+	memProfile := flag.String("memprofile", "", "write an allocation profile to FILE at exit")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+
+	if *cpuProfile != "" {
+		pf, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(pf); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			pf.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			mf, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer mf.Close()
+			runtime.GC() // settle live-heap accounting before the snapshot
+			if err := pprof.WriteHeapProfile(mf); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
 
 	c := corpus.Build(corpus.Config{Scale: *scale})
 	kernel := vkernel.New(c)

@@ -1,0 +1,24 @@
+package fuzz
+
+import "testing"
+
+// TestCampaignStepAllocs is the loop-level alloc-regression guard:
+// the amortized allocation count of one campaign step (seed pick,
+// mutation, compile, compiled exec, observe, pool bookkeeping) must
+// stay within budget so alloc creep in the hot loop fails go test,
+// not just the bench gate. The budget is dominated by the mutation
+// clone and pool insert; the exec itself is allocation-free
+// (~200/exec as of the compiled-exec change).
+func TestCampaignStepAllocs(t *testing.T) {
+	const execs = 4000
+	f := New(plumbedTarget(t, "dm", "cec"), testKernel)
+	cfg := DefaultConfig(execs, 1)
+	cfg.NoTriage = true
+	f.Run(cfg) // warm process-level lazy state
+	allocs := testing.AllocsPerRun(2, func() { f.Run(cfg) })
+	per := allocs / execs
+	t.Logf("campaign step: %.1f allocs/exec (%.0f total)", per, allocs)
+	if per > 250 {
+		t.Fatalf("campaign step allocates %.1f/exec, budget is 250", per)
+	}
+}

@@ -398,6 +398,26 @@ func (f *Fuzzer) run(ctx context.Context, cfg Config, camp campaign) (*Stats, *s
 	g.Enabled = cfg.Enabled
 	g.NoLocality = cfg.NoLocality
 	x := f.executor()
+	// Compiled fast path: when the campaign's executor is a reusable
+	// VM, every candidate is lowered once into a recycled ExecProg and
+	// run via RunCompiled, with coverage read back into a recycled
+	// buffer — zero per-exec allocations. Results are identical to the
+	// interpreted Run (same coverage, crashes, errno), so stats and
+	// the RNG stream are bit-for-bit unchanged; custom Executors (a
+	// recorder, a real-executor bridge) keep the interpreted path, as
+	// does triage (cold path, runs on clones).
+	vm, _ := x.(*vkernel.VM)
+	var cep prog.ExecProg
+	var cres vkernel.Result
+	execute := func(p *prog.Prog) *vkernel.Result {
+		if vm == nil {
+			return x.Run(p)
+		}
+		prog.CompileExecInto(p, &cep)
+		cres.Crash, cres.Errno = vm.RunCompiled(&cep)
+		cres.Cov = vm.AppendCover(cres.Cov[:0])
+		return &cres
+	}
 	stats := &Stats{
 		Cover:   f.newCover(),
 		Crashes: map[string]*CrashReport{},
@@ -466,12 +486,21 @@ func (f *Fuzzer) run(ctx context.Context, cfg Config, camp campaign) (*Stats, *s
 	// budget and can (re)discover crashes like any other execution.
 	if len(camp.seeds) > 0 {
 		corpus.Import(camp.seeds)
-		for _, st := range camp.seeds {
-			if stats.Execs >= cfg.Execs || ctx.Err() != nil {
-				break
+		if vm != nil {
+			// Replays are the natural batch site: the seed set is known
+			// up front and feedback is folded in after the fact, so they
+			// run through RunBatch in chunks (budget trimmed per batch,
+			// cancellation checked at batch granularity) with outcomes —
+			// and therefore stats — identical to the serial replay.
+			replayCompiled(ctx, cfg, vm, camp.seeds, stats, observe)
+		} else {
+			for _, st := range camp.seeds {
+				if stats.Execs >= cfg.Execs || ctx.Err() != nil {
+					break
+				}
+				observe(st.Prog, x.Run(st.Prog), stats.Execs)
+				stats.Execs++
 			}
-			observe(st.Prog, x.Run(st.Prog), stats.Execs)
-			stats.Execs++
 		}
 	}
 	for i := stats.Execs; i < cfg.Execs; i++ {
@@ -505,7 +534,7 @@ func (f *Fuzzer) run(ctx context.Context, cfg Config, camp campaign) (*Stats, *s
 		} else {
 			p = g.Generate(cfg.MaxCalls)
 		}
-		res := x.Run(p)
+		res := execute(p)
 		stats.Execs++
 		newBlocks := observe(p, res, i)
 		opName := ""
@@ -524,6 +553,45 @@ func (f *Fuzzer) run(ctx context.Context, cfg Config, camp campaign) (*Stats, *s
 	emit(1)
 	hubSync(ctx, cfg, corpus, stats, true)
 	return stats, corpus, nil
+}
+
+// replayBatch is the chunk size warm-start replays run through
+// RunBatch with: big enough to amortize dispatch overhead, small
+// enough that cancellation (checked once per batch) stays responsive.
+const replayBatch = 64
+
+// replayCompiled replays the imported seed snapshot through the
+// batched compiled path: each chunk is compiled into recycled
+// ExecProgs, executed with RunBatch, and observed in seed order, so
+// the resulting stats match the serial interpreted replay exactly.
+func replayCompiled(ctx context.Context, cfg Config, vm *vkernel.VM, seeds []seedpool.SeedState, stats *Stats, observe func(*prog.Prog, *vkernel.Result, int) int) {
+	eps := make([]*prog.ExecProg, replayBatch)
+	for i := range eps {
+		eps[i] = &prog.ExecProg{}
+	}
+	out := make([]vkernel.Result, replayBatch)
+	for len(seeds) > 0 {
+		if stats.Execs >= cfg.Execs || ctx.Err() != nil {
+			return
+		}
+		n := replayBatch
+		if n > len(seeds) {
+			n = len(seeds)
+		}
+		if rem := cfg.Execs - stats.Execs; n > rem {
+			n = rem
+		}
+		batch := seeds[:n]
+		seeds = seeds[n:]
+		for i, st := range batch {
+			prog.CompileExecInto(st.Prog, eps[i])
+		}
+		vm.RunBatch(eps[:n], out[:n])
+		for i, st := range batch {
+			observe(st.Prog, &out[i], stats.Execs)
+			stats.Execs++
+		}
+	}
 }
 
 // hubSync runs one hub exchange when the campaign is hub-attached:

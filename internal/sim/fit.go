@@ -18,6 +18,7 @@ const (
 	benchCampaign         = "kernelgpt/internal/fuzz.BenchmarkCampaign"
 	benchCampaignNoTriage = "kernelgpt/internal/fuzz.BenchmarkCampaignNoTriage"
 	benchVMRun            = "kernelgpt/internal/vkernel.BenchmarkVMRun"
+	benchVMRunCompiled    = "kernelgpt/internal/vkernel.BenchmarkVMRunCompiled"
 )
 
 // LoadBenchMedians reads per-benchmark ns/op medians from JSON. Both
@@ -59,9 +60,17 @@ func LoadBenchMedians(path string) (map[string]float64, error) {
 
 // FitCosts derives per-exec cost coefficients from benchmark medians:
 //
-//	ExecNs   = VMRun ns/op (one raw execution)
+//	ExecNs   = VMRunCompiled ns/op when present, else VMRun ns/op
 //	TriageNs = (Campaign − CampaignNoTriage) / CampaignBenchExecs
 //	MutateNs = CampaignNoTriage / CampaignBenchExecs − ExecNs
+//
+// The campaign loop executes compiled programs, so VMRunCompiled is
+// the hot-path exec cost; with it, MutateNs absorbs the per-candidate
+// compile step alongside mutation proper (the identity ExecNs +
+// MutateNs ≈ CampaignNoTriage/CampaignBenchExecs still holds).
+// Because the coefficients are a pure function of the medians, the
+// CostModel must be re-fitted whenever the benchgate baseline is
+// re-recorded — a stale fit silently plans against the old kernel.
 //
 // Coefficients the benchmarks do not cover (checkpoint, sync, LLM)
 // stay zero; Calibrate fills the sync costs from a real hub-attached
@@ -73,6 +82,9 @@ func FitCosts(medians map[string]float64) (CostModel, error) {
 	if full <= 0 || noTriage <= 0 || vm <= 0 {
 		return CostModel{}, fmt.Errorf("sim: medians missing %s, %s, or %s",
 			benchCampaign, benchCampaignNoTriage, benchVMRun)
+	}
+	if cv := medians[benchVMRunCompiled]; cv > 0 {
+		vm = cv
 	}
 	c := CostModel{ExecNs: vm}
 	c.TriageNs = math.Max(0, (full-noTriage)/CampaignBenchExecs)

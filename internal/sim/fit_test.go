@@ -132,6 +132,37 @@ func TestFitCostsFromGateFile(t *testing.T) {
 	}
 }
 
+func TestFitCostsPrefersCompiledExec(t *testing.T) {
+	medians := map[string]float64{
+		benchCampaign:         50_000_000,
+		benchCampaignNoTriage: 40_000_000,
+		benchVMRun:            6000,
+	}
+	interp, err := FitCosts(medians)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if interp.ExecNs != 6000 {
+		t.Fatalf("without a compiled median ExecNs must fall back to VMRun: %+v", interp)
+	}
+	medians[benchVMRunCompiled] = 400
+	compiled, err := FitCosts(medians)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if compiled.ExecNs != 400 {
+		t.Fatalf("compiled median not preferred for ExecNs: %+v", compiled)
+	}
+	// The split moves between ExecNs and MutateNs; their sum — the
+	// per-exec busy time outside triage — is invariant.
+	if got, want := compiled.ExecNs+compiled.MutateNs, interp.ExecNs+interp.MutateNs; got != want {
+		t.Fatalf("ExecNs+MutateNs changed with the compiled median: %v vs %v", got, want)
+	}
+	if compiled.TriageNs != interp.TriageNs {
+		t.Fatalf("TriageNs depends on the exec benchmark: %+v vs %+v", compiled, interp)
+	}
+}
+
 func TestFitYieldRejectsThinTraces(t *testing.T) {
 	_, err := FitYield([]TracePoint{{Execs: 10, Cover: 5}})
 	if err == nil || !strings.Contains(err.Error(), "at least 3") {

@@ -46,3 +46,56 @@ func BenchmarkVMRun(b *testing.B) {
 		vm.Run(progs[i%len(progs)])
 	}
 }
+
+// benchExecProgs compiles the benchmark corpus and warms each
+// program's kernel resolution cache.
+func benchExecProgs(b *testing.B, vm *VM) []*prog.ExecProg {
+	b.Helper()
+	progs := benchProgs(b)
+	eps := make([]*prog.ExecProg, len(progs))
+	for i, p := range progs {
+		eps[i] = prog.CompileExec(p)
+		vm.RunCompiled(eps[i])
+	}
+	return eps
+}
+
+// BenchmarkVMRunCompiled measures the compiled hot path: pre-lowered
+// programs interpreted with coverage read back into a recycled
+// buffer. Compare against BenchmarkVMRun for the compilation win.
+func BenchmarkVMRunCompiled(b *testing.B) {
+	vm := testKernel.NewVM()
+	eps := benchExecProgs(b, vm)
+	// Pre-grow the coverage buffer over every program so the timed
+	// loop is pure dispatch — the steady state a campaign loop runs in.
+	var cov []BlockID
+	for _, ep := range eps {
+		vm.RunCompiled(ep)
+		cov = vm.AppendCover(cov[:0])
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vm.RunCompiled(eps[i%len(eps)])
+		cov = vm.AppendCover(cov[:0])
+	}
+	_ = cov
+}
+
+// BenchmarkVMRunBatch measures batched dispatch; ns/op is still
+// per-program (each iteration runs one batch element's share).
+func BenchmarkVMRunBatch(b *testing.B) {
+	vm := testKernel.NewVM()
+	eps := benchExecProgs(b, vm)
+	out := make([]Result, len(eps))
+	vm.RunBatch(eps, out)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += len(eps) {
+		n := len(eps)
+		if rem := b.N - i; rem < n {
+			n = rem
+		}
+		vm.RunBatch(eps[:n], out[:n])
+	}
+}

@@ -149,6 +149,23 @@ func (s *CoverSet) Blocks() []BlockID {
 	return out
 }
 
+// AppendBlocks appends the covered blocks to dst in ascending ID
+// order and returns the extended slice — the allocation-free form of
+// Blocks for callers that recycle a buffer.
+func (s *CoverSet) AppendBlocks(dst []BlockID) []BlockID {
+	if s == nil {
+		return dst
+	}
+	for i, w := range s.words {
+		base := BlockID(i) << 6
+		for w != 0 {
+			dst = append(dst, base+BlockID(bits.TrailingZeros64(w)))
+			w &= w - 1
+		}
+	}
+	return dst
+}
+
 // ForEach visits every covered block in ascending ID order.
 func (s *CoverSet) ForEach(fn func(BlockID)) {
 	if s == nil {

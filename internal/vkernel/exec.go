@@ -25,7 +25,7 @@ type Result struct {
 
 // exec carries per-program mutable state (one "VM instance"). The
 // state is owned by a VM and recycled across runs via reset — the
-// coverage bitmap, fd table, and history maps keep their capacity.
+// coverage bitmap, fd table, and history bitset keep their capacity.
 type exec struct {
 	k   *Kernel
 	cov *CoverSet
@@ -36,11 +36,12 @@ type exec struct {
 	vmas []vma
 	// watches counts live epoll registrations (epoll_wait readiness).
 	watches int
-	// history records commands issued per handler during this
-	// program, for stateful bug preconditions.
-	history map[string]map[string]bool
-	crash   *Crash
-	errs    int
+	// hist is the per-program operation history, one bit per
+	// (handler, operation) pair as assigned at kernel build, for
+	// stateful bug preconditions.
+	hist  []uint64
+	crash *Crash
+	errs  int
 }
 
 // vma is one mapped region in the mmap region model.
@@ -71,9 +72,7 @@ func (e *exec) reset(n int) {
 		}
 	}
 	e.watches = 0
-	for _, m := range e.history {
-		clear(m)
-	}
+	clear(e.hist)
 	e.crash = nil
 	e.errs = 0
 }
@@ -84,19 +83,15 @@ func (e *exec) cover(blocks ...BlockID) {
 	}
 }
 
-func (e *exec) record(h *corpus.Handler, op string) {
-	m := e.history[h.Name]
-	if m == nil {
-		m = map[string]bool{}
-		e.history[h.Name] = m
-	}
-	m[op] = true
+// rec marks one history bit (a handler/operation pair).
+func (e *exec) rec(bit uint32) {
+	e.hist[bit>>6] |= 1 << (bit & 63)
 }
 
-func (e *exec) seen(h *corpus.Handler, ops []string) bool {
-	m := e.history[h.Name]
-	for _, op := range ops {
-		if !m[op] {
+// seenBits reports whether every bit in bits is recorded.
+func (e *exec) seenBits(bits []uint32) bool {
+	for _, b := range bits {
+		if e.hist[b>>6]&(1<<(b&63)) == 0 {
 			return false
 		}
 	}
@@ -110,14 +105,6 @@ func scalar(v *prog.Value) uint64 {
 		return 0
 	}
 	return v.Scalar
-}
-
-// fd resolves a resource argument to the handler its fd belongs to.
-func (e *exec) fd(v *prog.Value) *khandler {
-	if v == nil || v.Type.Kind != prog.KindResource || v.ResultOf < 0 || v.ResultOf >= len(e.fds) {
-		return nil
-	}
-	return e.fds[v.ResultOf]
 }
 
 // blob returns the encoded payload behind a pointer argument.
@@ -139,106 +126,180 @@ func str(v *prog.Value) string {
 	return ""
 }
 
-func arg(c *prog.Call, i int) *prog.Value {
-	if i < len(c.Args) {
-		return c.Args[i]
+// callView is the engine's uniform view of one call: either a rich
+// *prog.Call (interpreted mode — arguments evaluated on demand,
+// pointer payloads encoded per run) or a compiled *prog.ExecCall
+// (arguments pre-evaluated, payloads pre-encoded). Exactly one of
+// c/ec is non-nil; the handlers below are the single semantics shared
+// by both paths, so compiled-vs-interpreted equivalence holds by
+// construction.
+type callView struct {
+	sc *prog.Syscall
+	c  *prog.Call
+	ec *prog.ExecCall
+}
+
+// scalar returns argument i's immediate value (0 when absent).
+func (cv callView) scalar(i int) uint64 {
+	if cv.ec != nil {
+		if i < len(cv.ec.Args) {
+			return cv.ec.Args[i].Scalar
+		}
+		return 0
+	}
+	if i < len(cv.c.Args) {
+		return scalar(cv.c.Args[i])
+	}
+	return 0
+}
+
+// res returns argument i's resource binding (the producing call
+// index), or -1 when the argument is absent, not a resource, or
+// unbound.
+func (cv callView) res(i int) int {
+	if cv.ec != nil {
+		if i < len(cv.ec.Args) {
+			return int(cv.ec.Args[i].Res)
+		}
+		return -1
+	}
+	if i < len(cv.c.Args) {
+		if v := cv.c.Args[i]; v != nil && v.Type.Kind == prog.KindResource {
+			return v.ResultOf
+		}
+	}
+	return -1
+}
+
+// blob returns argument i's encoded pointee payload (nil when absent
+// or not a pointer).
+func (cv callView) blob(i int) []byte {
+	if cv.ec != nil {
+		if i < len(cv.ec.Args) {
+			return cv.ec.Args[i].Blob
+		}
+		return nil
+	}
+	if i < len(cv.c.Args) {
+		return blob(cv.c.Args[i])
 	}
 	return nil
 }
 
+// fdAt resolves argument i's resource binding to the handler whose fd
+// that call returned.
+func (e *exec) fdAt(cv callView, i int) *khandler {
+	r := cv.res(i)
+	if r < 0 || r >= len(e.fds) {
+		return nil
+	}
+	return e.fds[r]
+}
+
+// runCall executes one interpreted call: generic entry block, lazy
+// handler resolution for open/socket, then shared dispatch.
 func (e *exec) runCall(idx int, c *prog.Call) {
 	if g, ok := e.k.genericBlocks[c.Sc.CallName]; ok {
 		e.cover(g)
 	}
-	switch c.Sc.CallName {
-	case "openat", "open", "syz_open_dev":
-		e.runOpen(idx, c)
-	case "socket":
-		e.runSocket(idx, c)
-	case "ioctl":
-		e.runIoctl(idx, c)
-	case "setsockopt", "getsockopt":
-		e.runSockopt(c)
-	case "bind", "connect":
-		e.runAddrCall(c, kindOf(c.Sc.CallName))
-	case "sendto":
-		e.runSendRecv(c, corpus.SockSendto, 4, 5)
-	case "recvfrom":
-		e.runSendRecv(c, corpus.SockRecvfrom, 4, 5)
-	case "sendmsg":
-		e.runSimpleSock(c, corpus.SockSendmsg)
-	case "recvmsg":
-		e.runSimpleSock(c, corpus.SockRecvmsg)
-	case "listen":
-		e.runSimpleSock(c, corpus.SockListen)
-	case "accept":
-		e.runAccept(idx, c)
-	case "dup", "dup2", "dup3":
-		e.runDup(idx, c)
-	case "pipe", "pipe2":
+	op := opOf[c.Sc.CallName]
+	cv := callView{sc: c.Sc, c: c}
+	var kh *khandler
+	switch op {
+	case opOpen:
+		// The path is the first string-pointer argument.
+		var path string
+		for _, a := range c.Args {
+			if s := str(a); s != "" {
+				path = s
+				break
+			}
+		}
+		kh = e.k.byPath[path]
+	case opSocket:
+		kh = e.k.byDomain[int(cv.scalar(0))]
+	}
+	e.dispatch(idx, op, kh, cv)
+}
+
+// dispatch routes one call (interpreted or compiled) to its handler
+// implementation. kh is the pre-resolved target handler for
+// open/socket opcodes (nil = no such device/domain) and unused
+// otherwise.
+func (e *exec) dispatch(idx int, op exop, kh *khandler, cv callView) {
+	switch op {
+	case opOpen:
+		e.runOpen(idx, kh)
+	case opSocket:
+		e.runSocket(idx, kh)
+	case opIoctl:
+		e.runIoctl(idx, cv)
+	case opSockopt:
+		e.runSockopt(cv)
+	case opBind:
+		e.runAddrCall(cv, corpus.SockBind)
+	case opConnect:
+		e.runAddrCall(cv, corpus.SockConnect)
+	case opSendto:
+		e.runSendRecv(cv, corpus.SockSendto, 4, 5)
+	case opRecvfrom:
+		e.runSendRecv(cv, corpus.SockRecvfrom, 4, 5)
+	case opSendmsg:
+		e.runSimpleSock(cv, corpus.SockSendmsg)
+	case opRecvmsg:
+		e.runSimpleSock(cv, corpus.SockRecvmsg)
+	case opListen:
+		e.runSimpleSock(cv, corpus.SockListen)
+	case opAccept:
+		e.runAccept(idx, cv)
+	case opDup:
+		e.runDup(idx, cv)
+	case opPipe:
 		e.runPipe(idx)
-	case "epoll_create", "epoll_create1":
+	case opEpollCreate:
 		e.runEpollCreate(idx)
-	case "epoll_ctl":
-		e.runEpollCtl(c)
-	case "epoll_wait", "epoll_pwait":
-		e.runEpollWait(c)
-	case "mmap":
-		e.runMmap(idx, c)
-	case "munmap":
-		e.runMunmap(c)
-	case "read", "write":
-		e.runReadWrite(c)
+	case opEpollCtl:
+		e.runEpollCtl(cv)
+	case opEpollWait:
+		e.runEpollWait(cv)
+	case opMmap:
+		e.runMmap(idx, cv)
+	case opMunmap:
+		e.runMunmap(cv)
+	case opReadWrite:
+		e.runReadWrite(cv)
 	default:
 		// close/poll: generic entry only.
 	}
 }
 
-func kindOf(call string) corpus.SockCallKind {
-	if call == "bind" {
-		return corpus.SockBind
-	}
-	return corpus.SockConnect
-}
-
-func (e *exec) runOpen(idx int, c *prog.Call) {
-	// The path is the first string-pointer argument.
-	var path string
-	for _, a := range c.Args {
-		if s := str(a); s != "" {
-			path = s
-			break
-		}
-	}
-	kh := e.k.byPath[path]
+func (e *exec) runOpen(idx int, kh *khandler) {
 	if kh == nil {
 		e.errs++
 		return
 	}
 	e.cover(kh.open...)
 	e.fds[idx] = kh
-	e.record(kh.h, "open")
+	e.rec(kh.openBit)
 }
 
-func (e *exec) runSocket(idx int, c *prog.Call) {
-	domain := int(scalar(arg(c, 0)))
-	kh := e.k.byDomain[domain]
+func (e *exec) runSocket(idx int, kh *khandler) {
 	if kh == nil {
 		e.errs++
 		return
 	}
 	e.cover(kh.open...)
 	e.fds[idx] = kh
-	e.record(kh.h, "socket")
+	e.rec(kh.socketBit)
 }
 
-func (e *exec) runIoctl(idx int, c *prog.Call) {
-	kh := e.fd(arg(c, 0))
+func (e *exec) runIoctl(idx int, cv callView) {
+	kh := e.fdAt(cv, 0)
 	if kh == nil {
 		e.errs++
 		return
 	}
-	cmdVal := scalar(arg(c, 1))
+	cmdVal := cv.scalar(1)
 	kc := kh.cmds[cmdVal]
 	if kc == nil {
 		e.errs++
@@ -246,9 +307,9 @@ func (e *exec) runIoctl(idx int, c *prog.Call) {
 	}
 	e.cover(kc.entry)
 	e.cover(kc.body...)
-	payload := blob(arg(c, 2))
-	e.record(kh.h, kc.c.Name)
-	e.evalGatesAndBug(kh, kc, payload)
+	payload := cv.blob(2)
+	e.rec(kc.recBit)
+	e.evalGatesAndBug(kc, payload)
 	if e.crash != nil {
 		return
 	}
@@ -257,7 +318,7 @@ func (e *exec) runIoctl(idx int, c *prog.Call) {
 		if child != nil {
 			e.cover(child.open...)
 			e.fds[idx] = child
-			e.record(child.h, "open")
+			e.rec(child.openBit)
 		}
 	}
 }
@@ -265,7 +326,7 @@ func (e *exec) runIoctl(idx int, c *prog.Call) {
 // evalGatesAndBug decodes payload fields at the ground-truth offsets,
 // covers gated blocks whose conditions hold, and fires the planted
 // bug when its precondition and trigger are met.
-func (e *exec) evalGatesAndBug(kh *khandler, kc *kcmd, payload []byte) {
+func (e *exec) evalGatesAndBug(kc *kcmd, payload []byte) {
 	for _, g := range kc.gates {
 		if kc.layout == nil {
 			continue
@@ -279,7 +340,7 @@ func (e *exec) evalGatesAndBug(kh *khandler, kc *kcmd, payload []byte) {
 	if bug == nil {
 		return
 	}
-	if len(bug.PriorCmds) > 0 && !e.seen(kh.h, bug.PriorCmds) {
+	if kc.priorImpossible || !e.seenBits(kc.prior) {
 		return
 	}
 	if bug.TriggerField != "" {
@@ -295,26 +356,26 @@ func (e *exec) evalGatesAndBug(kh *khandler, kc *kcmd, payload []byte) {
 	e.crash = &Crash{Title: bug.Title, Bug: bug}
 }
 
-func (e *exec) runSockopt(c *prog.Call) {
-	kh := e.fd(arg(c, 0))
+func (e *exec) runSockopt(cv callView) {
+	kh := e.fdAt(cv, 0)
 	if kh == nil || kh.h.Kind != corpus.KindSocket {
 		e.errs++
 		return
 	}
-	level := int(scalar(arg(c, 1)))
+	level := int(cv.scalar(1))
 	if level != kh.h.Socket.LevelVal {
 		e.errs++
 		return
 	}
-	opt := scalar(arg(c, 2))
+	opt := cv.scalar(2)
 	kc := kh.cmds[opt]
 	if kc == nil {
 		e.errs++
 		return
 	}
 	e.cover(kc.entry)
-	payload := blob(arg(c, 3))
-	optlen := scalar(arg(c, 4))
+	payload := cv.blob(3)
+	optlen := cv.scalar(4)
 	if kc.layout != nil && int(optlen) < kc.layout.Size {
 		// The rendered sockopt worker rejects short optlen before
 		// doing any work.
@@ -322,12 +383,12 @@ func (e *exec) runSockopt(c *prog.Call) {
 		return
 	}
 	e.cover(kc.body...)
-	e.record(kh.h, kc.c.Name)
-	e.evalGatesAndBug(kh, kc, payload)
+	e.rec(kc.recBit)
+	e.evalGatesAndBug(kc, payload)
 }
 
-func (e *exec) runAddrCall(c *prog.Call, kind corpus.SockCallKind) {
-	kh := e.fd(arg(c, 0))
+func (e *exec) runAddrCall(cv callView, kind corpus.SockCallKind) {
+	kh := e.fdAt(cv, 0)
 	if kh == nil {
 		e.errs++
 		return
@@ -338,19 +399,19 @@ func (e *exec) runAddrCall(c *prog.Call, kind corpus.SockCallKind) {
 		return
 	}
 	e.cover(kc.entry)
-	addr := blob(arg(c, 1))
-	addrlen := scalar(arg(c, 2))
+	addr := cv.blob(1)
+	addrlen := cv.scalar(2)
 	if !e.addrValid(kh, kc, addr, addrlen) {
 		e.errs++
 		return
 	}
 	e.cover(kc.body...)
-	e.record(kh.h, kind.String())
-	e.fireSockBug(kh, kc)
+	e.rec(kc.recBit)
+	e.fireSockBug(kc)
 }
 
-func (e *exec) runSendRecv(c *prog.Call, kind corpus.SockCallKind, addrIdx, lenIdx int) {
-	kh := e.fd(arg(c, 0))
+func (e *exec) runSendRecv(cv callView, kind corpus.SockCallKind, addrIdx, lenIdx int) {
+	kh := e.fdAt(cv, 0)
 	if kh == nil {
 		e.errs++
 		return
@@ -361,19 +422,19 @@ func (e *exec) runSendRecv(c *prog.Call, kind corpus.SockCallKind, addrIdx, lenI
 		return
 	}
 	e.cover(kc.entry)
-	addr := blob(arg(c, addrIdx))
-	addrlen := scalar(arg(c, lenIdx))
+	addr := cv.blob(addrIdx)
+	addrlen := cv.scalar(lenIdx)
 	if !e.addrValid(kh, kc, addr, addrlen) {
 		e.errs++
 		return
 	}
 	e.cover(kc.body...)
-	e.record(kh.h, kind.String())
-	e.fireSockBug(kh, kc)
+	e.rec(kc.recBit)
+	e.fireSockBug(kc)
 }
 
-func (e *exec) runSimpleSock(c *prog.Call, kind corpus.SockCallKind) {
-	kh := e.fd(arg(c, 0))
+func (e *exec) runSimpleSock(cv callView, kind corpus.SockCallKind) {
+	kh := e.fdAt(cv, 0)
 	if kh == nil {
 		e.errs++
 		return
@@ -385,12 +446,12 @@ func (e *exec) runSimpleSock(c *prog.Call, kind corpus.SockCallKind) {
 	}
 	e.cover(kc.entry)
 	e.cover(kc.body...)
-	e.record(kh.h, kind.String())
-	e.fireSockBug(kh, kc)
+	e.rec(kc.recBit)
+	e.fireSockBug(kc)
 }
 
-func (e *exec) runAccept(idx int, c *prog.Call) {
-	kh := e.fd(arg(c, 0))
+func (e *exec) runAccept(idx int, cv callView) {
+	kh := e.fdAt(cv, 0)
 	if kh == nil {
 		e.errs++
 		return
@@ -403,7 +464,7 @@ func (e *exec) runAccept(idx int, c *prog.Call) {
 	e.cover(kc.entry)
 	e.cover(kc.body...)
 	e.fds[idx] = kh
-	e.record(kh.h, corpus.SockAccept.String())
+	e.rec(kc.recBit)
 }
 
 // Userspace constant values mirrored from the corpus base header
@@ -419,8 +480,8 @@ const (
 
 // runDup duplicates an fd: the new call index aliases the same
 // handler, so later calls can drive the device through either fd.
-func (e *exec) runDup(idx int, c *prog.Call) {
-	kh := e.fd(arg(c, 0))
+func (e *exec) runDup(idx int, cv callView) {
+	kh := e.fdAt(cv, 0)
 	if kh == nil {
 		e.errs++
 		return
@@ -434,27 +495,27 @@ func (e *exec) runDup(idx int, c *prog.Call) {
 func (e *exec) runPipe(idx int) {
 	e.cover(e.k.pipe.open...)
 	e.fds[idx] = e.k.pipe
-	e.record(e.k.pipe.h, "pipe")
+	e.rec(e.k.pipe.pipeBit)
 }
 
 // runEpollCreate creates an epoll instance fd.
 func (e *exec) runEpollCreate(idx int) {
 	e.cover(e.k.epoll.open...)
 	e.fds[idx] = e.k.epoll
-	e.record(e.k.epoll.h, "epoll_create")
+	e.rec(e.k.epoll.epollCreateBit)
 }
 
 // runEpollCtl registers, modifies, or removes a watch. Registering a
 // handler-backed fd covers the handler's poll-registration block —
 // per-handler territory only reachable through the epoll surface.
-func (e *exec) runEpollCtl(c *prog.Call) {
-	ep := e.fd(arg(c, 0))
+func (e *exec) runEpollCtl(cv callView) {
+	ep := e.fdAt(cv, 0)
 	if ep != e.k.epoll || ep == nil {
 		e.errs++
 		return
 	}
-	op := scalar(arg(c, 1))
-	target := e.fd(arg(c, 2))
+	op := cv.scalar(1)
+	target := e.fdAt(cv, 2)
 	if target == nil {
 		e.errs++
 		return
@@ -484,8 +545,8 @@ func (e *exec) runEpollCtl(c *prog.Call) {
 
 // runEpollWait polls the instance; the ready path needs at least one
 // live watch.
-func (e *exec) runEpollWait(c *prog.Call) {
-	ep := e.fd(arg(c, 0))
+func (e *exec) runEpollWait(cv callView) {
+	ep := e.fdAt(cv, 0)
 	if ep != e.k.epoll || ep == nil {
 		e.errs++
 		return
@@ -501,23 +562,23 @@ func (e *exec) runEpollWait(c *prog.Call) {
 // empty and oversized lengths; the fault path covers blocks gated on
 // protection bits and page alignment, and a successful mapping enters
 // the region table for munmap.
-func (e *exec) runMmap(idx int, c *prog.Call) {
-	kh := e.fd(arg(c, 4))
+func (e *exec) runMmap(idx int, cv callView) {
+	kh := e.fdAt(cv, 4)
 	if kh == nil || !kh.mappable {
 		// Unmappable device (or bad fd): generic entry only.
 		e.errs++
 		return
 	}
 	e.cover(kh.mmapEntry)
-	length := scalar(arg(c, 1))
+	length := cv.scalar(1)
 	if length == 0 || length > maxMmapBytes {
 		e.errs++
 		return
 	}
-	prot := scalar(arg(c, 2))
+	prot := cv.scalar(2)
 	body := kh.mmapBody
 	e.cover(body[0])
-	gates := []bool{
+	gates := [4]bool{
 		prot&protRead != 0,
 		prot&protWrite != 0,
 		length%4096 == 0,
@@ -535,38 +596,39 @@ func (e *exec) runMmap(idx int, c *prog.Call) {
 		e.cover(body[i])
 	}
 	e.vmas[idx] = vma{kh: kh, length: length, mapped: true}
-	e.record(kh.h, "mmap")
+	e.rec(kh.mmapBit)
 }
 
 // runMunmap tears down a mapping: munmap(map, len). The map argument
 // is the resource produced by an earlier mmap; unmapping twice is an
 // error.
-func (e *exec) runMunmap(c *prog.Call) {
-	v := arg(c, 0)
-	if v == nil || v.Type.Kind != prog.KindResource || v.ResultOf < 0 || v.ResultOf >= len(e.vmas) {
+func (e *exec) runMunmap(cv callView) {
+	r := cv.res(0)
+	if r < 0 || r >= len(e.vmas) {
 		e.errs++
 		return
 	}
-	region := &e.vmas[v.ResultOf]
+	region := &e.vmas[r]
 	if !region.mapped {
 		e.errs++
 		return
 	}
 	region.mapped = false
 	e.cover(region.kh.munmapBlk)
-	e.record(region.kh.h, "munmap")
+	e.rec(region.kh.munmapBit)
 }
 
 // runReadWrite models pipe I/O; on any other fd the generic entry
 // block is all there is (matching the historical behavior).
-func (e *exec) runReadWrite(c *prog.Call) {
-	if kh := e.fd(arg(c, 0)); kh == e.k.pipe && kh != nil {
-		if c.Sc.CallName == "read" {
+func (e *exec) runReadWrite(cv callView) {
+	if kh := e.fdAt(cv, 0); kh == e.k.pipe && kh != nil {
+		if cv.sc.CallName == "read" {
 			e.cover(e.k.plumb["pipe_read"])
+			e.rec(kh.readBit)
 		} else {
 			e.cover(e.k.plumb["pipe_write"])
+			e.rec(kh.writeBit)
 		}
-		e.record(kh.h, c.Sc.CallName)
 	}
 }
 
@@ -584,12 +646,12 @@ func (e *exec) addrValid(kh *khandler, kc *kcall, addr []byte, addrlen uint64) b
 	return fam == uint64(kh.h.Socket.DomainVal) || fam == 0
 }
 
-func (e *exec) fireSockBug(kh *khandler, kc *kcall) {
+func (e *exec) fireSockBug(kc *kcall) {
 	bug := kc.sc.Bug
 	if bug == nil {
 		return
 	}
-	if len(bug.PriorCmds) > 0 && !e.seen(kh.h, bug.PriorCmds) {
+	if kc.priorImpossible || !e.seenBits(kc.prior) {
 		return
 	}
 	e.crash = &Crash{Title: bug.Title, Bug: bug}

@@ -24,8 +24,15 @@ type Executor interface {
 // path — a campaign executes every program on one VM instead of
 // allocating fresh maps per execution.
 //
+// Beyond the interpreted Run, a VM executes compiled programs
+// (prog.ExecProg) via RunCompiled/RunBatch with zero allocations on
+// the non-crash path: coverage stays in the VM's internal CoverSet
+// (Cover/AppendCover) and results go into caller-provided buffers.
+//
 // A VM is not safe for concurrent use; run one VM per goroutine (or
-// use Kernel.Run, which pools VMs internally).
+// use Kernel.Run, which pools VMs internally). A compiled program's
+// resolution cache is owned by whichever VM ran it last, so an
+// ExecProg must not be shared across concurrently running VMs either.
 type VM struct {
 	st exec
 }
@@ -33,9 +40,9 @@ type VM struct {
 // NewVM returns a fresh executor VM backed by the kernel image.
 func (k *Kernel) NewVM() *VM {
 	return &VM{st: exec{
-		k:       k,
-		cov:     NewCoverSet(k.NumBlocks()),
-		history: map[string]map[string]bool{},
+		k:    k,
+		cov:  NewCoverSet(k.NumBlocks()),
+		hist: make([]uint64, k.histWords),
 	}}
 }
 
@@ -51,6 +58,114 @@ func (v *VM) Run(p *prog.Prog) *Result {
 		}
 	}
 	return &Result{Cov: e.cov.Blocks(), Crash: e.crash, Errno: e.errs}
+}
+
+// rprog is a compiled program resolved against one kernel image: the
+// per-call opcode, generic entry block, and (for open/socket) target
+// handler, all looked up once instead of per run. It lives in the
+// ExecProg's cache slot, keyed by kernel identity and compilation
+// generation.
+type rprog struct {
+	k     *Kernel
+	gen   uint64
+	calls []rcall
+}
+
+// rcall is one pre-resolved instruction.
+type rcall struct {
+	op         exop
+	hasGeneric bool
+	generic    BlockID
+	// kh is the pre-resolved handler for opOpen (byPath) and opSocket
+	// (byDomain); nil = no such device/domain. Unused for other ops.
+	kh *khandler
+}
+
+// resolve returns the program's dispatch resolution against kernel k,
+// reusing the cached one when it is current. The rcall slice is
+// recycled across recompilations, so a fuzzing loop that compiles
+// into one ExecProg reaches a zero-allocation steady state.
+func (k *Kernel) resolve(ep *prog.ExecProg) *rprog {
+	rp, _ := ep.Cache().(*rprog)
+	if rp != nil && rp.k == k && rp.gen == ep.Gen() {
+		return rp
+	}
+	if rp == nil || rp.k != k {
+		rp = &rprog{k: k}
+	}
+	rp.gen = ep.Gen()
+	if cap(rp.calls) < len(ep.Calls) {
+		rp.calls = make([]rcall, len(ep.Calls))
+	} else {
+		rp.calls = rp.calls[:len(ep.Calls)]
+	}
+	for i := range ep.Calls {
+		ec := &ep.Calls[i]
+		rc := rcall{op: opOf[ec.Sc.CallName]}
+		rc.generic, rc.hasGeneric = k.genericBlocks[ec.Sc.CallName]
+		switch rc.op {
+		case opOpen:
+			rc.kh = k.byPath[string(ec.Path)]
+		case opSocket:
+			var dom uint64
+			if len(ec.Args) > 0 {
+				dom = ec.Args[0].Scalar
+			}
+			rc.kh = k.byDomain[int(dom)]
+		}
+		rp.calls[i] = rc
+	}
+	ep.SetCache(rp)
+	return rp
+}
+
+// RunCompiled executes a compiled program. Coverage is left in the
+// VM's internal CoverSet — read it with Cover or AppendCover before
+// the next run — and the crash/errno outcome is returned directly, so
+// the non-crash path performs zero allocations once the program's
+// resolution cache is warm.
+func (v *VM) RunCompiled(ep *prog.ExecProg) (*Crash, int) {
+	e := &v.st
+	rp := e.k.resolve(ep)
+	e.reset(len(ep.Calls))
+	for i := range ep.Calls {
+		rc := &rp.calls[i]
+		if rc.hasGeneric {
+			e.cover(rc.generic)
+		}
+		e.dispatch(i, rc.op, rc.kh, callView{sc: ep.Calls[i].Sc, ec: &ep.Calls[i]})
+		if e.crash != nil {
+			break
+		}
+	}
+	return e.crash, e.errs
+}
+
+// Cover returns the VM's internal coverage set for the most recent
+// Run/RunCompiled. The set aliases VM state: it is valid until the
+// next run and must not be mutated.
+func (v *VM) Cover() *CoverSet { return v.st.cov }
+
+// AppendCover appends the last run's covered blocks (sorted,
+// deduplicated) to dst and returns the extended slice. With a
+// recycled dst this is allocation-free.
+func (v *VM) AppendCover(dst []BlockID) []BlockID {
+	return v.st.cov.AppendBlocks(dst)
+}
+
+// RunBatch executes compiled programs back to back on one VM,
+// amortizing dispatch overhead and reusing out[i].Cov capacity across
+// batches. Each element runs in a fresh VM state (full reset — no fd,
+// mapping, or history leakage between elements), and a crashing
+// element does not stop the batch: out[i] records each program's own
+// outcome. len(out) must be at least len(eps).
+func (v *VM) RunBatch(eps []*prog.ExecProg, out []Result) {
+	for i, ep := range eps {
+		crash, errs := v.RunCompiled(ep)
+		out[i].Cov = v.st.cov.AppendBlocks(out[i].Cov[:0])
+		out[i].Crash = crash
+		out[i].Errno = errs
+	}
 }
 
 var _ Executor = (*VM)(nil)

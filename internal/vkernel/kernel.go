@@ -41,6 +41,9 @@ type Kernel struct {
 	// plumb names the builtin plumbing blocks: pipe read/write paths
 	// and the epoll ctl/wait/ready paths.
 	plumb map[string]BlockID
+	// histWords sizes the per-exec history bitset (one bit per
+	// handler/operation pair, pre-assigned at build).
+	histWords int
 	// vms recycles executor VMs for the concurrent Run path.
 	vms sync.Pool
 }
@@ -69,6 +72,13 @@ type khandler struct {
 	mmapBody  []BlockID
 	munmapBlk BlockID
 	mappable  bool
+	// History bit positions (absolute indices into exec.hist) for the
+	// handler-level operations the engine records. Command and socket
+	// call bits live on kcmd/kcall. Pre-resolving the bits at kernel
+	// build replaces the per-exec map-of-maps the engine used to
+	// allocate and hash into.
+	openBit, socketBit, pipeBit, epollCreateBit uint32
+	mmapBit, munmapBit, readBit, writeBit       uint32
 }
 
 // kcmd is the runtime info of one command.
@@ -79,6 +89,13 @@ type kcmd struct {
 	gates  []kgate
 	bugBlk BlockID
 	layout *corpus.Layout // payload layout, nil if no struct arg
+	// recBit is the command's history bit; prior holds the planted
+	// bug's precondition bits (priorImpossible: a precondition names
+	// an operation this handler can never record, so the bug cannot
+	// fire).
+	recBit          uint32
+	prior           []uint32
+	priorImpossible bool
 }
 
 type kgate struct {
@@ -92,6 +109,60 @@ type kcall struct {
 	entry  BlockID
 	body   []BlockID
 	layout *corpus.Layout // sockaddr layout
+	// recBit/prior mirror kcmd's history bits for socket-call bugs.
+	recBit          uint32
+	prior           []uint32
+	priorImpossible bool
+}
+
+// exop is the engine dispatch opcode a syscall name lowers to. The
+// zero value (opGeneric) dispatches nothing beyond the generic entry
+// block — the close/poll behavior.
+type exop uint8
+
+const (
+	opGeneric exop = iota
+	opOpen
+	opSocket
+	opIoctl
+	opSockopt
+	opBind
+	opConnect
+	opSendto
+	opRecvfrom
+	opSendmsg
+	opRecvmsg
+	opListen
+	opAccept
+	opDup
+	opPipe
+	opEpollCreate
+	opEpollCtl
+	opEpollWait
+	opMmap
+	opMunmap
+	opReadWrite
+)
+
+// opOf lowers syscall base names to dispatch opcodes (the string
+// switch the interpreter used to run per call, folded into one table
+// shared by the interpreted and compiled paths).
+var opOf = map[string]exop{
+	"openat": opOpen, "open": opOpen, "syz_open_dev": opOpen,
+	"socket":     opSocket,
+	"ioctl":      opIoctl,
+	"setsockopt": opSockopt, "getsockopt": opSockopt,
+	"bind": opBind, "connect": opConnect,
+	"sendto": opSendto, "recvfrom": opRecvfrom,
+	"sendmsg": opSendmsg, "recvmsg": opRecvmsg,
+	"listen": opListen, "accept": opAccept,
+	"dup": opDup, "dup2": opDup, "dup3": opDup,
+	"pipe": opPipe, "pipe2": opPipe,
+	"epoll_create": opEpollCreate, "epoll_create1": opEpollCreate,
+	"epoll_ctl":  opEpollCtl,
+	"epoll_wait": opEpollWait, "epoll_pwait": opEpollWait,
+	"mmap": opMmap, "munmap": opMunmap,
+	"read": opReadWrite, "write": opReadWrite,
 }
 
 // New builds the kernel image for a corpus. Block numbering is
@@ -113,6 +184,65 @@ func New(c *corpus.Corpus) *Kernel {
 			next++
 		}
 		return out
+	}
+	// History-bit allocation: one bit per (handler, operation) the
+	// engine can record, assigned at build so the per-exec history is a
+	// flat bitset instead of string-keyed maps. Recording an operation
+	// name twice on one handler reuses the bit (the old map-of-bools
+	// semantics); bug preconditions resolve to bit lists here, and a
+	// precondition naming an operation the handler can never record
+	// marks the bug impossible (it could never appear in the old map
+	// either).
+	var histBits uint32
+	regBits := func(kh *khandler, kcmds []*kcmd, kcalls []*kcall) {
+		ops := map[string]uint32{}
+		bit := func(name string) uint32 {
+			if b, ok := ops[name]; ok {
+				return b
+			}
+			b := histBits
+			histBits++
+			ops[name] = b
+			return b
+		}
+		kh.openBit = bit("open")
+		kh.socketBit = bit("socket")
+		kh.pipeBit = bit("pipe")
+		kh.epollCreateBit = bit("epoll_create")
+		kh.mmapBit = bit("mmap")
+		kh.munmapBit = bit("munmap")
+		kh.readBit = bit("read")
+		kh.writeBit = bit("write")
+		for _, kc := range kcmds {
+			kc.recBit = bit(kc.c.Name)
+		}
+		for _, kc := range kcalls {
+			kc.recBit = bit(kc.sc.Kind.String())
+		}
+		for _, kc := range kcmds {
+			if kc.c.Bug == nil {
+				continue
+			}
+			for _, name := range kc.c.Bug.PriorCmds {
+				if b, ok := ops[name]; ok {
+					kc.prior = append(kc.prior, b)
+				} else {
+					kc.priorImpossible = true
+				}
+			}
+		}
+		for _, kc := range kcalls {
+			if kc.sc.Bug == nil {
+				continue
+			}
+			for _, name := range kc.sc.Bug.PriorCmds {
+				if b, ok := ops[name]; ok {
+					kc.prior = append(kc.prior, b)
+				} else {
+					kc.priorImpossible = true
+				}
+			}
+		}
 	}
 	// Generic syscall-entry blocks.
 	for _, name := range []string{
@@ -141,6 +271,7 @@ func New(c *corpus.Corpus) *Kernel {
 	k.pipe.dupBlk = alloc(1)[0]
 	k.pipe.epollBlk = alloc(1)[0]
 	k.pipe.hi = next
+	regBits(k.pipe, nil, nil)
 	k.epoll = &khandler{
 		h:    &corpus.Handler{Name: "#epoll"},
 		lo:   next,
@@ -152,6 +283,7 @@ func New(c *corpus.Corpus) *Kernel {
 	k.epoll.dupBlk = alloc(1)[0]
 	k.epoll.epollBlk = alloc(1)[0]
 	k.epoll.hi = next
+	regBits(k.epoll, nil, nil)
 	for _, h := range c.Handlers {
 		if !h.Loaded {
 			continue
@@ -179,6 +311,7 @@ func New(c *corpus.Corpus) *Kernel {
 			kh.layouts[name] = l
 			return l
 		}
+		kcmds := make([]*kcmd, 0, len(h.Cmds))
 		for i := range h.Cmds {
 			cmd := &h.Cmds[i]
 			kc := &kcmd{
@@ -195,16 +328,21 @@ func New(c *corpus.Corpus) *Kernel {
 			}
 			val := h.CmdValue(cmd, c.Index.Sizeof)
 			kh.cmds[val] = kc
+			kcmds = append(kcmds, kc)
 		}
+		kcalls := make([]*kcall, 0, len(h.Socket.Calls))
 		for i := range h.Socket.Calls {
 			sc := &h.Socket.Calls[i]
-			kh.calls[sc.Kind] = &kcall{
+			kc := &kcall{
 				sc:     sc,
 				entry:  alloc(1)[0],
 				body:   alloc(sc.Blocks),
 				layout: layout(sc.Addr),
 			}
+			kh.calls[sc.Kind] = kc
+			kcalls = append(kcalls, kc)
 		}
+		regBits(kh, kcmds, kcalls)
 		// fd plumbing: every handler's fds can be duplicated and
 		// epoll-registered; mappable handlers additionally get an mmap
 		// fault path and a munmap teardown block.
@@ -226,6 +364,7 @@ func New(c *corpus.Corpus) *Kernel {
 		}
 	}
 	k.TotalBlocks = next
+	k.histWords = int(histBits+63) / 64
 	return k
 }
 
