@@ -3,7 +3,9 @@
 // internal/hub.Client) register with to pool their corpora, crashes,
 // and coverage. The hub maintains an authoritative on-disk corpus
 // store — restartable: a new syzhub over the same -store continues
-// the generation lineage and workers transparently re-register — a
+// the generation lineage and, with -state, replays its lease table,
+// crash counts, and union coverage from a sidecar so surviving
+// workers keep syncing deltas without a full corpus replay — a
 // global crash table deduplicated by normalized repro text, and live
 // aggregated stats.
 //
@@ -13,18 +15,32 @@
 // all pool into one store; each worker re-validates pulled seeds
 // against its own target and skips what it cannot parse.
 //
+// Workers hold leases (granted at registration, renewed by syncs and
+// heartbeats, expiring after -lease-ttl of silence); -max-inflight
+// and -min-sync-interval shed load with 429 + Retry-After when the
+// fleet outruns the hub.
+//
+// With -parent URL the hub runs as a leaf in a hierarchical topology:
+// it registers with the root hub as one worker and periodically syncs
+// its aggregate deltas upward (every -parent-interval), pulling the
+// root's merged corpus down for its own workers — so root fan-in
+// scales with leaf count, not worker count.
+//
 // Endpoints:
 //
-//	POST /v1/register  worker announce         (internal/hub proto)
-//	POST /v1/sync      push deltas, pull merged corpus diff
-//	GET  /v1/stats     aggregated live stats (JSON)
-//	GET  /v1/crashes   global deduplicated crash table (JSON)
-//	GET  /healthz      liveness probe
+//	POST /v1/register   worker announce, lease grant  (internal/hub proto)
+//	POST /v1/sync       push deltas, pull merged corpus diff (JSON or binary)
+//	POST /v1/heartbeat  lease renewal between syncs
+//	GET  /v1/stats      aggregated live stats (JSON)
+//	GET  /v1/crashes    global deduplicated crash table (JSON)
+//	GET  /healthz       liveness probe
 //
 // Usage:
 //
 //	syzhub -store /var/lib/syzhub/corpus
 //	syzhub -addr 127.0.0.1:7700 -store /tmp/hub -cap 1024 -v
+//	syzhub -store /tmp/leaf -addr 127.0.0.1:7701 \
+//	    -parent http://127.0.0.1:7700 -parent-name rack-3
 package main
 
 import (
@@ -35,6 +51,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"time"
 
 	"kernelgpt/internal/corpus"
@@ -49,11 +66,18 @@ func main() {
 	storeDir := flag.String("store", "", "authoritative corpus store directory (required)")
 	capacity := flag.Int("cap", 0, "merged corpus bound (0 = seedpool default)")
 	scale := flag.Float64("scale", 1.0, "corpus scale (must match the workers')")
+	statePath := flag.String("state", "", `lease/crash-table sidecar file ("auto" = <store>/hubstate.json, "" = off)`)
+	leaseTTL := flag.Duration("lease-ttl", hub.DefaultLeaseTTL, "worker lease expiry after last sync or heartbeat")
+	maxInflight := flag.Int("max-inflight", 0, "sync backpressure: concurrent exchanges before 429 (0 = unlimited)")
+	minSyncInterval := flag.Duration("min-sync-interval", 0, "per-worker sync rate limit (0 = unlimited)")
+	parent := flag.String("parent", "", "root hub URL: run as a leaf and sync aggregates upward")
+	parentName := flag.String("parent-name", "", "worker name this leaf registers under at the root (default leaf-<addr>)")
+	parentInterval := flag.Duration("parent-interval", 15*time.Second, "upward sync period when -parent is set")
 	verbose := flag.Bool("v", false, "log every registration and sync")
 	flag.Parse()
 
 	if *storeDir == "" {
-		fmt.Fprintln(os.Stderr, "usage: syzhub -store DIR [-addr HOST:PORT] [-cap N] [-v]")
+		fmt.Fprintln(os.Stderr, "usage: syzhub -store DIR [-addr HOST:PORT] [-cap N] [-state auto] [-parent URL] [-v]")
 		os.Exit(2)
 	}
 
@@ -66,7 +90,21 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	opts := []hub.Option{hub.WithCapacity(*capacity)}
+	opts := []hub.Option{
+		hub.WithCapacity(*capacity),
+		hub.WithLeaseTTL(*leaseTTL),
+		hub.WithMaxInflight(*maxInflight),
+		hub.WithMinSyncInterval(*minSyncInterval),
+	}
+	if *statePath == "auto" {
+		*statePath = filepath.Join(*storeDir, "hubstate.json")
+	}
+	if *statePath != "" {
+		opts = append(opts, hub.WithStatePath(*statePath))
+	}
+	if *parent != "" {
+		opts = append(opts, hub.WithParent(*parent))
+	}
 	if *verbose {
 		opts = append(opts, hub.WithLog(log.Printf))
 	}
@@ -87,13 +125,75 @@ func main() {
 		defer cancel()
 		srv.Shutdown(shutdown)
 	}()
+
+	var parentDone chan struct{}
+	if *parent != "" {
+		name := *parentName
+		if name == "" {
+			name = "leaf-" + *addr
+		}
+		parentDone = make(chan struct{})
+		go runParentLoop(ctx, h, *parent, name, tgt, *parentInterval, parentDone)
+	}
+
 	log.Printf("syzhub: listening on http://%s", *addr)
 	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		log.Fatal(err)
 	}
+	if parentDone != nil {
+		<-parentDone
+	}
 	final := h.Stats()
 	log.Printf("syzhub: shut down: %d seeds, %d union cover, %d crashes from %d workers",
 		final.Seeds, final.UnionCover, final.Crashes, len(final.Workers))
+}
+
+// runParentLoop periodically syncs the leaf's aggregate state up to
+// the root hub, and releases the leaf's lease with one final sync on
+// shutdown. Upward sync failures are logged and retried next tick —
+// the leaf keeps serving its own workers through root outages.
+func runParentLoop(ctx context.Context, h *hub.Hub, parentURL, name string, tgt *prog.Target, interval time.Duration, done chan<- struct{}) {
+	defer close(done)
+	// Dial lazily: the root may come up after the leaf, so registration
+	// failures just retry on the next tick.
+	var client *hub.Client
+	dial := func(c context.Context) bool {
+		if client != nil {
+			return true
+		}
+		cl, err := hub.Dial(c, parentURL, name, tgt)
+		if err != nil {
+			log.Printf("syzhub: parent register: %v", err)
+			return false
+		}
+		client = cl
+		log.Printf("syzhub: registered with parent %s as %s", parentURL, cl.WorkerID())
+		return true
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			if !dial(ctx) {
+				continue
+			}
+			if n, err := h.SyncParent(ctx, client, false); err != nil {
+				log.Printf("syzhub: parent sync: %v", err)
+			} else if n > 0 {
+				log.Printf("syzhub: parent sync imported %d seeds", n)
+			}
+		case <-ctx.Done():
+			shutdown, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			if dial(shutdown) {
+				if _, err := h.SyncParent(shutdown, client, true); err != nil {
+					log.Printf("syzhub: final parent sync: %v", err)
+				}
+			}
+			cancel()
+			return
+		}
+	}
 }
 
 // widestTarget compiles the merged ground-truth specs of every loaded

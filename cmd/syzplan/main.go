@@ -138,6 +138,20 @@ func (rf runFlags) loadRecord() (sim.RunRecord, error) {
 		}
 		if hs.Sync.Count > 0 {
 			rec.HubServiceNsMean = hs.Sync.MeanServiceNs()
+			rec.BytesPerSync = hs.Sync.MeanBytes()
+		}
+		// Per-worker aggregates are the sample points for splitting hub
+		// service time into base + per-byte (sim.Calibrate runs the
+		// regression when at least two payload sizes differ).
+		for _, wk := range hs.Workers {
+			if wk.Sync.Count == 0 {
+				continue
+			}
+			rec.WorkerSyncs = append(rec.WorkerSyncs, sim.SyncSample{
+				Count:         wk.Sync.Count,
+				MeanBytes:     wk.Sync.MeanBytes(),
+				MeanServiceNs: wk.Sync.MeanServiceNs(),
+			})
 		}
 	}
 	return rec, nil
@@ -184,7 +198,11 @@ func cmdFit(args []string) error {
 	fmt.Printf("model written to %s\n", *out)
 	fmt.Printf("  per-exec: exec=%s mutate=%s triage=%s\n",
 		ns(m.Cost.ExecNs), ns(m.Cost.MutateNs), ns(m.Cost.TriageNs))
-	fmt.Printf("  sync: base=%s hub-service=%s\n", ns(m.Cost.SyncBaseNs), ns(m.Cost.HubServiceNs))
+	fmt.Printf("  sync: base=%s hub-service=%s", ns(m.Cost.SyncBaseNs), ns(m.Cost.HubServiceNs))
+	if m.Cost.HubPerByteNs > 0 {
+		fmt.Printf(" +%.2fns/B × %.0fB", m.Cost.HubPerByteNs, m.BytesPerSync)
+	}
+	fmt.Println()
 	fmt.Printf("  yield: Cmax=%.0f K=%.0f B=%.2f (trace: %d points)\n",
 		m.Yield.Cmax, m.Yield.K, m.Yield.B, len(pts))
 	return nil

@@ -116,6 +116,13 @@ type Config struct {
 	// a final push-only sync runs when the campaign ends. Syncs are
 	// best-effort: an unreachable hub never fails the campaign.
 	//
+	// Each sync also renews the worker's hub lease, so the checkpoint
+	// cadence doubles as the liveness heartbeat: keep the inter-sync
+	// gap under the hub's lease TTL (default one minute), or the hub
+	// reaps the lease and the client transparently re-registers —
+	// correct but costlier, as the first sync after re-registration
+	// replays full state instead of deltas.
+	//
 	// Imported remote seeds change subsequent mutation picks, so a
 	// hub-attached campaign is deterministic only if the hub's
 	// responses are (e.g. workers syncing in a fixed order); detached

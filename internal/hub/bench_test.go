@@ -1,0 +1,56 @@
+package hub
+
+import (
+	"fmt"
+	"testing"
+
+	"kernelgpt/internal/vkernel"
+)
+
+// benchSyncRequest is a fleet-representative exchange: a checkpoint's
+// worth of fresh seeds, a clustered cover delta, and one crash.
+func benchSyncRequest() *SyncRequest {
+	req := &SyncRequest{
+		Version:  ProtoVersion,
+		WorkerID: "w17",
+		LeaseID:  "L17.abcdef",
+		SinceGen: 9,
+		Stats: WorkerStats{
+			Execs: 120000, Cover: 4800, Crashes: 2,
+			Ops: []OpJSON{
+				{Name: "insert", Picks: 400, NewBlocks: 90},
+				{Name: "mutate-arg", Picks: 700, NewBlocks: 40},
+				{Name: "splice", Picks: 300, NewBlocks: 25},
+			},
+		},
+	}
+	for i := 0; i < 32; i++ {
+		req.Seeds = append(req.Seeds, WireSeed{
+			Text: fmt.Sprintf("r0 = open(dev%d)\nioctl(r0, CMD%d, %d)\nclose(r0)\n", i, i%7, i*13),
+			Prio: 100 + i, Bonus: i % 3, Op: "insert",
+		})
+	}
+	for b := vkernel.BlockID(6000); b < 6400; b++ {
+		req.NewBlocks = append(req.NewBlocks, b)
+	}
+	for b := vkernel.BlockID(7000); b < 12000; b += 17 {
+		req.NewBlocks = append(req.NewBlocks, b)
+	}
+	req.Crashes = []WireCrash{
+		{Title: "KASAN: slab-out-of-bounds in cec_transmit", Repro: "r0 = open(cec)\n", Count: 4},
+	}
+	return req
+}
+
+// BenchmarkHubSyncRoundtrip measures the codec hot path: one sync
+// request encoded and decoded through the binary wire format.
+func BenchmarkHubSyncRoundtrip(b *testing.B) {
+	req := benchSyncRequest()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		enc := EncodeSyncRequest(req)
+		if _, err := DecodeSyncRequest(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -5,7 +5,10 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -34,9 +37,12 @@ type Client struct {
 	backoff     time.Duration
 	name        string
 	fingerprint string
+	binary      bool
 
 	mu       sync.Mutex
 	workerID string
+	leaseID  string
+	leaseTTL time.Duration
 	gen      int
 	pushed   map[string]bool
 	lastCov  *vkernel.CoverSet
@@ -64,6 +70,14 @@ func WithRetry(attempts int, backoff time.Duration) ClientOption {
 	return func(c *Client) { c.attempts = attempts; c.backoff = backoff }
 }
 
+// WithProtocol selects the /v1/sync encoding: "binary" (the default;
+// compact frame streams with compressed cover deltas) or "json" (the
+// PR-5 wire format, interoperable with any hub). Register, heartbeat,
+// and monitoring endpoints always speak JSON.
+func WithProtocol(proto string) ClientOption {
+	return func(c *Client) { c.binary = proto != "json" }
+}
+
 // Dial registers a worker with the hub at baseURL and returns the
 // connected client. The worker's fingerprint is derived from its
 // compiled target; name labels it in the hub's stats.
@@ -76,6 +90,7 @@ func Dial(ctx context.Context, baseURL, name string, t *prog.Target, opts ...Cli
 		backoff:     100 * time.Millisecond,
 		name:        name,
 		fingerprint: Fingerprint(t),
+		binary:      true,
 		pushed:      map[string]bool{},
 		lastCov:     &vkernel.CoverSet{},
 		crashes:     map[string]int{},
@@ -83,25 +98,53 @@ func Dial(ctx context.Context, baseURL, name string, t *prog.Target, opts ...Cli
 	for _, o := range opts {
 		o(c)
 	}
-	if err := c.register(ctx); err != nil {
+	if _, err := c.register(ctx); err != nil {
 		return nil, err
 	}
 	return c, nil
 }
 
-// register performs the /v1/register exchange. Callers hold c.mu or
-// have exclusive access (Dial).
-func (c *Client) register(ctx context.Context) error {
+// register performs the /v1/register exchange, presenting the current
+// lease for resumption when one is held. It reports whether the hub
+// resumed the lease (our delta bookkeeping is still valid hub-side).
+// Callers hold c.mu or have exclusive access (Dial).
+func (c *Client) register(ctx context.Context) (bool, error) {
 	var resp RegisterResponse
 	err := c.do(ctx, "/v1/register", RegisterRequest{
 		Version: ProtoVersion, Name: c.name, Fingerprint: c.fingerprint,
+		LeaseID: c.leaseID,
 	}, &resp)
 	if err != nil {
-		return fmt.Errorf("hub register: %w", err)
+		return false, fmt.Errorf("hub register: %w", err)
 	}
 	c.workerID = resp.WorkerID
+	c.leaseID = resp.LeaseID
+	c.leaseTTL = time.Duration(resp.LeaseTTLMs) * time.Millisecond
 	c.HubFingerprint = resp.HubFingerprint
 	c.HubSeeds = resp.Seeds
+	return resp.Resumed, nil
+}
+
+// LeaseID returns the current lease (empty against a pre-lease hub).
+func (c *Client) LeaseID() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.leaseID
+}
+
+// Heartbeat renews the worker's lease without a sync payload — for
+// gaps between checkpoint boundaries that would outlast the TTL.
+func (c *Client) Heartbeat(ctx context.Context) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var resp HeartbeatResponse
+	err := c.do(ctx, "/v1/heartbeat", HeartbeatRequest{
+		Version: ProtoVersion, WorkerID: c.workerID, LeaseID: c.leaseID,
+	}, &resp)
+	if err != nil {
+		return fmt.Errorf("hub heartbeat: %w", err)
+	}
+	c.leaseTTL = time.Duration(resp.LeaseTTLMs) * time.Millisecond
 	return nil
 }
 
@@ -129,6 +172,7 @@ func (c *Client) Sync(ctx context.Context, st fuzz.SyncState) ([]seedpool.SeedSt
 	req := SyncRequest{
 		Version:  ProtoVersion,
 		WorkerID: c.workerID,
+		LeaseID:  c.leaseID,
 		SinceGen: c.gen,
 		Final:    st.Final,
 		Stats: WorkerStats{
@@ -167,32 +211,41 @@ func (c *Client) Sync(ctx context.Context, st fuzz.SyncState) ([]seedpool.SeedSt
 		}
 	}
 
-	var resp SyncResponse
-	if err := c.do(ctx, "/v1/sync", req, &resp); err != nil {
+	resp, err := c.doSync(ctx, &req)
+	if err != nil {
 		if !isUnknownWorker(err) {
 			return nil, err
 		}
-		// The hub restarted and lost our registration: re-register,
-		// reset the pull cursor, and retry once. The content-addressed
-		// push dedup stays valid — the restarted hub reloaded its
-		// corpus from the store — but its union coverage and crash
-		// table are in-memory only, so those deltas restart from zero:
-		// rebuild the request with the full cumulative state.
-		if err := c.register(ctx); err != nil {
+		// Our registration is gone (hub restart) or our lease lapsed
+		// (missed heartbeats during a partition): re-register,
+		// presenting the lease for resumption.
+		resumed, err := c.register(ctx)
+		if err != nil {
 			return nil, err
 		}
-		c.lastCov = &vkernel.CoverSet{}
-		c.crashes = map[string]int{}
 		req.WorkerID = c.workerID
-		req.SinceGen = 0
-		req.NewBlocks = st.Cover.Blocks()
-		req.Crashes = nil
-		for _, cr := range st.Crashes {
-			if cr.Count > 0 {
-				req.Crashes = append(req.Crashes, WireCrash{Title: cr.Title, Repro: cr.Repro, Count: cr.Count})
+		req.LeaseID = c.leaseID
+		if !resumed {
+			// The hub holds no state for us. The content-addressed
+			// push dedup stays valid — the hub reloaded its corpus
+			// from the store — but union coverage and the crash table
+			// restarted empty, so those deltas replay from zero:
+			// rebuild the request with the full cumulative state.
+			c.lastCov = &vkernel.CoverSet{}
+			c.crashes = map[string]int{}
+			req.SinceGen = 0
+			req.NewBlocks = st.Cover.Blocks()
+			req.Crashes = nil
+			for _, cr := range st.Crashes {
+				if cr.Count > 0 {
+					req.Crashes = append(req.Crashes, WireCrash{Title: cr.Title, Repro: cr.Repro, Count: cr.Count})
+				}
 			}
 		}
-		if err := c.do(ctx, "/v1/sync", req, &resp); err != nil {
+		// A resumed lease keeps all delta bookkeeping: the hub still
+		// holds our cover/crash attribution, so the original request
+		// is retried as-is.
+		if resp, err = c.doSync(ctx, &req); err != nil {
 			return nil, err
 		}
 	}
@@ -227,10 +280,12 @@ func (c *Client) Sync(ctx context.Context, st fuzz.SyncState) ([]seedpool.SeedSt
 	return out, nil
 }
 
-// statusError is a non-2xx HTTP reply.
+// statusError is a non-2xx HTTP reply. retryAfter carries the
+// server's Retry-After hint on 429 responses.
 type statusError struct {
-	code int
-	msg  string
+	code       int
+	msg        string
+	retryAfter time.Duration
 }
 
 func (e *statusError) Error() string {
@@ -243,19 +298,21 @@ func isUnknownWorker(err error) bool {
 }
 
 // retryable reports whether a request should be retried: transport
-// errors and server-side (5xx) failures are; client-side (4xx)
-// rejections are not.
+// errors, server-side (5xx) failures, and backpressure (429) are;
+// other client-side (4xx) rejections are not.
 func retryable(err error) bool {
 	if se, ok := err.(*statusError); ok {
-		return se.code >= 500
+		return se.code >= 500 || se.code == http.StatusTooManyRequests
 	}
 	return true
 }
 
-// do POSTs one JSON request with retry/backoff (the retry discipline
-// mirrors the llm middleware: doubling sleeps, context cancellation
-// is never retried and interrupts the backoff).
-func (c *Client) do(ctx context.Context, path string, in, out any) error {
+// withRetry runs one exchange with retry/backoff (the retry
+// discipline mirrors the llm middleware: doubling sleeps, context
+// cancellation is never retried and interrupts the backoff). A 429's
+// Retry-After overrides the backoff for that sleep — the hub said
+// when it wants us back.
+func (c *Client) withRetry(ctx context.Context, fn func() error) error {
 	delay := c.backoff
 	attempts := c.attempts
 	if attempts < 1 {
@@ -263,22 +320,62 @@ func (c *Client) do(ctx context.Context, path string, in, out any) error {
 	}
 	var err error
 	for try := 0; try < attempts; try++ {
-		if try > 0 && delay > 0 {
-			t := time.NewTimer(delay)
-			select {
-			case <-ctx.Done():
-				t.Stop()
-				return ctx.Err()
-			case <-t.C:
+		if try > 0 {
+			wait := delay
+			if se, ok := err.(*statusError); ok && se.retryAfter > 0 {
+				wait = se.retryAfter
+			}
+			if wait > 0 {
+				t := time.NewTimer(wait)
+				select {
+				case <-ctx.Done():
+					t.Stop()
+					return ctx.Err()
+				case <-t.C:
+				}
 			}
 			delay *= 2
 		}
-		err = c.post(ctx, path, in, out)
+		err = fn()
 		if err == nil || ctx.Err() != nil || !retryable(err) {
 			return err
 		}
 	}
 	return err
+}
+
+// do POSTs one JSON request with retry/backoff.
+func (c *Client) do(ctx context.Context, path string, in, out any) error {
+	return c.withRetry(ctx, func() error { return c.post(ctx, path, in, out) })
+}
+
+// doSync runs one /v1/sync exchange in the negotiated protocol with
+// retry/backoff.
+func (c *Client) doSync(ctx context.Context, req *SyncRequest) (*SyncResponse, error) {
+	var resp *SyncResponse
+	err := c.withRetry(ctx, func() error {
+		r, err := c.postSync(ctx, req)
+		if err != nil {
+			return err
+		}
+		resp = r
+		return nil
+	})
+	return resp, err
+}
+
+// readError turns a non-2xx reply into a statusError, capturing the
+// Retry-After hint.
+func readError(resp *http.Response) error {
+	var er ErrorResponse
+	json.NewDecoder(resp.Body).Decode(&er)
+	se := &statusError{code: resp.StatusCode, msg: er.Error}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil && secs > 0 {
+			se.retryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return se
 }
 
 // post performs one JSON POST exchange.
@@ -291,16 +388,59 @@ func (c *Client) post(ctx context.Context, path string, in, out any) error {
 	if err != nil {
 		return err
 	}
-	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Content-Type", JSONContentType)
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		var er ErrorResponse
-		json.NewDecoder(resp.Body).Decode(&er)
-		return &statusError{code: resp.StatusCode, msg: er.Error}
+		return readError(resp)
 	}
 	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// postSync performs one /v1/sync exchange, encoding per the client's
+// protocol: the binary frame stream (with Accept negotiating a binary
+// response) or plain JSON. Error replies are always JSON.
+func (c *Client) postSync(ctx context.Context, sreq *SyncRequest) (*SyncResponse, error) {
+	var body []byte
+	contentType := JSONContentType
+	if c.binary {
+		body = EncodeSyncRequest(sreq)
+		contentType = BinaryContentType
+	} else {
+		var err error
+		if body, err = json.Marshal(sreq); err != nil {
+			return nil, err
+		}
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.baseURL+"/v1/sync", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", contentType)
+	if c.binary {
+		req.Header.Set("Accept", BinaryContentType)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, readError(resp)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if strings.HasPrefix(resp.Header.Get("Content-Type"), BinaryContentType) {
+		return DecodeSyncResponse(data)
+	}
+	out := &SyncResponse{}
+	if err := json.Unmarshal(data, out); err != nil {
+		return nil, err
+	}
+	return out, nil
 }

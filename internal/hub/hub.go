@@ -6,13 +6,28 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"kernelgpt/internal/fuzz/corpusstore"
 	"kernelgpt/internal/fuzz/seedpool"
 	"kernelgpt/internal/prog"
 	"kernelgpt/internal/vkernel"
+)
+
+// DefaultLeaseTTL is the lease time-to-live granted at registration
+// and refreshed by every sync and heartbeat. Campaigns sync at
+// checkpoint cadence (well under a minute), so a worker that goes
+// this long without either is treated as dead.
+const DefaultLeaseTTL = time.Minute
+
+// Lease states (WorkerJSON.Lease).
+const (
+	LeaseActive   = "active"
+	LeaseExpired  = "expired"
+	LeaseReleased = "released"
 )
 
 // Hub is the coordination daemon's state: the authoritative merged
@@ -28,6 +43,17 @@ type Hub struct {
 	logf   func(format string, args ...any)
 	now    func() time.Time
 
+	leaseTTL        time.Duration
+	maxInflight     int
+	minSyncInterval time.Duration
+	statePath       string
+	parentURL       string
+
+	// inflight counts /v1/sync requests currently being served; when
+	// it would exceed maxInflight the hub sheds load with 429 before
+	// touching the mutex.
+	inflight atomic.Int64
+
 	mu sync.Mutex
 	// states is the merged corpus image (what the store holds);
 	// entries/generation mirror the store manifest after each save,
@@ -42,6 +68,7 @@ type Hub struct {
 	workers map[string]*worker
 
 	nextWorker    int
+	nextLease     int
 	rejectedSeeds int
 	crashReports  int
 	start         time.Time
@@ -55,6 +82,16 @@ type worker struct {
 	lastSync    time.Time
 	final       bool
 	stats       WorkerStats
+	// leaseID names the worker's lease; leaseExpiry is when it lapses
+	// unless a sync or heartbeat renews it first; leaseState tracks
+	// active → expired (reaped) or released (Final sync).
+	leaseID     string
+	leaseExpiry time.Time
+	leaseState  string
+	// gen stamps the store generation of the worker's last exchange;
+	// persisted with the lease so a resumed worker's replay window is
+	// bounded by what the store already holds.
+	gen int
 	// sync aggregates the worker's per-sync service time and payload
 	// size (count/sum/max), the operator-facing cost of keeping this
 	// worker attached.
@@ -65,9 +102,9 @@ type worker struct {
 	crashCounts map[string]int
 }
 
-// observeSync folds one exchange's service time and payload size into
-// a sync aggregate.
-func observeSync(a *SyncAggJSON, serviceNs, payloadBytes int64) {
+// observeSync folds one exchange's service time, wire payload size,
+// and JSON-equivalent size into a sync aggregate.
+func observeSync(a *SyncAggJSON, serviceNs, payloadBytes, jsonBytes int64) {
 	a.Count++
 	a.ServiceNsSum += serviceNs
 	if serviceNs > a.ServiceNsMax {
@@ -77,6 +114,7 @@ func observeSync(a *SyncAggJSON, serviceNs, payloadBytes int64) {
 	if payloadBytes > a.BytesMax {
 		a.BytesMax = payloadBytes
 	}
+	a.JSONBytesSum += jsonBytes
 }
 
 // crashRecord is one globally deduplicated crash, keyed in
@@ -102,6 +140,34 @@ func WithLog(logf func(format string, args ...any)) Option {
 	return func(h *Hub) { h.logf = logf }
 }
 
+// WithLeaseTTL overrides the worker lease time-to-live (<= 0 selects
+// DefaultLeaseTTL).
+func WithLeaseTTL(d time.Duration) Option {
+	return func(h *Hub) { h.leaseTTL = d }
+}
+
+// WithMaxInflight bounds concurrent /v1/sync requests; excess load is
+// shed with 429 + Retry-After before it queues on the hub mutex
+// (0 = unbounded).
+func WithMaxInflight(n int) Option { return func(h *Hub) { h.maxInflight = n } }
+
+// WithMinSyncInterval rate-limits each worker to one non-final sync
+// per interval; faster arrivals get 429 + Retry-After (0 = no limit).
+func WithMinSyncInterval(d time.Duration) Option {
+	return func(h *Hub) { h.minSyncInterval = d }
+}
+
+// WithStatePath enables the hub state sidecar: cover union, crash
+// table, and worker leases are persisted to this JSON file after
+// every mutating exchange and restored by New, so a hub restart does
+// not force re-registered workers into a full cover/crash replay.
+func WithStatePath(path string) Option { return func(h *Hub) { h.statePath = path } }
+
+// WithParent records the upstream hub URL this hub aggregates into
+// (for /v1/stats; the actual upward sync loop is driven by the
+// caller via SyncParent).
+func WithParent(url string) Option { return func(h *Hub) { h.parentURL = url } }
+
 // withNow overrides the hub clock (tests).
 func withNow(now func() time.Time) Option { return func(h *Hub) { h.now = now } }
 
@@ -109,8 +175,11 @@ func withNow(now func() time.Time) Option { return func(h *Hub) { h.now = now } 
 // An existing store warm-starts the hub: its entries become the
 // initial merged corpus (invalid ones are skipped, as in any load)
 // and its generation lineage continues, so workers of a previous hub
-// instance can keep syncing. Union coverage restarts empty — workers
-// re-push their full cover on their first sync.
+// instance can keep syncing. Without a state sidecar (WithStatePath)
+// union coverage and the crash table restart empty — workers re-push
+// their full history after re-registering; with one, leases and all
+// attribution state are restored and restarted workers carry on as if
+// nothing happened.
 func New(t *prog.Target, store *corpusstore.Store, opts ...Option) (*Hub, error) {
 	h := &Hub{
 		target:  t,
@@ -128,6 +197,9 @@ func New(t *prog.Target, store *corpusstore.Store, opts ...Option) (*Hub, error)
 	if h.cap <= 0 {
 		h.cap = seedpool.DefaultCapacity
 	}
+	if h.leaseTTL <= 0 {
+		h.leaseTTL = DefaultLeaseTTL
+	}
 	h.start = h.now()
 	states, rep, err := store.Load(t)
 	if err != nil {
@@ -138,6 +210,9 @@ func New(t *prog.Target, store *corpusstore.Store, opts ...Option) (*Hub, error)
 		h.logf("hub: store load skipped %d entries", len(rep.Skipped))
 	}
 	if err := h.refreshIndex(); err != nil {
+		return nil, err
+	}
+	if err := h.loadState(); err != nil {
 		return nil, err
 	}
 	return h, nil
@@ -166,6 +241,7 @@ func (h *Hub) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/register", h.handleRegister)
 	mux.HandleFunc("/v1/sync", h.handleSync)
+	mux.HandleFunc("/v1/heartbeat", h.handleHeartbeat)
 	mux.HandleFunc("/v1/stats", h.handleStats)
 	mux.HandleFunc("/v1/crashes", h.handleCrashes)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -209,6 +285,31 @@ func decode(w http.ResponseWriter, r *http.Request, version *int, body any) (int
 	return int64(len(data)), true
 }
 
+// reapLocked expires leases whose TTL lapsed. Expired workers keep
+// their bookkeeping (so a LeaseID resume needs no replay and crash
+// differencing stays exact) but their syncs are rejected until they
+// re-register. Callers hold h.mu.
+func (h *Hub) reapLocked() {
+	now := h.now()
+	for _, wk := range h.workers {
+		if wk.leaseState == LeaseActive && wk.leaseExpiry.Before(now) {
+			wk.leaseState = LeaseExpired
+			h.logf("hub: lease for %s (%s) expired", wk.id, wk.name)
+		}
+	}
+}
+
+// grantLease issues a fresh lease on wk. The ID is unique per hub
+// lifetime (counter) and across restarts (start-time suffix), so a
+// stale client resuming against a restarted hub cannot collide with
+// a newly issued lease. Callers hold h.mu.
+func (h *Hub) grantLease(wk *worker) {
+	h.nextLease++
+	wk.leaseID = fmt.Sprintf("L%d.%x", h.nextLease, h.start.UnixNano())
+	wk.leaseState = LeaseActive
+	wk.leaseExpiry = h.now().Add(h.leaseTTL)
+}
+
 func (h *Hub) handleRegister(w http.ResponseWriter, r *http.Request) {
 	var req RegisterRequest
 	if _, ok := decode(w, r, &req.Version, &req); !ok {
@@ -216,23 +317,136 @@ func (h *Hub) handleRegister(w http.ResponseWriter, r *http.Request) {
 	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	h.reapLocked()
+	hubFP := Fingerprint(h.target)
+	// Resume: if the presented lease matches a worker we still hold
+	// state for (in memory, or restored from the state sidecar after
+	// a restart), revive it — the worker keeps its identity and the
+	// client keeps its delta bookkeeping.
+	if req.LeaseID != "" {
+		for _, wk := range h.workers {
+			if wk.leaseID == req.LeaseID && wk.leaseState != LeaseReleased {
+				wk.leaseState = LeaseActive
+				wk.leaseExpiry = h.now().Add(h.leaseTTL)
+				h.persistLocked()
+				h.logf("hub: resumed %s (%s, lease %s)", wk.id, wk.name, wk.leaseID)
+				writeJSON(w, http.StatusOK, RegisterResponse{
+					Version: ProtoVersion, WorkerID: wk.id, Generation: h.gen,
+					Seeds: len(h.states), HubFingerprint: hubFP,
+					LeaseID: wk.leaseID, LeaseTTLMs: h.leaseTTL.Milliseconds(),
+					Resumed: true,
+				})
+				return
+			}
+		}
+	}
 	h.nextWorker++
 	id := fmt.Sprintf("w%d", h.nextWorker)
-	h.workers[id] = &worker{id: id, name: req.Name, fingerprint: req.Fingerprint, crashCounts: map[string]int{}}
-	hubFP := Fingerprint(h.target)
-	h.logf("hub: registered %s (%s, fingerprint %s)", id, req.Name, req.Fingerprint)
+	wk := &worker{id: id, name: req.Name, fingerprint: req.Fingerprint, crashCounts: map[string]int{}}
+	h.grantLease(wk)
+	h.workers[id] = wk
+	h.persistLocked()
+	h.logf("hub: registered %s (%s, fingerprint %s, lease %s)", id, req.Name, req.Fingerprint, wk.leaseID)
 	writeJSON(w, http.StatusOK, RegisterResponse{
 		Version: ProtoVersion, WorkerID: id, Generation: h.gen,
 		Seeds: len(h.states), HubFingerprint: hubFP,
+		LeaseID: wk.leaseID, LeaseTTLMs: h.leaseTTL.Milliseconds(),
 	})
 }
 
+func (h *Hub) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req HeartbeatRequest
+	if _, ok := decode(w, r, &req.Version, &req); !ok {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.reapLocked()
+	wk := h.workers[req.WorkerID]
+	if wk == nil || !h.leaseOKLocked(w, wk, req.LeaseID) {
+		if wk == nil {
+			writeError(w, http.StatusNotFound, "unknown worker %q (hub restarted? re-register)", req.WorkerID)
+		}
+		return
+	}
+	if wk.leaseState == LeaseActive {
+		wk.leaseExpiry = h.now().Add(h.leaseTTL)
+	}
+	writeJSON(w, http.StatusOK, HeartbeatResponse{
+		Version: ProtoVersion, LeaseTTLMs: h.leaseTTL.Milliseconds(),
+	})
+}
+
+// leaseOKLocked validates a presented lease against a worker's,
+// writing the 404 re-register hint itself on mismatch or expiry. An
+// empty presented lease is tolerated for legacy clients as long as
+// the worker's lease is live. Callers hold h.mu.
+func (h *Hub) leaseOKLocked(w http.ResponseWriter, wk *worker, leaseID string) bool {
+	if leaseID != "" && leaseID != wk.leaseID {
+		writeError(w, http.StatusNotFound, "stale lease for %q: re-register", wk.id)
+		return false
+	}
+	if wk.leaseState == LeaseExpired {
+		writeError(w, http.StatusNotFound, "lease for %q expired: re-register (send lease_id to resume)", wk.id)
+		return false
+	}
+	return true
+}
+
+// decodeSync parses a /v1/sync body by Content-Type: the binary frame
+// stream when negotiated, JSON otherwise. It returns the request, the
+// wire payload size, and the JSON-equivalent size (what the same
+// request measures in the default encoding — the baseline the binary
+// protocol is judged against in /v1/stats).
+func decodeSync(w http.ResponseWriter, r *http.Request) (*SyncRequest, int64, int64, bool) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return nil, 0, 0, false
+	}
+	data, err := io.ReadAll(r.Body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return nil, 0, 0, false
+	}
+	payload := int64(len(data))
+	if strings.HasPrefix(r.Header.Get("Content-Type"), BinaryContentType) {
+		req, err := DecodeSyncRequest(data)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return nil, payload, 0, false
+		}
+		jsonBody, _ := json.Marshal(req)
+		return req, payload, int64(len(jsonBody)), true
+	}
+	req := &SyncRequest{}
+	if err := json.Unmarshal(data, req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return nil, payload, 0, false
+	}
+	if req.Version != ProtoVersion {
+		writeError(w, http.StatusBadRequest, "protocol version %d not supported (hub speaks %d)", req.Version, ProtoVersion)
+		return nil, payload, 0, false
+	}
+	return req, payload, payload, true
+}
+
 func (h *Hub) handleSync(w http.ResponseWriter, r *http.Request) {
-	var req SyncRequest
-	payload, ok := decode(w, r, &req.Version, &req)
+	// Backpressure: shed load before decoding or queueing on the hub
+	// mutex. The client's retry loop honors Retry-After.
+	if h.maxInflight > 0 {
+		if n := h.inflight.Add(1); n > int64(h.maxInflight) {
+			h.inflight.Add(-1)
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, "hub at capacity (%d syncs in flight)", h.maxInflight)
+			return
+		}
+		defer h.inflight.Add(-1)
+	}
+	req, payload, jsonBytes, ok := decodeSync(w, r)
 	if !ok {
 		return
 	}
+	wantBinary := strings.Contains(r.Header.Get("Accept"), BinaryContentType)
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	// Service time is measured from lock acquisition: the hub's own
@@ -240,12 +454,28 @@ func (h *Hub) handleSync(w http.ResponseWriter, r *http.Request) {
 	// other syncs — the queueing delay is what capacity planning
 	// derives FROM this number, so baking it in would double-count.
 	svcStart := h.now()
+	h.reapLocked()
 	wk := h.workers[req.WorkerID]
 	if wk == nil {
 		writeError(w, http.StatusNotFound, "unknown worker %q (hub restarted? re-register)", req.WorkerID)
 		return
 	}
-	defer func() { observeSync(&wk.sync, h.now().Sub(svcStart).Nanoseconds(), payload) }()
+	if !h.leaseOKLocked(w, wk, req.LeaseID) {
+		return
+	}
+	// Per-worker rate limit. Final syncs are exempt — a campaign must
+	// always be able to deliver its last exchange and release its
+	// lease.
+	if h.minSyncInterval > 0 && !req.Final && !wk.lastSync.IsZero() {
+		if elapsed := svcStart.Sub(wk.lastSync); elapsed < h.minSyncInterval {
+			wait := h.minSyncInterval - elapsed
+			secs := int(wait/time.Second) + 1
+			w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
+			writeError(w, http.StatusTooManyRequests, "sync rate limit for %q: retry in %v", wk.id, wait)
+			return
+		}
+	}
+	defer func() { observeSync(&wk.sync, h.now().Sub(svcStart).Nanoseconds(), payload, jsonBytes) }()
 	// Push: validate incoming programs against the hub target, merge
 	// into the authoritative image, persist, refresh the generation
 	// mirror.
@@ -289,12 +519,30 @@ func (h *Hub) handleSync(w http.ResponseWriter, r *http.Request) {
 	}
 	wk.lastSync = h.now()
 	wk.final = wk.final || req.Final
+	// Lease lifecycle: a Final sync releases the lease (the campaign
+	// is done — the CI fleet check asserts zero active leases at
+	// exit); any other successful sync renews it.
+	if req.Final {
+		wk.leaseState = LeaseReleased
+	} else if wk.leaseState == LeaseActive {
+		wk.leaseExpiry = h.now().Add(h.leaseTTL)
+	}
 	seeds, gen := h.diff(req.SinceGen)
+	wk.gen = gen
+	h.persistLocked()
 	h.logf("hub: sync %s: +%d seeds (%d rejected), +%d blocks, %d crash reports -> %d seeds at gen %d",
 		req.WorkerID, len(incoming), rejected, len(req.NewBlocks), len(req.Crashes), len(seeds), gen)
-	writeJSON(w, http.StatusOK, SyncResponse{
+	resp := &SyncResponse{
 		Version: ProtoVersion, Generation: gen, Seeds: seeds, RejectedSeeds: rejected,
-	})
+		LeaseTTLMs: h.leaseTTL.Milliseconds(),
+	}
+	if wantBinary {
+		w.Header().Set("Content-Type", BinaryContentType)
+		w.WriteHeader(http.StatusOK)
+		w.Write(EncodeSyncResponse(resp))
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // diff collects the corpus entries admitted after generation since,
@@ -393,6 +641,7 @@ func (h *Hub) handleStats(w http.ResponseWriter, r *http.Request) {
 
 // statsLocked builds the monitoring document. Callers hold h.mu.
 func (h *Hub) statsLocked() HubStats {
+	h.reapLocked()
 	st := HubStats{
 		Version:       ProtoVersion,
 		Generation:    h.gen,
@@ -401,6 +650,7 @@ func (h *Hub) statsLocked() HubStats {
 		Crashes:       len(h.crashes),
 		CrashReports:  h.crashReports,
 		RejectedSeeds: h.rejectedSeeds,
+		Parent:        h.parentURL,
 	}
 	ops := map[string]*OpJSON{}
 	var opOrder []string
@@ -418,17 +668,26 @@ func (h *Hub) statsLocked() HubStats {
 		wk := h.workers[id]
 		wj := WorkerJSON{
 			ID: wk.id, Name: wk.name, Fingerprint: wk.fingerprint,
-			Final: wk.final, Stats: wk.stats, Sync: wk.sync,
+			Final: wk.final, Lease: wk.leaseState, Stats: wk.stats, Sync: wk.sync,
 		}
 		if !wk.lastSync.IsZero() {
 			wj.LastSyncUnix = wk.lastSync.Unix()
 		}
 		st.Workers = append(st.Workers, wj)
+		switch wk.leaseState {
+		case LeaseActive:
+			st.ActiveLeases++
+		case LeaseExpired:
+			st.ExpiredLeases++
+		case LeaseReleased:
+			st.ReleasedLeases++
+		}
 		// Hub-wide sync load: totals across workers, worst single
 		// exchange anywhere.
 		st.Sync.Count += wk.sync.Count
 		st.Sync.ServiceNsSum += wk.sync.ServiceNsSum
 		st.Sync.BytesSum += wk.sync.BytesSum
+		st.Sync.JSONBytesSum += wk.sync.JSONBytesSum
 		if wk.sync.ServiceNsMax > st.Sync.ServiceNsMax {
 			st.Sync.ServiceNsMax = wk.sync.ServiceNsMax
 		}
@@ -454,6 +713,7 @@ func (h *Hub) statsLocked() HubStats {
 	if up := h.now().Sub(h.start).Seconds(); up > 0 {
 		st.ExecsPerSec = float64(st.Execs) / up
 	}
+	st.SyncBytesRatio = st.Sync.BytesRatio()
 	return st
 }
 

@@ -1,0 +1,439 @@
+package hub
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"kernelgpt/internal/fuzz"
+	"kernelgpt/internal/fuzz/corpusstore"
+	"kernelgpt/internal/fuzz/seedpool"
+	"kernelgpt/internal/prog"
+	"kernelgpt/internal/vkernel"
+)
+
+// fakeClock is a manually advanced hub clock.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func coverOf(blocks ...vkernel.BlockID) *vkernel.CoverSet {
+	s := &vkernel.CoverSet{}
+	for _, b := range blocks {
+		s.Add(b)
+	}
+	return s
+}
+
+// TestLeaseExpiryUnderPartition: a worker partitioned past its TTL
+// loses the lease, its in-flight sync is rejected with a re-register
+// hint, and the client recovers transparently by resuming the lease —
+// same identity, no replay, no double-counted crashes.
+func TestLeaseExpiryUnderPartition(t *testing.T) {
+	tgt := targetFor(t, "dm")
+	clock := &fakeClock{t: time.Unix(1000, 0)}
+	hub, srv := newHub(t, tgt, withNow(clock.Now), WithLeaseTTL(time.Second))
+	ctx := context.Background()
+	c, err := Dial(ctx, srv.URL, "w", tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id0, lease0 := c.WorkerID(), c.LeaseID()
+	if lease0 == "" {
+		t.Fatal("registration granted no lease")
+	}
+	repro := prog.NewGen(tgt, 11).Generate(2).Serialize()
+	if _, err := c.Sync(ctx, fuzz.SyncState{
+		Cover: coverOf(1, 4, 9), Execs: 100,
+		Crashes: []fuzz.CrashReport{{Title: "bug-p", Repro: repro, Count: 1}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Partition: the worker misses every heartbeat for several TTLs.
+	clock.Advance(5 * time.Second)
+	st := hub.Stats()
+	if st.ActiveLeases != 0 || st.ExpiredLeases != 1 {
+		t.Fatalf("lease not reaped: active %d expired %d", st.ActiveLeases, st.ExpiredLeases)
+	}
+
+	// The worker returns with grown cumulative state. The sync is
+	// rejected (404 + hint), the client re-registers presenting its
+	// lease, the hub resumes it, and the retry carries only deltas.
+	if _, err := c.Sync(ctx, fuzz.SyncState{
+		Cover: coverOf(1, 4, 9, 16), Execs: 200,
+		Crashes: []fuzz.CrashReport{{Title: "bug-p", Repro: repro, Count: 2}},
+	}); err != nil {
+		t.Fatalf("sync across lease expiry: %v", err)
+	}
+	if c.WorkerID() != id0 || c.LeaseID() != lease0 {
+		t.Fatalf("resume changed identity: %s/%s -> %s/%s", id0, lease0, c.WorkerID(), c.LeaseID())
+	}
+	st = hub.Stats()
+	if len(st.Workers) != 1 {
+		t.Fatalf("resume created a second worker: %+v", st.Workers)
+	}
+	if st.ActiveLeases != 1 || st.ExpiredLeases != 0 {
+		t.Fatalf("lease not revived: active %d expired %d", st.ActiveLeases, st.ExpiredLeases)
+	}
+	if st.UnionCover != 4 {
+		t.Fatalf("union cover %d, want 4", st.UnionCover)
+	}
+	// The resumed lease kept crash attribution: cumulative count 2 was
+	// differenced against the retained 1, not replayed in full.
+	if got := hub.Crashes(); len(got) != 1 || got[0].Count != 2 {
+		t.Fatalf("crash count double-counted across resume: %+v", got)
+	}
+
+	// A Final sync releases the lease.
+	if _, err := c.Sync(ctx, fuzz.SyncState{Cover: coverOf(1, 4, 9, 16), Execs: 300, Final: true}); err != nil {
+		t.Fatal(err)
+	}
+	st = hub.Stats()
+	if st.ActiveLeases != 0 || st.ReleasedLeases != 1 {
+		t.Fatalf("final sync did not release the lease: %+v", st)
+	}
+}
+
+// TestHeartbeatRenewsLease: heartbeats keep a lease alive across gaps
+// longer than the TTL without a sync payload.
+func TestHeartbeatRenewsLease(t *testing.T) {
+	tgt := targetFor(t, "dm")
+	clock := &fakeClock{t: time.Unix(2000, 0)}
+	hub, srv := newHub(t, tgt, withNow(clock.Now), WithLeaseTTL(10*time.Second))
+	ctx := context.Background()
+	c, err := Dial(ctx, srv.URL, "w", tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id0 := c.WorkerID()
+	clock.Advance(8 * time.Second)
+	if err := c.Heartbeat(ctx); err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(8 * time.Second)
+	// 16s since registration — past the TTL, but within it since the
+	// heartbeat. The sync must be served on the original lease.
+	if _, err := c.Sync(ctx, fuzz.SyncState{Cover: coverOf(2)}); err != nil {
+		t.Fatalf("sync after heartbeat renewal: %v", err)
+	}
+	st := hub.Stats()
+	if len(st.Workers) != 1 || st.Workers[0].ID != id0 || st.ActiveLeases != 1 {
+		t.Fatalf("heartbeat did not keep the lease: %+v", st.Workers)
+	}
+	// Without further renewal the lease lapses.
+	clock.Advance(11 * time.Second)
+	if err := c.Heartbeat(ctx); err == nil {
+		t.Fatal("heartbeat on an expired lease succeeded")
+	}
+	if st := hub.Stats(); st.ExpiredLeases != 1 {
+		t.Fatalf("expired lease not counted: %+v", st)
+	}
+}
+
+// postForStatus posts JSON and returns the HTTP status and the
+// Retry-After header (protocol-level backpressure checks).
+func postForStatus(t *testing.T, url string, in any) (int, string) {
+	t.Helper()
+	body, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, JSONContentType, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	return resp.StatusCode, resp.Header.Get("Retry-After")
+}
+
+// TestSyncBackpressure: a hub at its in-flight bound sheds syncs with
+// 429 + Retry-After, and the per-worker rate limit rejects arrivals
+// faster than the configured interval (Final syncs exempt).
+func TestSyncBackpressure(t *testing.T) {
+	tgt := targetFor(t, "dm")
+	clock := &fakeClock{t: time.Unix(3000, 0)}
+	hub, srv := newHub(t, tgt, withNow(clock.Now),
+		WithMaxInflight(2), WithMinSyncInterval(10*time.Second))
+	var reg RegisterResponse
+	postJSON(t, srv.URL+"/v1/register", RegisterRequest{Version: ProtoVersion, Name: "w", Fingerprint: "fp"}, &reg)
+	req := SyncRequest{Version: ProtoVersion, WorkerID: reg.WorkerID, LeaseID: reg.LeaseID}
+
+	// Occupy both in-flight slots; the next sync is shed before it
+	// queues.
+	hub.inflight.Add(2)
+	if code, ra := postForStatus(t, srv.URL+"/v1/sync", req); code != http.StatusTooManyRequests || ra == "" {
+		t.Fatalf("full hub answered %d (Retry-After %q), want 429 with hint", code, ra)
+	}
+	hub.inflight.Add(-2)
+
+	var resp SyncResponse
+	postJSON(t, srv.URL+"/v1/sync", req, &resp)
+	// Too soon: rate-limited with a Retry-After hint.
+	clock.Advance(3 * time.Second)
+	if code, ra := postForStatus(t, srv.URL+"/v1/sync", req); code != http.StatusTooManyRequests || ra == "" {
+		t.Fatalf("rapid re-sync answered %d (Retry-After %q), want 429 with hint", code, ra)
+	}
+	// A Final sync is never rate-limited — campaigns must be able to
+	// deliver their last exchange.
+	final := req
+	final.Final = true
+	if code, _ := postForStatus(t, srv.URL+"/v1/sync", final); code != http.StatusOK {
+		t.Fatalf("final sync rate-limited: %d", code)
+	}
+	if st := hub.Stats(); st.Sync.Count != 2 {
+		t.Fatalf("shed syncs leaked into the aggregates: %+v", st.Sync)
+	}
+}
+
+// TestClientHonorsRetryAfter: the client's retry loop absorbs 429 by
+// sleeping the server's Retry-After before retrying.
+func TestClientHonorsRetryAfter(t *testing.T) {
+	tgt := targetFor(t, "dm")
+	var hits int
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/register" {
+			writeJSON(w, http.StatusOK, RegisterResponse{Version: ProtoVersion, WorkerID: "w1", LeaseID: "L1"})
+			return
+		}
+		hits++
+		if hits == 1 {
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, "busy")
+			return
+		}
+		writeJSON(w, http.StatusOK, SyncResponse{Version: ProtoVersion})
+	}))
+	defer srv.Close()
+	c, err := Dial(context.Background(), srv.URL, "w", tgt, WithProtocol("json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := c.Sync(context.Background(), fuzz.SyncState{Cover: &vkernel.CoverSet{}}); err != nil {
+		t.Fatalf("sync through backpressure: %v", err)
+	}
+	if hits != 2 {
+		t.Fatalf("server saw %d sync attempts, want 2", hits)
+	}
+	if elapsed := time.Since(start); elapsed < 900*time.Millisecond {
+		t.Fatalf("client retried after %v, ignoring Retry-After: 1", elapsed)
+	}
+}
+
+// TestHubRestartWithStateSidecar: with the state sidecar, a restarted
+// hub restores union cover, the crash table, and worker leases — a
+// surviving client keeps syncing deltas with no re-registration and
+// no replay, and nothing double-counts.
+func TestHubRestartWithStateSidecar(t *testing.T) {
+	tgt := targetFor(t, "dm")
+	dir := t.TempDir()
+	statePath := filepath.Join(dir, "hubstate.json")
+	store, err := corpusstore.Open(filepath.Join(dir, "store"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1, err := New(tgt, store, WithStatePath(statePath))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(h1.Handler())
+	defer srv.Close()
+	ctx := context.Background()
+	c, err := Dial(ctx, srv.URL, "w", tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := prog.NewGen(tgt, 5)
+	repro := g.Generate(2).Serialize()
+	if _, err := c.Sync(ctx, fuzz.SyncState{
+		Seeds:   []seedpool.SeedState{{Prog: g.Generate(3), Prio: 2}},
+		Cover:   coverOf(1, 4, 9),
+		Execs:   200,
+		Crashes: []fuzz.CrashReport{{Title: "bug-r", Repro: repro, Count: 3}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	id0 := c.WorkerID()
+
+	// Restart over the same store and sidecar.
+	store2, err := corpusstore.Open(filepath.Join(dir, "store"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := New(tgt, store2, WithStatePath(statePath))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Config.Handler = h2.Handler()
+
+	// The next sync ships only what is new. The restored hub accepts
+	// the existing lease — no 404, no re-registration, no full replay.
+	if _, err := c.Sync(ctx, fuzz.SyncState{
+		Cover:   coverOf(1, 4, 9, 16),
+		Execs:   300,
+		Crashes: []fuzz.CrashReport{{Title: "bug-r", Repro: repro, Count: 4}},
+	}); err != nil {
+		t.Fatalf("sync across sidecar restart: %v", err)
+	}
+	if c.WorkerID() != id0 {
+		t.Fatalf("client re-registered despite restored lease: %s -> %s", id0, c.WorkerID())
+	}
+	st := h2.Stats()
+	if len(st.Workers) != 1 || st.Workers[0].ID != id0 {
+		t.Fatalf("restart lost or duplicated the worker: %+v", st.Workers)
+	}
+	if st.UnionCover != 4 {
+		t.Fatalf("restored union cover wrong: %d, want 4 (3 restored + 1 delta)", st.UnionCover)
+	}
+	// Cumulative count 4 differenced against the restored 3: +1, not
+	// +4 — the restart did not double-count.
+	if got := h2.Crashes(); len(got) != 1 || got[0].Count != 4 {
+		t.Fatalf("crash table double-counted across restart: %+v", got)
+	}
+	if st.Seeds != 1 || st.Generation == 0 {
+		t.Fatalf("store lineage broken: %d seeds at gen %d", st.Seeds, st.Generation)
+	}
+}
+
+// TestHierarchicalHub: a leaf hub aggregates its workers' state
+// upward to a root with the ordinary client machinery, pulls the
+// root's corpus down into its own store, and releases its lease on
+// final sync.
+func TestHierarchicalHub(t *testing.T) {
+	tgt := targetFor(t, "dm")
+	root, rootSrv := newHub(t, tgt)
+	leafStore, err := corpusstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf, err := New(tgt, leafStore, WithParent(rootSrv.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	leafSrv := httptest.NewServer(leaf.Handler())
+	defer leafSrv.Close()
+	ctx := context.Background()
+
+	// Two workers feed the leaf.
+	g := prog.NewGen(tgt, 9)
+	repro := g.Generate(2).Serialize()
+	c1, err := Dial(ctx, leafSrv.URL, "w-a", tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c1.Sync(ctx, fuzz.SyncState{
+		Seeds:   []seedpool.SeedState{{Prog: g.Generate(3), Prio: 3}},
+		Cover:   coverOf(1, 2),
+		Execs:   50,
+		Crashes: []fuzz.CrashReport{{Title: "bug-h", Repro: repro, Count: 2}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Dial(ctx, leafSrv.URL, "w-b", tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2.Sync(ctx, fuzz.SyncState{
+		Seeds: []seedpool.SeedState{{Prog: g.Generate(4), Prio: 2}},
+		Cover: coverOf(2, 3),
+		Execs: 60,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Leaf → root: the aggregate flows up through one client.
+	pc, err := Dial(ctx, rootSrv.URL, "leaf-1", tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := leaf.SyncParent(ctx, pc, false); err != nil {
+		t.Fatal(err)
+	}
+	rst := root.Stats()
+	if rst.UnionCover != 3 {
+		t.Fatalf("root union cover %d, want 3", rst.UnionCover)
+	}
+	if rst.Seeds != leaf.Stats().Seeds {
+		t.Fatalf("root has %d seeds, leaf %d", rst.Seeds, leaf.Stats().Seeds)
+	}
+	if got := root.Crashes(); len(got) != 1 || got[0].Count != 2 {
+		t.Fatalf("crash did not aggregate upward: %+v", got)
+	}
+	if leaf.Stats().Parent != rootSrv.URL {
+		t.Fatalf("leaf stats parent %q, want %q", leaf.Stats().Parent, rootSrv.URL)
+	}
+
+	// Root → leaf: a seed from a direct root worker flows down on the
+	// next parent sync, then out to leaf workers through the ordinary
+	// generation diff.
+	c3, err := Dial(ctx, rootSrv.URL, "w-c", tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	downProg := g.Generate(5)
+	if _, err := c3.Sync(ctx, fuzz.SyncState{
+		Seeds: []seedpool.SeedState{{Prog: downProg, Prio: 4}},
+		Cover: coverOf(7),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	imported, err := leaf.SyncParent(ctx, pc, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imported < 1 {
+		t.Fatalf("parent pull imported %d seeds, want >= 1", imported)
+	}
+	out, err := c1.Sync(ctx, fuzz.SyncState{Cover: coverOf(1, 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := downProg.Serialize()
+	found := false
+	for _, s := range out {
+		if s.Prog.Serialize() == want {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("root seed did not reach the leaf worker: pulled %d seeds", len(out))
+	}
+
+	// Re-syncing upward is idempotent (client-side deltas).
+	if _, err := leaf.SyncParent(ctx, pc, false); err != nil {
+		t.Fatal(err)
+	}
+	if got := root.Crashes(); got[0].Count != 2 {
+		t.Fatalf("upward re-sync double-counted: %+v", got)
+	}
+
+	// Shutdown: the final parent sync releases the leaf's lease.
+	if _, err := leaf.SyncParent(ctx, pc, true); err != nil {
+		t.Fatal(err)
+	}
+	for _, wk := range root.Stats().Workers {
+		if wk.Name == "leaf-1" && wk.Lease != LeaseReleased {
+			t.Fatalf("leaf lease not released at shutdown: %+v", wk)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package hub
+
+import (
+	"context"
+	"sort"
+
+	"kernelgpt/internal/fuzz"
+	"kernelgpt/internal/fuzz/corpusstore"
+	"kernelgpt/internal/fuzz/seedpool"
+)
+
+// Hierarchical hubs. A leaf hub aggregates its own workers' deltas
+// and periodically plays the worker role against a root hub, reusing
+// the Client machinery verbatim: the leaf's merged corpus, union
+// coverage, and crash table become one upward SyncState, and the
+// Client's content-addressed seed dedup, cover-delta, and cumulative
+// crash-count differencing apply unchanged. Seeds pulled from the
+// root merge into the leaf's store, where leaf workers pick them up
+// through the ordinary generation diff — so fan-in at the root scales
+// with the number of leaves, not the number of workers.
+
+// parentState snapshots the hub's aggregate state as a campaign-shaped
+// SyncState for the upward sync.
+func (h *Hub) parentState(final bool) fuzz.SyncState {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st := fuzz.SyncState{
+		Seeds: append([]seedpool.SeedState(nil), h.states...),
+		Cover: h.cover.Clone(),
+		Final: final,
+	}
+	keys := make([]string, 0, len(h.crashes))
+	for k := range h.crashes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		rec := h.crashes[k]
+		st.Crashes = append(st.Crashes, fuzz.CrashReport{
+			Title: rec.title, Repro: rec.repro, Count: rec.count,
+		})
+	}
+	ops := map[string]*fuzz.OpStat{}
+	var names []string
+	for _, wk := range h.workers {
+		st.Execs += wk.stats.Execs
+		for _, op := range wk.stats.Ops {
+			o := ops[op.Name]
+			if o == nil {
+				o = &fuzz.OpStat{Name: op.Name}
+				ops[op.Name] = o
+				names = append(names, op.Name)
+			}
+			o.Picks += op.Picks
+			o.NewBlocks += op.NewBlocks
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		st.Ops = append(st.Ops, *ops[name])
+	}
+	return st
+}
+
+// SyncParent runs one upward exchange against a parent hub through
+// client (a Client dialed at the parent's URL): push this hub's
+// aggregate deltas, merge the pulled corpus diff back into the local
+// store. It returns the number of seeds imported from the parent.
+// final releases the leaf's lease on the parent (shutdown). The hub
+// mutex is not held across the network exchange, so local worker
+// syncs proceed while the parent round-trips.
+func (h *Hub) SyncParent(ctx context.Context, client *Client, final bool) (int, error) {
+	st := h.parentState(final)
+	imported, err := client.Sync(ctx, st)
+	if err != nil {
+		return 0, err
+	}
+	if len(imported) == 0 {
+		return 0, nil
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	merged := corpusstore.Merge(h.cap, h.states, imported)
+	if err := h.store.Save(merged, h.cover.Count()); err != nil {
+		return 0, err
+	}
+	h.states = merged
+	if err := h.refreshIndex(); err != nil {
+		return 0, err
+	}
+	h.persistLocked()
+	h.logf("hub: parent sync imported %d seeds -> %d seeds at gen %d", len(imported), len(h.states), h.gen)
+	return len(imported), nil
+}

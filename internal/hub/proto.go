@@ -51,9 +51,15 @@ type RegisterRequest struct {
 	// a hub: seeds are validated against each side's own target, so a
 	// narrower worker simply skips seeds it cannot parse.
 	Fingerprint string `json:"fingerprint"`
+	// LeaseID, when set, asks to resume a prior lease (after a hub
+	// restart or a lease expiry during a partition). A hub that still
+	// holds the lease's generation-stamped state revives it and sets
+	// Resumed in the response, sparing the client a full cover/crash
+	// replay.
+	LeaseID string `json:"lease_id,omitempty"`
 }
 
-// RegisterResponse assigns the worker its hub identity.
+// RegisterResponse assigns the worker its hub identity and lease.
 type RegisterResponse struct {
 	Version  int    `json:"version"`
 	WorkerID string `json:"worker_id"`
@@ -65,6 +71,32 @@ type RegisterResponse struct {
 	// HubFingerprint is the hub target's fingerprint, so a worker can
 	// warn when its spec surface differs from the hub's.
 	HubFingerprint string `json:"hub_fingerprint"`
+	// LeaseID names the worker's lease. Every sync must present it;
+	// it is renewed by syncs and heartbeats and expires LeaseTTLMs
+	// after the last renewal, at which point the hub stops charging
+	// state to the worker and syncs are rejected until re-registration.
+	LeaseID string `json:"lease_id,omitempty"`
+	// LeaseTTLMs is the lease time-to-live in milliseconds.
+	LeaseTTLMs int64 `json:"lease_ttl_ms,omitempty"`
+	// Resumed reports that LeaseID in the request matched persisted
+	// lease state: the hub still holds the worker's cover/crash
+	// attribution, so the client keeps its delta bookkeeping instead
+	// of replaying its full history.
+	Resumed bool `json:"resumed,omitempty"`
+}
+
+// HeartbeatRequest renews a lease without a sync payload (for gaps
+// between checkpoint boundaries longer than the TTL).
+type HeartbeatRequest struct {
+	Version  int    `json:"version"`
+	WorkerID string `json:"worker_id"`
+	LeaseID  string `json:"lease_id"`
+}
+
+// HeartbeatResponse acknowledges a renewal.
+type HeartbeatResponse struct {
+	Version    int   `json:"version"`
+	LeaseTTLMs int64 `json:"lease_ttl_ms"`
 }
 
 // WireSeed is one corpus entry in flight: the serialized program plus
@@ -109,6 +141,9 @@ type WorkerStats struct {
 type SyncRequest struct {
 	Version  int    `json:"version"`
 	WorkerID string `json:"worker_id"`
+	// LeaseID authenticates the exchange against the worker's lease
+	// and renews it. Empty is tolerated for legacy (PR-5) clients.
+	LeaseID string `json:"lease_id,omitempty"`
 	// SinceGen is the last store generation the worker has pulled.
 	SinceGen int `json:"since_gen"`
 	// Seeds are corpus entries the worker has not pushed before.
@@ -135,6 +170,8 @@ type SyncResponse struct {
 	// RejectedSeeds counts pushed seeds the hub's target could not
 	// parse (stale or out-of-surface programs).
 	RejectedSeeds int `json:"rejected_seeds,omitempty"`
+	// LeaseTTLMs echoes the renewed lease's time-to-live.
+	LeaseTTLMs int64 `json:"lease_ttl_ms,omitempty"`
 }
 
 // ErrorResponse is the JSON body of every non-2xx reply.
@@ -187,6 +224,20 @@ type HubStats struct {
 	// Sync is the hub-wide sync cost aggregate (sums over workers;
 	// maxes are the worst single sync seen anywhere).
 	Sync SyncAggJSON `json:"sync"`
+	// SyncBytesRatio is Sync.BytesRatio() materialized for scripts:
+	// wire bytes over the JSON-equivalent baseline (0 until a sync
+	// arrives, 1.0 for pure-JSON traffic, < 1 when binary wins).
+	SyncBytesRatio float64 `json:"sync_bytes_ratio"`
+	// ActiveLeases/ExpiredLeases/ReleasedLeases count the lease table:
+	// live workers, leases reaped after missing their TTL, and leases
+	// released by a Final sync. ActiveLeases == 0 after a clean
+	// campaign end.
+	ActiveLeases   int `json:"active_leases"`
+	ExpiredLeases  int `json:"expired_leases"`
+	ReleasedLeases int `json:"released_leases"`
+	// Parent is the upstream hub URL when this hub is a leaf in a
+	// hierarchical topology (empty for root/standalone hubs).
+	Parent string `json:"parent,omitempty"`
 }
 
 // SyncAggJSON aggregates the cost of a worker's /v1/sync exchanges:
@@ -201,9 +252,16 @@ type SyncAggJSON struct {
 	// nanoseconds.
 	ServiceNsSum int64 `json:"service_ns_sum"`
 	ServiceNsMax int64 `json:"service_ns_max"`
-	// BytesSum/BytesMax aggregate request payload sizes.
+	// BytesSum/BytesMax aggregate request payload sizes as they
+	// arrived on the wire (binary or JSON).
 	BytesSum int64 `json:"bytes_sum"`
 	BytesMax int64 `json:"bytes_max"`
+	// JSONBytesSum aggregates what the same requests measure in the
+	// JSON encoding — for binary syncs the hub re-encodes the decoded
+	// request to get the equivalent, for JSON syncs it equals the
+	// payload. BytesSum/JSONBytesSum is the binary protocol's payload
+	// ratio against the JSON baseline.
+	JSONBytesSum int64 `json:"json_bytes_sum,omitempty"`
 }
 
 // MeanServiceNs returns the average per-sync service time.
@@ -214,6 +272,23 @@ func (a SyncAggJSON) MeanServiceNs() float64 {
 	return float64(a.ServiceNsSum) / float64(a.Count)
 }
 
+// MeanBytes returns the average request payload size.
+func (a SyncAggJSON) MeanBytes() float64 {
+	if a.Count == 0 {
+		return 0
+	}
+	return float64(a.BytesSum) / float64(a.Count)
+}
+
+// BytesRatio returns wire bytes over the JSON-equivalent baseline
+// (1.0 for pure-JSON traffic, < 1 when the binary protocol wins).
+func (a SyncAggJSON) BytesRatio() float64 {
+	if a.JSONBytesSum == 0 {
+		return 0
+	}
+	return float64(a.BytesSum) / float64(a.JSONBytesSum)
+}
+
 // WorkerJSON is one registered worker in the stats view.
 type WorkerJSON struct {
 	ID          string `json:"id"`
@@ -221,9 +296,12 @@ type WorkerJSON struct {
 	Fingerprint string `json:"fingerprint"`
 	// LastSyncUnix is the wall-clock time of the worker's latest
 	// sync, in Unix seconds (0 = registered but never synced).
-	LastSyncUnix int64       `json:"last_sync_unix,omitempty"`
-	Final        bool        `json:"final,omitempty"`
-	Stats        WorkerStats `json:"stats"`
+	LastSyncUnix int64 `json:"last_sync_unix,omitempty"`
+	Final        bool  `json:"final,omitempty"`
+	// Lease is the worker's lease state: "active", "expired", or
+	// "released".
+	Lease string      `json:"lease,omitempty"`
+	Stats WorkerStats `json:"stats"`
 	// Sync aggregates the worker's sync service times and payloads.
 	Sync SyncAggJSON `json:"sync"`
 }

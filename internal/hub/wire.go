@@ -1,0 +1,389 @@
+package hub
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"kernelgpt/internal/vkernel"
+)
+
+// Binary wire format
+//
+// The fleet-scale sync path ships /v1/sync exchanges as a compact
+// binary frame stream negotiated per request: a client that POSTs
+// with Content-Type BinaryContentType is decoded from this format,
+// and one whose Accept header names it gets its response encoded the
+// same way. JSON remains the default and the two formats are
+// semantically identical — every stream decodes to the same
+// SyncRequest/SyncResponse structs the JSON path unmarshals to.
+//
+// A stream is the 4-byte magic "SHB" + version, then length-prefixed
+// frames until an end frame:
+//
+//	[1-byte frame type][uvarint payload length][payload]
+//
+// Seeds travel one frame each (the corpus diff streams per-seed
+// instead of as one monolithic array), cover deltas as a single
+// frame holding a vkernel compressed-bitmap container stream, and
+// crashes one frame each. Integers inside payloads are varints
+// (zigzag for the signed scheduling weights, uvarint for counters
+// and lengths); strings are uvarint-length-prefixed bytes. Frames
+// with unknown types are an error — the format is versioned, not
+// extensible-by-skipping, so accidental format drift fails loudly
+// (the golden-frame tests pin the bytes).
+const (
+	// BinaryContentType negotiates the binary sync framing.
+	BinaryContentType = "application/x-syzhub-bin"
+	// JSONContentType is the default protocol's media type.
+	JSONContentType = "application/json"
+)
+
+// wireMagic starts every binary stream; the last byte is the wire
+// version and tracks ProtoVersion.
+var wireMagic = [4]byte{'S', 'H', 'B', ProtoVersion}
+
+// Frame types.
+const (
+	frameReqHeader  = 0x01 // SyncRequest scalars + worker stats
+	frameSeed       = 0x02 // one WireSeed (either direction)
+	frameCover      = 0x03 // vkernel.EncodeDelta cover payload
+	frameCrash      = 0x04 // one WireCrash
+	frameRespHeader = 0x05 // SyncResponse scalars
+	frameEnd        = 0x06 // end of stream
+)
+
+// maxFramePayload bounds a single frame (a seed repro or crash text
+// can be long, but nothing legitimate approaches this).
+const maxFramePayload = 16 << 20
+
+// appendString encodes a length-prefixed string.
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// appendInt zigzag-encodes a signed integer.
+func appendInt(dst []byte, v int) []byte {
+	return binary.AppendVarint(dst, int64(v))
+}
+
+// wireReader is a cursor over one frame payload (or the whole
+// stream); its methods record the first error and no-op after it.
+type wireReader struct {
+	data []byte
+	err  error
+}
+
+func (r *wireReader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("hub wire: "+format, args...)
+	}
+}
+
+func (r *wireReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.data)
+	if n <= 0 {
+		r.fail("bad uvarint")
+		return 0
+	}
+	r.data = r.data[n:]
+	return v
+}
+
+func (r *wireReader) int() int {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.data)
+	if n <= 0 {
+		r.fail("bad varint")
+		return 0
+	}
+	r.data = r.data[n:]
+	return int(v)
+}
+
+func (r *wireReader) string() string {
+	n := r.uvarint()
+	if r.err != nil {
+		return ""
+	}
+	if n > uint64(len(r.data)) {
+		r.fail("string length %d overruns payload", n)
+		return ""
+	}
+	s := string(r.data[:n])
+	r.data = r.data[n:]
+	return s
+}
+
+// frame reads one [type][len][payload] frame off the stream.
+func (r *wireReader) frame() (byte, *wireReader) {
+	if r.err != nil {
+		return 0, &wireReader{err: r.err}
+	}
+	if len(r.data) < 1 {
+		r.fail("truncated stream (missing end frame)")
+		return 0, &wireReader{err: r.err}
+	}
+	typ := r.data[0]
+	r.data = r.data[1:]
+	n := r.uvarint()
+	if r.err == nil && (n > maxFramePayload || n > uint64(len(r.data))) {
+		r.fail("frame payload %d overruns stream", n)
+	}
+	if r.err != nil {
+		return 0, &wireReader{err: r.err}
+	}
+	payload := &wireReader{data: r.data[:n]}
+	r.data = r.data[n:]
+	return typ, payload
+}
+
+// done asserts the payload was fully consumed.
+func (r *wireReader) done() error {
+	if r.err != nil {
+		return r.err
+	}
+	if len(r.data) != 0 {
+		return fmt.Errorf("hub wire: %d trailing bytes", len(r.data))
+	}
+	return nil
+}
+
+// appendFrame wraps a payload in its frame header.
+func appendFrame(dst []byte, typ byte, payload []byte) []byte {
+	dst = append(dst, typ)
+	dst = binary.AppendUvarint(dst, uint64(len(payload)))
+	return append(dst, payload...)
+}
+
+// appendSeedFrame encodes one WireSeed frame.
+func appendSeedFrame(dst []byte, scratch []byte, ws WireSeed) ([]byte, []byte) {
+	p := scratch[:0]
+	p = appendString(p, ws.Text)
+	p = appendInt(p, ws.Prio)
+	p = appendInt(p, ws.Bonus)
+	p = appendString(p, ws.Op)
+	return appendFrame(dst, frameSeed, p), p
+}
+
+func readSeed(p *wireReader) (WireSeed, error) {
+	ws := WireSeed{Text: p.string()}
+	ws.Prio = p.int()
+	ws.Bonus = p.int()
+	ws.Op = p.string()
+	return ws, p.done()
+}
+
+// EncodeSyncRequest serializes a sync request as a binary frame
+// stream. The NewBlocks cover delta is compressed through the
+// vkernel container codec.
+func EncodeSyncRequest(req *SyncRequest) []byte {
+	dst := append([]byte(nil), wireMagic[:]...)
+	var p []byte
+	p = appendString(p, req.WorkerID)
+	p = appendString(p, req.LeaseID)
+	p = binary.AppendUvarint(p, uint64(req.SinceGen))
+	flags := byte(0)
+	if req.Final {
+		flags |= 1
+	}
+	p = append(p, flags)
+	p = appendInt(p, req.Stats.Execs)
+	p = appendInt(p, req.Stats.Cover)
+	p = appendInt(p, req.Stats.Crashes)
+	p = binary.AppendUvarint(p, uint64(len(req.Stats.Ops)))
+	for _, op := range req.Stats.Ops {
+		p = appendString(p, op.Name)
+		p = appendInt(p, op.Picks)
+		p = appendInt(p, op.NewBlocks)
+	}
+	dst = appendFrame(dst, frameReqHeader, p)
+	if len(req.NewBlocks) > 0 {
+		cov := &vkernel.CoverSet{}
+		for _, b := range req.NewBlocks {
+			cov.Add(b)
+		}
+		dst = appendFrame(dst, frameCover, cov.EncodeDelta(nil))
+	}
+	var scratch []byte
+	for _, ws := range req.Seeds {
+		dst, scratch = appendSeedFrame(dst, scratch, ws)
+	}
+	for _, wc := range req.Crashes {
+		p := scratch[:0]
+		p = appendString(p, wc.Title)
+		p = appendString(p, wc.Repro)
+		p = appendInt(p, wc.Count)
+		dst = appendFrame(dst, frameCrash, p)
+		scratch = p
+	}
+	return appendFrame(dst, frameEnd, nil)
+}
+
+// DecodeSyncRequest parses a binary sync request stream.
+func DecodeSyncRequest(data []byte) (*SyncRequest, error) {
+	r, err := openStream(data)
+	if err != nil {
+		return nil, err
+	}
+	req := &SyncRequest{Version: ProtoVersion}
+	sawHeader, sawCover := false, false
+	for {
+		typ, p := r.frame()
+		if r.err != nil {
+			return nil, r.err
+		}
+		switch typ {
+		case frameReqHeader:
+			if sawHeader {
+				return nil, fmt.Errorf("hub wire: duplicate request header")
+			}
+			sawHeader = true
+			req.WorkerID = p.string()
+			req.LeaseID = p.string()
+			req.SinceGen = int(p.uvarint())
+			if p.err == nil && len(p.data) >= 1 {
+				req.Final = p.data[0]&1 != 0
+				p.data = p.data[1:]
+			} else {
+				p.fail("missing flags byte")
+			}
+			req.Stats.Execs = p.int()
+			req.Stats.Cover = p.int()
+			req.Stats.Crashes = p.int()
+			nops := p.uvarint()
+			if p.err == nil && nops > uint64(len(p.data)) {
+				p.fail("op count %d overruns payload", nops)
+			}
+			for i := uint64(0); i < nops && p.err == nil; i++ {
+				op := OpJSON{Name: p.string()}
+				op.Picks = p.int()
+				op.NewBlocks = p.int()
+				req.Stats.Ops = append(req.Stats.Ops, op)
+			}
+			if err := p.done(); err != nil {
+				return nil, err
+			}
+		case frameCover:
+			if sawCover {
+				return nil, fmt.Errorf("hub wire: duplicate cover frame")
+			}
+			sawCover = true
+			blocks, err := vkernel.DecodeDeltaBlocks(p.data)
+			if err != nil {
+				return nil, fmt.Errorf("hub wire: %w", err)
+			}
+			req.NewBlocks = blocks
+		case frameSeed:
+			ws, err := readSeed(p)
+			if err != nil {
+				return nil, err
+			}
+			req.Seeds = append(req.Seeds, ws)
+		case frameCrash:
+			wc := WireCrash{Title: p.string()}
+			wc.Repro = p.string()
+			wc.Count = p.int()
+			if err := p.done(); err != nil {
+				return nil, err
+			}
+			req.Crashes = append(req.Crashes, wc)
+		case frameEnd:
+			if err := p.done(); err != nil {
+				return nil, err
+			}
+			if !sawHeader {
+				return nil, fmt.Errorf("hub wire: stream without request header")
+			}
+			if err := r.done(); err != nil {
+				return nil, err
+			}
+			return req, nil
+		default:
+			return nil, fmt.Errorf("hub wire: unknown frame type %#x", typ)
+		}
+	}
+}
+
+// EncodeSyncResponse serializes a sync response as a binary frame
+// stream.
+func EncodeSyncResponse(resp *SyncResponse) []byte {
+	dst := append([]byte(nil), wireMagic[:]...)
+	var p []byte
+	p = binary.AppendUvarint(p, uint64(resp.Generation))
+	p = appendInt(p, resp.RejectedSeeds)
+	p = binary.AppendUvarint(p, uint64(resp.LeaseTTLMs))
+	dst = appendFrame(dst, frameRespHeader, p)
+	var scratch []byte
+	for _, ws := range resp.Seeds {
+		dst, scratch = appendSeedFrame(dst, scratch, ws)
+	}
+	return appendFrame(dst, frameEnd, nil)
+}
+
+// DecodeSyncResponse parses a binary sync response stream.
+func DecodeSyncResponse(data []byte) (*SyncResponse, error) {
+	r, err := openStream(data)
+	if err != nil {
+		return nil, err
+	}
+	resp := &SyncResponse{Version: ProtoVersion}
+	sawHeader := false
+	for {
+		typ, p := r.frame()
+		if r.err != nil {
+			return nil, r.err
+		}
+		switch typ {
+		case frameRespHeader:
+			if sawHeader {
+				return nil, fmt.Errorf("hub wire: duplicate response header")
+			}
+			sawHeader = true
+			resp.Generation = int(p.uvarint())
+			resp.RejectedSeeds = p.int()
+			resp.LeaseTTLMs = int64(p.uvarint())
+			if err := p.done(); err != nil {
+				return nil, err
+			}
+		case frameSeed:
+			ws, err := readSeed(p)
+			if err != nil {
+				return nil, err
+			}
+			resp.Seeds = append(resp.Seeds, ws)
+		case frameEnd:
+			if err := p.done(); err != nil {
+				return nil, err
+			}
+			if !sawHeader {
+				return nil, fmt.Errorf("hub wire: stream without response header")
+			}
+			if err := r.done(); err != nil {
+				return nil, err
+			}
+			return resp, nil
+		default:
+			return nil, fmt.Errorf("hub wire: unknown frame type %#x", typ)
+		}
+	}
+}
+
+// openStream validates the stream magic and version.
+func openStream(data []byte) (*wireReader, error) {
+	if len(data) < len(wireMagic) {
+		return nil, fmt.Errorf("hub wire: stream shorter than magic")
+	}
+	if data[0] != 'S' || data[1] != 'H' || data[2] != 'B' {
+		return nil, fmt.Errorf("hub wire: bad magic")
+	}
+	if data[3] != ProtoVersion {
+		return nil, fmt.Errorf("hub wire: protocol version %d not supported (this build speaks %d)", data[3], ProtoVersion)
+	}
+	return &wireReader{data: data[len(wireMagic):]}, nil
+}

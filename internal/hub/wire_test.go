@@ -1,0 +1,201 @@
+package hub
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"kernelgpt/internal/vkernel"
+)
+
+func mustJSONLen(t *testing.T, v any) int {
+	t.Helper()
+	data, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return len(data)
+}
+
+var updateGolden = flag.Bool("update", false, "rewrite golden wire frames")
+
+// goldenSyncRequest is a fixed, fully populated request: every frame
+// type, signed and unsigned varints, multi-container cover.
+func goldenSyncRequest() *SyncRequest {
+	return &SyncRequest{
+		Version:  ProtoVersion,
+		WorkerID: "w7",
+		LeaseID:  "L7.1a2b3c",
+		SinceGen: 42,
+		Seeds: []WireSeed{
+			{Text: "r0 = open(dev)\nioctl(r0, CMD, 3)\n", Prio: 120, Bonus: -4, Op: "splice"},
+			{Text: "mmap(kvm)\n", Prio: 1},
+		},
+		NewBlocks: []vkernel.BlockID{1, 2, 3, 900, 70000, 70001, 1 << 20},
+		Crashes: []WireCrash{
+			{Title: "KASAN: use-after-free in dm_resume", Repro: "r0 = open(dev)\n", Count: 3},
+		},
+		Stats: WorkerStats{
+			Execs: 5000, Cover: 321, Crashes: 1,
+			Ops: []OpJSON{{Name: "insert", Picks: 10, NewBlocks: 4}, {Name: "splice", Picks: 7}},
+		},
+		Final: true,
+	}
+}
+
+func goldenSyncResponse() *SyncResponse {
+	return &SyncResponse{
+		Version:    ProtoVersion,
+		Generation: 43,
+		Seeds: []WireSeed{
+			{Text: "close(r0)\n", Prio: 55, Bonus: 2, Op: "insert"},
+		},
+		RejectedSeeds: 1,
+		LeaseTTLMs:    60000,
+	}
+}
+
+// checkGolden compares encoded bytes to the checked-in frame file, so
+// accidental wire-format changes fail review explicitly.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("wire format drifted from %s:\n got %x\nwant %x\nIf the change is intentional, bump the wire version and regenerate with -update.", path, got, want)
+	}
+}
+
+func TestWireSyncRequestGolden(t *testing.T) {
+	enc := EncodeSyncRequest(goldenSyncRequest())
+	checkGolden(t, "sync_request.bin", enc)
+	dec, err := DecodeSyncRequest(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(dec, goldenSyncRequest()) {
+		t.Fatalf("decode mismatch:\n got %+v\nwant %+v", dec, goldenSyncRequest())
+	}
+}
+
+func TestWireSyncResponseGolden(t *testing.T) {
+	enc := EncodeSyncResponse(goldenSyncResponse())
+	checkGolden(t, "sync_response.bin", enc)
+	dec, err := DecodeSyncResponse(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(dec, goldenSyncResponse()) {
+		t.Fatalf("decode mismatch:\n got %+v\nwant %+v", dec, goldenSyncResponse())
+	}
+}
+
+func TestWireEmptyRequest(t *testing.T) {
+	req := &SyncRequest{Version: ProtoVersion, WorkerID: "w1"}
+	dec, err := DecodeSyncRequest(EncodeSyncRequest(req))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(dec, req) {
+		t.Fatalf("decode mismatch: got %+v", dec)
+	}
+}
+
+func TestWireSmallerThanJSON(t *testing.T) {
+	// The acceptance criterion in miniature: a representative sync
+	// must be measurably smaller on the binary wire than in JSON.
+	req := goldenSyncRequest()
+	for b := vkernel.BlockID(5000); b < 6000; b++ {
+		req.NewBlocks = append(req.NewBlocks, b)
+	}
+	bin := EncodeSyncRequest(req)
+	jsonBytes := mustJSONLen(t, req)
+	if len(bin)*2 > jsonBytes {
+		t.Fatalf("binary encoding %dB not under half of JSON %dB", len(bin), jsonBytes)
+	}
+}
+
+func TestWireRejectsMalformed(t *testing.T) {
+	enc := EncodeSyncRequest(goldenSyncRequest())
+	cases := map[string][]byte{
+		"empty":         {},
+		"bad-magic":     append([]byte{'X'}, enc[1:]...),
+		"bad-version":   {'S', 'H', 'B', 0x7F},
+		"no-frames":     enc[:4],
+		"truncated":     enc[:len(enc)-3],
+		"trailing":      append(append([]byte{}, enc...), 0x00),
+		"unknown-frame": append(append([]byte{}, enc[:4]...), 0x7E, 0x00),
+	}
+	for name, data := range cases {
+		if _, err := DecodeSyncRequest(data); err == nil {
+			t.Errorf("%s: decode accepted malformed request", name)
+		}
+	}
+	if _, err := DecodeSyncResponse(EncodeSyncRequest(goldenSyncRequest())); err == nil {
+		t.Error("response decoder accepted a request stream")
+	}
+}
+
+// FuzzWireSyncRequest checks the codec identity both ways: anything
+// the decoder accepts must survive encode→decode unchanged, and the
+// re-encoding must be stable (second generation equals first).
+func FuzzWireSyncRequest(f *testing.F) {
+	f.Add(EncodeSyncRequest(goldenSyncRequest()))
+	f.Add(EncodeSyncRequest(&SyncRequest{Version: ProtoVersion}))
+	f.Add([]byte{'S', 'H', 'B', ProtoVersion, frameEnd, 0x00})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := DecodeSyncRequest(data)
+		if err != nil {
+			return
+		}
+		enc := EncodeSyncRequest(req)
+		req2, err := DecodeSyncRequest(enc)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !reflect.DeepEqual(req, req2) {
+			t.Fatalf("encode->decode not identity:\n got %+v\nwant %+v", req2, req)
+		}
+		if enc2 := EncodeSyncRequest(req2); !bytes.Equal(enc, enc2) {
+			t.Fatalf("re-encoding unstable: %x vs %x", enc, enc2)
+		}
+	})
+}
+
+func FuzzWireSyncResponse(f *testing.F) {
+	f.Add(EncodeSyncResponse(goldenSyncResponse()))
+	f.Add(EncodeSyncResponse(&SyncResponse{Version: ProtoVersion}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		resp, err := DecodeSyncResponse(data)
+		if err != nil {
+			return
+		}
+		enc := EncodeSyncResponse(resp)
+		resp2, err := DecodeSyncResponse(enc)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !reflect.DeepEqual(resp, resp2) {
+			t.Fatalf("encode->decode not identity:\n got %+v\nwant %+v", resp2, resp)
+		}
+		if enc2 := EncodeSyncResponse(resp2); !bytes.Equal(enc, enc2) {
+			t.Fatalf("re-encoding unstable: %x vs %x", enc, enc2)
+		}
+	})
+}

@@ -192,13 +192,71 @@ func (m *Model) Calibrate(rec RunRecord) {
 			m.Cost.MutateNs = 0.3 * core
 		}
 	}
+	if rec.BytesPerSync > 0 {
+		m.BytesPerSync = rec.BytesPerSync
+	}
 	if rec.Syncs > 0 && rec.SyncNs > 0 {
 		roundTrip := float64(rec.SyncNs) / float64(rec.Syncs)
-		if rec.HubServiceNsMean > 0 {
+		if base, perByte, ok := fitHubService(rec.WorkerSyncs); ok {
+			m.Cost.HubServiceNs = base
+			m.Cost.HubPerByteNs = perByte
+		} else if rec.HubServiceNsMean > 0 {
 			m.Cost.HubServiceNs = rec.HubServiceNsMean
 		}
 		m.Cost.SyncBaseNs = math.Max(0,
-			roundTrip-m.Cost.HubServiceNs-m.SeedsPerSync*m.Cost.SyncPerSeedNs)
+			roundTrip-m.Cost.HubServiceNs-m.Cost.HubPerByteNs*m.BytesPerSync-
+				m.SeedsPerSync*m.Cost.SyncPerSeedNs)
 	}
 	m.CrashesPerExec = float64(rec.Crashes) / float64(rec.Execs)
+}
+
+// fitHubService decomposes hub service time into a per-sync base and a
+// per-byte slope by count-weighted least squares over per-worker sync
+// aggregates (service = base + perByte·bytes). It needs at least two
+// samples with distinct payload sizes for leverage; otherwise ok is
+// false and the caller falls back to the fleet-wide service mean. Both
+// coefficients are clamped non-negative — a negative slope (noise, or
+// a cold-start worker with big first payloads) degrades to the
+// flat-mean model rather than predicting cheaper syncs for bigger
+// payloads.
+func fitHubService(samples []SyncSample) (base, perByte float64, ok bool) {
+	var w, sumB, sumS float64
+	for _, s := range samples {
+		if s.Count <= 0 || s.MeanServiceNs <= 0 {
+			continue
+		}
+		w += float64(s.Count)
+		sumB += float64(s.Count) * s.MeanBytes
+		sumS += float64(s.Count) * s.MeanServiceNs
+	}
+	if w <= 0 {
+		return 0, 0, false
+	}
+	meanB, meanS := sumB/w, sumS/w
+	var sbb, sbs float64
+	for _, s := range samples {
+		if s.Count <= 0 || s.MeanServiceNs <= 0 {
+			continue
+		}
+		db := s.MeanBytes - meanB
+		sbb += float64(s.Count) * db * db
+		sbs += float64(s.Count) * db * (s.MeanServiceNs - meanS)
+	}
+	if sbb <= 0 {
+		// All samples at one payload size: no per-byte leverage.
+		return 0, 0, false
+	}
+	perByte = sbs / sbb
+	base = meanS - perByte*meanB
+	if perByte < 0 {
+		perByte = 0
+		base = meanS
+	}
+	if base < 0 {
+		base = 0
+		if meanB > 0 {
+			perByte = meanS / meanB
+		}
+	}
+	return base, perByte, true
 }

@@ -196,3 +196,58 @@ func TestCalibrateOverridesCosts(t *testing.T) {
 		t.Fatalf("payload/crash rates wrong: %+v", m)
 	}
 }
+
+func TestFitHubServiceDecomposition(t *testing.T) {
+	// Exact line service = 500 + 2·bytes through two worker samples.
+	base, perByte, ok := fitHubService([]SyncSample{
+		{Count: 10, MeanBytes: 100, MeanServiceNs: 700},
+		{Count: 10, MeanBytes: 400, MeanServiceNs: 1300},
+	})
+	if !ok || math.Abs(base-500) > 1e-9 || math.Abs(perByte-2) > 1e-9 {
+		t.Fatalf("exact fit wrong: base=%v perByte=%v ok=%v", base, perByte, ok)
+	}
+
+	// One payload size: no leverage, caller must fall back to the mean.
+	if _, _, ok := fitHubService([]SyncSample{
+		{Count: 5, MeanBytes: 200, MeanServiceNs: 900},
+		{Count: 5, MeanBytes: 200, MeanServiceNs: 1100},
+	}); ok {
+		t.Fatal("fit claimed leverage from a single payload size")
+	}
+
+	// Negative slope (noise) clamps to the flat-mean model.
+	base, perByte, ok = fitHubService([]SyncSample{
+		{Count: 10, MeanBytes: 100, MeanServiceNs: 1300},
+		{Count: 10, MeanBytes: 400, MeanServiceNs: 700},
+	})
+	if !ok || perByte != 0 || base != 1000 {
+		t.Fatalf("negative slope not clamped: base=%v perByte=%v ok=%v", base, perByte, ok)
+	}
+}
+
+func TestCalibratePerByteDecomposition(t *testing.T) {
+	m := &Model{
+		Cost:  CostModel{ExecNs: 100, MutateNs: 100},
+		Yield: YieldModel{Cmax: 100, K: 100, B: 1},
+	}
+	m.Calibrate(RunRecord{
+		Execs:  1000,
+		SyncNs: 30_000, Syncs: 10,
+		HubServiceNsMean: 1000, // ignored: worker samples take precedence
+		BytesPerSync:     250,
+		WorkerSyncs: []SyncSample{
+			{Count: 10, MeanBytes: 100, MeanServiceNs: 700},
+			{Count: 10, MeanBytes: 400, MeanServiceNs: 1300},
+		},
+	})
+	if math.Abs(m.Cost.HubServiceNs-500) > 1e-9 || math.Abs(m.Cost.HubPerByteNs-2) > 1e-9 {
+		t.Fatalf("per-byte decomposition wrong: %+v", m.Cost)
+	}
+	if m.BytesPerSync != 250 {
+		t.Fatalf("BytesPerSync not calibrated: %v", m.BytesPerSync)
+	}
+	// Round-trip 3000ns minus effective hub service 500+2·250=1000ns.
+	if math.Abs(m.Cost.SyncBaseNs-2000) > 1e-9 {
+		t.Fatalf("client base residual wrong: %v", m.Cost.SyncBaseNs)
+	}
+}

@@ -31,11 +31,16 @@ type CostModel struct {
 	// SyncPerSeedNs is the marginal client-side cost per seed shipped
 	// in a sync payload.
 	SyncPerSeedNs float64 `json:"sync_per_seed_ns"`
-	// HubServiceNs is the hub-side service time of one sync — the
-	// merge/save/diff work done under the hub lock. Syncs queue behind
-	// it FIFO, so this coefficient is what makes sync fan-in a
-	// bottleneck at scale.
+	// HubServiceNs is the hub-side per-sync base service time — the
+	// payload-independent part of the merge/save/diff work done under
+	// the hub lock. Syncs queue behind it FIFO, so this coefficient is
+	// what makes sync fan-in a bottleneck at scale.
 	HubServiceNs float64 `json:"hub_service_ns"`
+	// HubPerByteNs is the marginal hub service time per request
+	// payload byte, splitting service cost into base + per-byte so the
+	// planner sees what a compact wire format buys: halving bytes per
+	// sync halves this term, not the base.
+	HubPerByteNs float64 `json:"hub_per_byte_ns,omitempty"`
 	// LLMGenNs is the latency of generating one spec/seed program via
 	// the LLM engine, paid up front before fuzzing starts.
 	LLMGenNs float64 `json:"llm_gen_ns"`
@@ -96,6 +101,11 @@ type Model struct {
 	// SeedsPerSync is the mean seed payload of one hub exchange,
 	// scaling the per-seed sync cost.
 	SeedsPerSync float64 `json:"seeds_per_sync,omitempty"`
+	// BytesPerSync is the mean request payload of one hub exchange in
+	// bytes, scaling the per-byte hub service cost (protocol-
+	// dependent: the binary wire format records a smaller figure than
+	// JSON for the same campaign).
+	BytesPerSync float64 `json:"bytes_per_sync,omitempty"`
 	// CrashesPerExec is the observed unique-crash discovery rate, used
 	// only to project expected crash counts (it does not affect time).
 	CrashesPerExec float64 `json:"crashes_per_exec,omitempty"`

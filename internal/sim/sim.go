@@ -148,6 +148,10 @@ func Simulate(m *Model, cfg FleetConfig) (Result, error) {
 	res := Result{Config: cfg, Units: units}
 	perExec := m.Cost.perExecNs()
 	syncTail := m.Cost.SyncBaseNs + m.SeedsPerSync*m.Cost.SyncPerSeedNs
+	// Hub service splits into a payload-independent base plus a
+	// per-byte term, so protocols with smaller sync payloads (the
+	// binary wire format) shrink the serialized-bottleneck portion.
+	hubSvc := m.Cost.HubServiceNs + m.Cost.HubPerByteNs*m.BytesPerSync
 	deadline := float64(cfg.DeadlineNs)
 
 	// All workers wait out the up-front LLM generation phase.
@@ -162,10 +166,10 @@ func Simulate(m *Model, cfg FleetConfig) (Result, error) {
 	// One hub exchange: FIFO service then the client-side tail.
 	exchange := func(arrive float64) (done float64) {
 		svcStart := math.Max(arrive, hubFree)
-		hubFree = svcStart + m.Cost.HubServiceNs
+		hubFree = svcStart + hubSvc
 		done = hubFree + syncTail
 		syncTime += done - arrive
-		hubBusy += m.Cost.HubServiceNs
+		hubBusy += hubSvc
 		res.Syncs++
 		return done
 	}

@@ -96,6 +96,36 @@ func TestSimulateHubAccounting(t *testing.T) {
 	}
 }
 
+func TestSimulatePerByteHubCost(t *testing.T) {
+	// The planner-visible win of a compact wire format: halving the
+	// payload halves the per-byte share of hub busy time.
+	m := testModel()
+	m.Cost.HubPerByteNs = 10
+	m.BytesPerSync = 4096
+	cfg := FleetConfig{Workers: 3, Execs: 16_384, ShardExecs: 2048, Hub: true, Seed: 2}
+	fat, err := Simulate(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perSvc := m.Cost.HubServiceNs + m.Cost.HubPerByteNs*m.BytesPerSync
+	if want := int64(float64(fat.Syncs) * perSvc); fat.HubBusyNs != want {
+		t.Fatalf("hub busy %d != syncs×(base+bytes) %d", fat.HubBusyNs, want)
+	}
+	lean := *m
+	lean.BytesPerSync = m.BytesPerSync / 2
+	slim, err := Simulate(&lean, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	saved := float64(fat.Syncs) * m.Cost.HubPerByteNs * m.BytesPerSync / 2
+	if got := fat.HubBusyNs - slim.HubBusyNs; got != int64(saved) {
+		t.Fatalf("halved payload saved %d hub-busy ns, want %d", got, int64(saved))
+	}
+	if slim.WallNs >= fat.WallNs {
+		t.Fatalf("smaller payloads must shorten the campaign: %d vs %d", slim.WallNs, fat.WallNs)
+	}
+}
+
 func TestSimulateDeadlineTruncates(t *testing.T) {
 	m := testModel()
 	full, err := Simulate(m, FleetConfig{Workers: 2, Execs: 40_000, ShardExecs: 2048, Seed: 3})

@@ -41,6 +41,19 @@ type RunRecord struct {
 	// Hub-side calibration inputs (from /v1/stats sync aggregates).
 	HubServiceNsMean float64 `json:"hub_service_ns_mean,omitempty"`
 	SeedsPerSync     float64 `json:"seeds_per_sync,omitempty"`
+	BytesPerSync     float64 `json:"bytes_per_sync,omitempty"`
+	// WorkerSyncs are the per-worker sync aggregates — sample points
+	// for decomposing hub service time into base + per-byte (workers
+	// with different payload profiles give the regression leverage).
+	WorkerSyncs []SyncSample `json:"worker_syncs,omitempty"`
+}
+
+// SyncSample is one worker's sync aggregate: Count exchanges with the
+// given mean payload size and mean hub-side service time.
+type SyncSample struct {
+	Count         int     `json:"count"`
+	MeanBytes     float64 `json:"mean_bytes"`
+	MeanServiceNs float64 `json:"mean_service_ns"`
 }
 
 // fleetConfig reconstructs the recorded run's simulator config. The

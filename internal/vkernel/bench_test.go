@@ -99,3 +99,31 @@ func BenchmarkVMRunBatch(b *testing.B) {
 		vm.RunBatch(eps[:n], out[:n])
 	}
 }
+
+// BenchmarkCoverDeltaEncode measures the hub sync path's cover-delta
+// compression: a campaign-shaped coverage set (contiguous handler
+// block runs plus scattered singles) diffed against the previous
+// sync's snapshot and encoded into a recycled buffer.
+func BenchmarkCoverDeltaEncode(b *testing.B) {
+	base := NewCoverSet(1 << 14)
+	cur := NewCoverSet(1 << 14)
+	// Base: what the last sync already shipped — dense handler ranges.
+	for blk := BlockID(0); blk < 6000; blk++ {
+		base.Add(blk)
+		cur.Add(blk)
+	}
+	// New since then: a fresh contiguous range plus scattered blocks.
+	for blk := BlockID(6000); blk < 6400; blk++ {
+		cur.Add(blk)
+	}
+	for blk := BlockID(7000); blk < 12000; blk += 17 {
+		cur.Add(blk)
+	}
+	var buf []byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = cur.AppendDelta(buf[:0], base)
+	}
+	_ = buf
+}

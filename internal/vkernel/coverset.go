@@ -1,6 +1,10 @@
 package vkernel
 
-import "math/bits"
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+)
 
 // CoverSet is a dense bitmap over basic-block IDs. Because the kernel
 // numbers blocks contiguously from zero, a bitmap of NumBlocks bits
@@ -178,4 +182,311 @@ func (s *CoverSet) ForEach(fn func(BlockID)) {
 			w &= w - 1
 		}
 	}
+}
+
+// Compressed delta codec
+//
+// EncodeDelta/DecodeDelta serialize the set difference s \ base as a
+// roaring-style container stream: block IDs are partitioned by their
+// high 16 bits into containers of up to 65536 values, and each
+// container independently picks the smallest of three encodings —
+// a sorted uint16 array (sparse), run-length [start, length] pairs
+// (clustered, the common shape for contiguous handler block ranges),
+// or a raw 8 KiB bitmap (dense). The encoding is canonical: a given
+// block set always encodes to the same bytes, and DecodeDelta rejects
+// non-canonical input (out-of-order values, wrong container choice,
+// overlapping runs), so encode∘decode is the identity both ways.
+// This is the hub sync path's cover-delta wire format.
+
+// Delta codec framing constants.
+const (
+	deltaMagic   = 0xC5 // "CoverSet" stream marker
+	deltaVersion = 0x01
+
+	containerArray  = 0x00
+	containerRun    = 0x01
+	containerBitmap = 0x02
+
+	// containerWords is the bitmap words per container (2^16 bits).
+	containerWords = 1 << 10
+	// bitmapBytes is the raw-bitmap container payload size.
+	bitmapBytes = containerWords * 8
+)
+
+// EncodeDelta returns the canonical encoding of s \ base (blocks
+// covered by s but not by base). A nil base encodes the whole set.
+func (s *CoverSet) EncodeDelta(base *CoverSet) []byte {
+	return s.AppendDelta(nil, base)
+}
+
+// AppendDelta appends the canonical encoding of s \ base to dst and
+// returns the extended slice (the allocation-free form of
+// EncodeDelta for callers that recycle a buffer).
+func (s *CoverSet) AppendDelta(dst []byte, base *CoverSet) []byte {
+	dst = append(dst, deltaMagic, deltaVersion)
+	if s == nil {
+		return binary.AppendUvarint(dst, 0)
+	}
+	// First pass: count non-empty containers (no materialization).
+	containers := 0
+	for start := 0; start < len(s.words); start += containerWords {
+		end := min(start+containerWords, len(s.words))
+		for i := start; i < end; i++ {
+			w := s.words[i]
+			if base != nil && i < len(base.words) {
+				w &^= base.words[i]
+			}
+			if w != 0 {
+				containers++
+				break
+			}
+		}
+	}
+	dst = binary.AppendUvarint(dst, uint64(containers))
+	var vals []uint16
+	forEachContainer(s, base, func(key int, words []uint64) {
+		vals = containerValues(vals[:0], words)
+		runs := countRuns(vals)
+		arrayBytes := 2 * len(vals)
+		runBytes := 4 * runs
+		dst = binary.AppendUvarint(dst, uint64(key))
+		switch {
+		case runBytes < arrayBytes && runBytes < bitmapBytes:
+			dst = append(dst, containerRun)
+			dst = binary.AppendUvarint(dst, uint64(runs))
+			dst = appendRuns(dst, vals)
+		case arrayBytes <= bitmapBytes:
+			dst = append(dst, containerArray)
+			dst = binary.AppendUvarint(dst, uint64(len(vals)))
+			for _, v := range vals {
+				dst = binary.LittleEndian.AppendUint16(dst, v)
+			}
+		default:
+			dst = append(dst, containerBitmap)
+			var buf [8]byte
+			for i := 0; i < containerWords; i++ {
+				var w uint64
+				if i < len(words) {
+					w = words[i]
+				}
+				binary.LittleEndian.PutUint64(buf[:], w)
+				dst = append(dst, buf[:]...)
+			}
+		}
+	})
+	return dst
+}
+
+// forEachContainer visits each 65536-block container of s \ base that
+// holds at least one block, in ascending key order, handing the
+// caller the container's diffed words (length <= containerWords; the
+// callback must not retain the slice).
+func forEachContainer(s, base *CoverSet, fn func(key int, words []uint64)) {
+	var scratch [containerWords]uint64
+	for start := 0; start < len(s.words); start += containerWords {
+		end := min(start+containerWords, len(s.words))
+		nonEmpty := false
+		for i := start; i < end; i++ {
+			w := s.words[i]
+			if base != nil && i < len(base.words) {
+				w &^= base.words[i]
+			}
+			scratch[i-start] = w
+			nonEmpty = nonEmpty || w != 0
+		}
+		if nonEmpty {
+			fn(start/containerWords, scratch[:end-start])
+		}
+	}
+}
+
+// containerValues appends the low-16-bit values of the set words to
+// dst in ascending order.
+func containerValues(dst []uint16, words []uint64) []uint16 {
+	for i, w := range words {
+		base := uint16(i) << 6
+		for w != 0 {
+			dst = append(dst, base+uint16(bits.TrailingZeros64(w)))
+			w &= w - 1
+		}
+	}
+	return dst
+}
+
+// countRuns counts maximal runs of consecutive values.
+func countRuns(vals []uint16) int {
+	runs := 0
+	for i, v := range vals {
+		if i == 0 || v != vals[i-1]+1 {
+			runs++
+		}
+	}
+	return runs
+}
+
+// appendRuns encodes sorted values as (start, length-1) uint16 pairs.
+func appendRuns(dst []byte, vals []uint16) []byte {
+	for i := 0; i < len(vals); {
+		j := i + 1
+		for j < len(vals) && vals[j] == vals[j-1]+1 {
+			j++
+		}
+		dst = binary.LittleEndian.AppendUint16(dst, vals[i])
+		dst = binary.LittleEndian.AppendUint16(dst, uint16(j-i-1))
+		i = j
+	}
+	return dst
+}
+
+// strictUvarint decodes a uvarint, rejecting non-minimal encodings
+// (an over-long encoding would decode fine but re-encode shorter,
+// breaking the canonical-form invariant).
+func strictUvarint(data []byte) (uint64, int) {
+	v, n := binary.Uvarint(data)
+	if n > 1 && data[n-1] == 0 {
+		return 0, 0 // top byte contributes nothing: not minimal
+	}
+	return v, n
+}
+
+// DecodeDelta parses an EncodeDelta stream, invoking fn for every
+// encoded block in ascending ID order. It rejects malformed and
+// non-canonical input, so a successful decode re-encodes to exactly
+// the input bytes.
+func DecodeDelta(data []byte, fn func(BlockID)) error {
+	if len(data) < 2 || data[0] != deltaMagic || data[1] != deltaVersion {
+		return fmt.Errorf("coverset delta: bad header")
+	}
+	data = data[2:]
+	containers, n := strictUvarint(data)
+	if n <= 0 {
+		return fmt.Errorf("coverset delta: bad container count")
+	}
+	data = data[n:]
+	prevKey := -1
+	for c := uint64(0); c < containers; c++ {
+		key, n := strictUvarint(data)
+		if n <= 0 || key > (1<<16)-1 {
+			return fmt.Errorf("coverset delta: bad container key")
+		}
+		data = data[n:]
+		if int(key) <= prevKey {
+			return fmt.Errorf("coverset delta: container keys not ascending")
+		}
+		prevKey = int(key)
+		if len(data) < 1 {
+			return fmt.Errorf("coverset delta: truncated container")
+		}
+		typ := data[0]
+		data = data[1:]
+		base := BlockID(key) << 16
+		switch typ {
+		case containerArray:
+			count, n := strictUvarint(data)
+			if n <= 0 || count == 0 || count > 1<<16 || len(data[n:]) < int(count)*2 {
+				return fmt.Errorf("coverset delta: bad array container")
+			}
+			data = data[n:]
+			if 2*int(count) > bitmapBytes {
+				return fmt.Errorf("coverset delta: array container larger than bitmap")
+			}
+			prev, runs := -1, 0
+			for i := uint64(0); i < count; i++ {
+				v := int(binary.LittleEndian.Uint16(data[2*i:]))
+				if v <= prev {
+					return fmt.Errorf("coverset delta: array values not ascending")
+				}
+				if v != prev+1 || i == 0 {
+					runs++
+				}
+				prev = v
+				fn(base + BlockID(v))
+			}
+			if 4*runs < 2*int(count) {
+				return fmt.Errorf("coverset delta: array container should be run-encoded")
+			}
+			data = data[2*count:]
+		case containerRun:
+			runs, n := strictUvarint(data)
+			if n <= 0 || runs == 0 || runs > 1<<15 || len(data[n:]) < int(runs)*4 {
+				return fmt.Errorf("coverset delta: bad run container")
+			}
+			data = data[n:]
+			count := 0
+			prevEnd := -2
+			for i := uint64(0); i < runs; i++ {
+				start := int(binary.LittleEndian.Uint16(data[4*i:]))
+				length := int(binary.LittleEndian.Uint16(data[4*i+2:])) + 1
+				if start <= prevEnd+1 {
+					return fmt.Errorf("coverset delta: runs not canonical")
+				}
+				if start+length > 1<<16 {
+					return fmt.Errorf("coverset delta: run overflows container")
+				}
+				for v := start; v < start+length; v++ {
+					fn(base + BlockID(v))
+				}
+				count += length
+				prevEnd = start + length - 1
+			}
+			if 4*int(runs) >= 2*count || 4*int(runs) >= bitmapBytes {
+				return fmt.Errorf("coverset delta: run container should be array- or bitmap-encoded")
+			}
+			data = data[4*runs:]
+		case containerBitmap:
+			if len(data) < bitmapBytes {
+				return fmt.Errorf("coverset delta: truncated bitmap container")
+			}
+			count, runs := 0, 0
+			prev := -2
+			for i := 0; i < containerWords; i++ {
+				w := binary.LittleEndian.Uint64(data[8*i:])
+				wbase := i << 6
+				for w != 0 {
+					v := wbase + bits.TrailingZeros64(w)
+					if v != prev+1 {
+						runs++
+					}
+					prev = v
+					count++
+					fn(base + BlockID(v))
+					w &= w - 1
+				}
+			}
+			if count == 0 {
+				return fmt.Errorf("coverset delta: empty bitmap container")
+			}
+			if 2*count <= bitmapBytes || 4*runs < bitmapBytes {
+				return fmt.Errorf("coverset delta: bitmap container should be array- or run-encoded")
+			}
+			data = data[bitmapBytes:]
+		default:
+			return fmt.Errorf("coverset delta: unknown container type %#x", typ)
+		}
+	}
+	if len(data) != 0 {
+		return fmt.Errorf("coverset delta: %d trailing bytes", len(data))
+	}
+	return nil
+}
+
+// DecodeDeltaBlocks materializes a decoded delta as a sorted slice.
+func DecodeDeltaBlocks(data []byte) ([]BlockID, error) {
+	var out []BlockID
+	if err := DecodeDelta(data, func(b BlockID) { out = append(out, b) }); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ApplyDelta decodes data into s, returning the number of newly
+// covered blocks.
+func (s *CoverSet) ApplyDelta(data []byte) (int, error) {
+	added := 0
+	err := DecodeDelta(data, func(b BlockID) {
+		if s.Add(b) {
+			added++
+		}
+	})
+	return added, err
 }
