@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 
 	"kernelgpt/internal/corpus"
 	"kernelgpt/internal/fuzz/corpusstore"
@@ -80,7 +81,14 @@ func main() {
 		os.Exit(2)
 	}
 	files := 0
-	for path, src := range c.Index.Files() {
+	srcs := c.Index.Files()
+	paths := make([]string, 0, len(srcs))
+	for path := range srcs {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		src := srcs[path]
 		full := filepath.Join(*out, "src", path)
 		if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
 			fmt.Fprintln(os.Stderr, err)

@@ -1,0 +1,135 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"kernelgpt/internal/analysis"
+	"kernelgpt/internal/analysis/analysistest"
+	"kernelgpt/internal/analysis/ctxhygiene"
+	"kernelgpt/internal/analysis/detorder"
+	"kernelgpt/internal/analysis/detrand"
+	"kernelgpt/internal/analysis/lockguard"
+)
+
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above the test directory")
+		}
+		dir = parent
+	}
+}
+
+// TestSyzlintCleanOnRepo is the CI gate's in-process twin: the full
+// analyzer suite over every package must report nothing. If this
+// fails, either fix the code or record the judgment with the
+// documented annotation (//syzlint:..., // guarded by mu).
+func TestSyzlintCleanOnRepo(t *testing.T) {
+	root := repoRoot(t)
+	pkgs, err := analysis.Load(root, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.Run(pkgs, All)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) > 0 {
+		var buf bytes.Buffer
+		analysis.Print(&buf, pkgs[0].Fset, diags)
+		t.Fatalf("syzlint must run clean on the repo; findings:\n%s", buf.String())
+	}
+}
+
+// TestAnalyzersFireOnBrokenFixtures proves the clean run above is not
+// vacuous: every analyzer still reports on its deliberately broken
+// fixture.
+func TestAnalyzersFireOnBrokenFixtures(t *testing.T) {
+	root := repoRoot(t)
+	cases := []struct {
+		a          *analysis.Analyzer
+		fixture    string
+		importPath string
+	}{
+		{ctxhygiene.Analyzer, "ctxhygiene/testdata/src/ctxhygiene", "kernelgpt/internal/fixture"},
+		{detorder.Analyzer, "detorder/testdata/src/detorder", "kernelgpt/internal/fixture"},
+		{detrand.Analyzer, "detrand/testdata/src/detrand", "kernelgpt/internal/fuzz"},
+		{lockguard.Analyzer, "lockguard/testdata/src/lockguard", "kernelgpt/internal/fixture"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.a.Name, func(t *testing.T) {
+			dir := filepath.Join(root, "internal", "analysis", tc.fixture)
+			analysistest.MustFire(t, dir, tc.importPath, tc.a)
+		})
+	}
+}
+
+// TestVersionAndFlagsHandshake covers the two discovery calls the go
+// command makes before delegating vet work to a -vettool.
+func TestVersionAndFlagsHandshake(t *testing.T) {
+	var out bytes.Buffer
+	if code := run([]string{"-V=full"}, &out, &out); code != 0 {
+		t.Fatalf("-V=full exited %d: %s", code, out.String())
+	}
+	fields := strings.Fields(out.String())
+	if len(fields) != 4 || fields[0] != "syzlint" || fields[1] != "version" ||
+		!strings.HasPrefix(fields[3], "buildID=") {
+		t.Fatalf("malformed -V=full line: %q", out.String())
+	}
+
+	out.Reset()
+	if code := run([]string{"-flags"}, &out, &out); code != 0 {
+		t.Fatalf("-flags exited %d: %s", code, out.String())
+	}
+	var defs []struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	if err := json.Unmarshal(out.Bytes(), &defs); err != nil {
+		t.Fatalf("-flags output is not a JSON flag list: %v\n%s", err, out.String())
+	}
+	if len(defs) != len(All) {
+		t.Fatalf("-flags advertised %d flags, want %d", len(defs), len(All))
+	}
+	for i, d := range defs {
+		if d.Name != All[i].Name || !d.Bool {
+			t.Fatalf("flag %d = %+v, want bool flag %q", i, d, All[i].Name)
+		}
+	}
+}
+
+// TestVetToolProtocol drives the built binary through the real
+// `go vet -vettool` handshake on a few packages.
+func TestVetToolProtocol(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the syzlint binary")
+	}
+	root := repoRoot(t)
+	bin := filepath.Join(t.TempDir(), "syzlint")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/syzlint")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	vet := exec.Command("go", "vet", "-vettool="+bin, "./internal/pool", "./internal/hub", "./internal/fuzz")
+	vet.Dir = root
+	if out, err := vet.CombinedOutput(); err != nil {
+		t.Fatalf("go vet -vettool reported findings on clean packages: %v\n%s", err, out)
+	}
+}

@@ -1,0 +1,118 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+
+	"kernelgpt/internal/analysis"
+)
+
+// The `go vet -vettool` protocol: for each package, the go command
+// writes a JSON config naming the source files and the export-data
+// files of every dependency (already compiled, so no network and no
+// re-typechecking of the world), then invokes the tool with that
+// single *.cfg argument. The tool typechecks just the one package,
+// prints findings to stderr, writes the (for us, empty) facts file,
+// and exits 1 if it found anything. This mirrors
+// golang.org/x/tools/go/analysis/unitchecker on the standard
+// library.
+
+// vetConfig is the subset of the go command's vet config the checker
+// consumes (unknown fields are ignored).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func unitcheck(cfgPath string, suite []*analysis.Analyzer, stderr io.Writer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "syzlint: %v\n", err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(stderr, "syzlint: parsing %s: %v\n", cfgPath, err)
+		return 2
+	}
+	// The facts file must exist for the go command to cache the run;
+	// our analyzers exchange no facts, so it is empty.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintf(stderr, "syzlint: %v\n", err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	pkg, err := loadFromConfig(&cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(stderr, "syzlint: %v\n", err)
+		return 2
+	}
+	diags, err := analysis.Run([]*analysis.Package{pkg}, suite)
+	if err != nil {
+		fmt.Fprintf(stderr, "syzlint: %v\n", err)
+		return 2
+	}
+	if len(diags) == 0 {
+		return 0
+	}
+	analysis.Print(stderr, pkg.Fset, diags)
+	return 1
+}
+
+// loadFromConfig typechecks the one package the config describes,
+// resolving imports through the export-data files the go command
+// listed.
+func loadFromConfig(cfg *vetConfig) (*analysis.Package, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if canonical, ok := cfg.ImportMap[path]; ok {
+			path = canonical
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	info := analysis.NewTypesInfo()
+	conf := types.Config{Importer: importer.ForCompiler(fset, "gc", lookup)}
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %w", cfg.ImportPath, err)
+	}
+	return &analysis.Package{
+		ImportPath: cfg.ImportPath, Dir: cfg.Dir, GoFiles: cfg.GoFiles,
+		Fset: fset, Files: files, Types: tpkg, TypesInfo: info,
+	}, nil
+}

@@ -52,7 +52,12 @@ func main() {
 		}
 	}
 
-	for name, spec := range map[string]*syzlang.File{"syzkaller": human, "kernelgpt": res.Spec} {
+	campaigns := []struct {
+		name string
+		spec *syzlang.File
+	}{{"syzkaller", human}, {"kernelgpt", res.Spec}}
+	for _, cp := range campaigns {
+		name, spec := cp.name, cp.spec
 		tgt, err := prog.Compile(spec, c.Env())
 		if err != nil {
 			log.Fatalf("%s: %v", name, err)

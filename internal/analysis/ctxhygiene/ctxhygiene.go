@@ -1,0 +1,171 @@
+// Package ctxhygiene enforces the context discipline of internal/
+// library code: blocking work must be cancelable. Concretely:
+//
+//   - no naked time.Sleep — retry/backoff loops must select on a
+//     context (the pattern the llm middleware and hub client follow);
+//   - library code does not mint its own root context with
+//     context.Background()/context.TODO(); the caller owns cancellation;
+//   - when an exported function takes a context.Context it comes
+//     first in the parameter list (Go API convention, and what every
+//     call site in this repo assumes);
+//   - exported functions that perform obviously blocking work
+//     (time.Sleep, net dials, *http.Client round trips) must accept a
+//     context.Context.
+//
+// Deliberate exceptions (compat wrappers whose whole point is to
+// default the context) opt out with //syzlint:ctx.
+package ctxhygiene
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"kernelgpt/internal/analysis"
+)
+
+// Analyzer is the ctxhygiene checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxhygiene",
+	Doc: "enforce ctx-aware blocking APIs in internal/ packages: no naked time.Sleep, " +
+		"no context.Background in library code, context.Context first; opt out with //syzlint:ctx",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !inInternal(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				checkSelector(pass, n)
+			case *ast.FuncDecl:
+				checkSignature(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// inInternal reports whether the package is library code under an
+// internal/ tree (commands and examples are operator-facing and may
+// block or default contexts as they please).
+func inInternal(path string) bool {
+	return strings.HasPrefix(path, "internal/") || strings.Contains(path, "/internal/")
+}
+
+func checkSelector(pass *analysis.Pass, sel *ast.SelectorExpr) {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return
+	}
+	pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	if !ok {
+		return
+	}
+	switch pn.Imported().Path() {
+	case "time":
+		if sel.Sel.Name == "Sleep" && !pass.Suppressed("ctx", sel.Pos()) {
+			pass.Reportf(sel.Pos(), "naked time.Sleep in library code: select on a context-aware timer so callers can cancel the wait")
+		}
+	case "context":
+		if (sel.Sel.Name == "Background" || sel.Sel.Name == "TODO") && !pass.Suppressed("ctx", sel.Pos()) {
+			pass.Reportf(sel.Pos(), "context.%s in library code: accept the caller's context instead of minting a root one", sel.Sel.Name)
+		}
+	}
+}
+
+// checkSignature enforces ctx-first on exported functions and
+// requires a context parameter on exported functions that do
+// obviously blocking work.
+func checkSignature(pass *analysis.Pass, fd *ast.FuncDecl) {
+	if !fd.Name.IsExported() || fd.Type.Params == nil {
+		return
+	}
+	ctxIndex := -1
+	idx := 0
+	for _, field := range fd.Type.Params.List {
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		if isContextType(pass, field.Type) && ctxIndex < 0 {
+			ctxIndex = idx
+		}
+		idx += n
+	}
+	if ctxIndex > 0 && !pass.Suppressed("ctx", fd.Pos()) {
+		pass.Reportf(fd.Pos(), "exported %s takes context.Context at parameter %d: contexts come first", fd.Name.Name, ctxIndex+1)
+	}
+	if ctxIndex < 0 && fd.Body != nil && !pass.Suppressed("ctx", fd.Pos()) {
+		if what := blockingCall(pass, fd.Body); what != "" {
+			pass.Reportf(fd.Pos(), "exported %s blocks (%s) but has no context.Context parameter", fd.Name.Name, what)
+		}
+	}
+}
+
+func isContextType(pass *analysis.Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// blockingCall scans a body for the blocking operations the checker
+// recognizes, returning a description of the first one ("" if none).
+func blockingCall(pass *analysis.Pass, body *ast.BlockStmt) string {
+	var found string
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found != "" {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := sel.X.(*ast.Ident); ok {
+			if pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName); ok {
+				switch pn.Imported().Path() {
+				case "time":
+					if sel.Sel.Name == "Sleep" {
+						found = "time.Sleep"
+					}
+				case "net":
+					if strings.HasPrefix(sel.Sel.Name, "Dial") {
+						found = "net." + sel.Sel.Name
+					}
+				}
+				return true
+			}
+		}
+		// *http.Client round trips without a request-scoped context.
+		if t := pass.TypesInfo.TypeOf(sel.X); t != nil {
+			if ptr, ok := t.(*types.Pointer); ok {
+				if named, ok := ptr.Elem().(*types.Named); ok {
+					obj := named.Obj()
+					if obj.Name() == "Client" && obj.Pkg() != nil && obj.Pkg().Path() == "net/http" {
+						switch sel.Sel.Name {
+						case "Do", "Get", "Post", "PostForm", "Head":
+							found = "http.Client." + sel.Sel.Name
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,20 @@
+package ctxhygiene_test
+
+import (
+	"testing"
+
+	"kernelgpt/internal/analysis/analysistest"
+	"kernelgpt/internal/analysis/ctxhygiene"
+)
+
+func TestCtxHygiene(t *testing.T) {
+	analysistest.Run(t, "testdata/src/ctxhygiene", "kernelgpt/internal/fixture", ctxhygiene.Analyzer)
+}
+
+func TestCtxHygieneScopedToInternal(t *testing.T) {
+	analysistest.Run(t, "testdata/src/cmdok", "kernelgpt/cmd/fixture", ctxhygiene.Analyzer)
+}
+
+func TestCtxHygieneFires(t *testing.T) {
+	analysistest.MustFire(t, "testdata/src/ctxhygiene", "kernelgpt/internal/fixture", ctxhygiene.Analyzer)
+}

@@ -1,0 +1,13 @@
+// The same blocking patterns in operator-facing command code:
+// ctxhygiene only polices internal/ packages.
+package fixture
+
+import (
+	"context"
+	"time"
+)
+
+func Wait() {
+	time.Sleep(time.Nanosecond)
+	_ = context.Background()
+}

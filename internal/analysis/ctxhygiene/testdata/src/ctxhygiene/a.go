@@ -1,0 +1,76 @@
+// Fixture for the ctxhygiene checker: typechecked under an
+// internal/ import path by the test.
+package fixture
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+func Retry(n int) { // want `exported Retry blocks \(time.Sleep\) but has no context.Context parameter`
+	for i := 0; i < n; i++ {
+		time.Sleep(time.Millisecond) // want `naked time.Sleep in library code`
+	}
+}
+
+func RetryCtx(ctx context.Context, n int) error {
+	t := time.NewTimer(time.Millisecond)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+func Fetch(c *http.Client, url string) error { // want `exported Fetch blocks \(http.Client.Do\) but has no context.Context parameter`
+	req, err := http.NewRequest("GET", url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.Do(req)
+	if err != nil {
+		return err
+	}
+	return resp.Body.Close()
+}
+
+func FetchCtx(ctx context.Context, c *http.Client, url string) error {
+	req, err := http.NewRequestWithContext(ctx, "GET", url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.Do(req)
+	if err != nil {
+		return err
+	}
+	return resp.Body.Close()
+}
+
+func Indexed(items []string, ctx context.Context) int { // want `exported Indexed takes context.Context at parameter 2: contexts come first`
+	_ = ctx
+	return len(items)
+}
+
+func mint() context.Context {
+	return context.Background() // want `context.Background in library code`
+}
+
+func todo() context.Context {
+	return context.TODO() // want `context.TODO in library code`
+}
+
+//syzlint:ctx
+func Compat() {
+	// A deliberate compatibility wrapper: the directive on the
+	// declaration covers the whole body.
+	time.Sleep(time.Nanosecond)
+	_ = context.Background()
+}
+
+func unexportedSleeps() {
+	// Unexported helpers still may not sleep nakedly...
+	time.Sleep(time.Nanosecond) // want `naked time.Sleep in library code`
+}

@@ -1,0 +1,16 @@
+package detorder_test
+
+import (
+	"testing"
+
+	"kernelgpt/internal/analysis/analysistest"
+	"kernelgpt/internal/analysis/detorder"
+)
+
+func TestDetorder(t *testing.T) {
+	analysistest.Run(t, "testdata/src/detorder", "kernelgpt/internal/fixture", detorder.Analyzer)
+}
+
+func TestDetorderFires(t *testing.T) {
+	analysistest.MustFire(t, "testdata/src/detorder", "kernelgpt/internal/fixture", detorder.Analyzer)
+}

@@ -1,0 +1,127 @@
+// Package detrand bans nondeterminism sources — wall-clock reads and
+// the globally seeded math/rand — inside the packages whose outputs
+// must be a pure function of their inputs and RNG seed: program
+// generation/mutation, campaign execution and stats merging, the
+// seed pool, the corpus store, and the discrete-event simulator.
+// One time.Now() in a merge path silently breaks shard invariance,
+// hub restart replay, and the sim-validate gate; this checker makes
+// that a build failure instead of a reviewer catch.
+//
+// Legitimate wall-clock reads (the operator-facing Stats timing
+// fields) opt out per line or per function with
+//
+//	//syzlint:wallclock
+package detrand
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"kernelgpt/internal/analysis"
+)
+
+// DeterministicPackages lists the import-path suffixes the checker
+// polices. A package matches when its path equals a suffix or ends
+// with "/"+suffix, so the module prefix does not matter.
+var DeterministicPackages = []string{
+	"internal/prog",
+	"internal/fuzz",
+	"internal/fuzz/seedpool",
+	"internal/fuzz/corpusstore",
+	"internal/sim",
+}
+
+// wallClockFuncs are the time package functions that read the wall
+// clock. (time.Sleep is ctxhygiene's business.)
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+	"Tick": true, "After": true, "AfterFunc": true,
+}
+
+// seededConstructors are the math/rand package-level functions that
+// are fine in deterministic code: they build explicitly seeded
+// generators rather than consuming the global one.
+var seededConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+}
+
+// Analyzer is the detrand checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "detrand",
+	Doc: "forbid wall-clock reads and the global math/rand in deterministic packages " +
+		"(prog, fuzz, seedpool, corpusstore, sim); opt out with //syzlint:wallclock",
+	Run: run,
+}
+
+// InDeterministicPackage reports whether path is policed.
+func InDeterministicPackage(path string) bool {
+	for _, s := range DeterministicPackages {
+		if path == s || strings.HasSuffix(path, "/"+s) {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) error {
+	if !InDeterministicPackage(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			if strings.Trim(imp.Path.Value, `"`) == "crypto/rand" {
+				if !pass.Suppressed("wallclock", imp.Pos()) {
+					pass.Reportf(imp.Pos(), "crypto/rand in deterministic package %s: outputs must be a pure function of the seed", pass.Pkg.Path())
+				}
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkgName, ok := pkgOf(pass, sel)
+			if !ok {
+				return true
+			}
+			switch pkgName {
+			case "time":
+				if wallClockFuncs[sel.Sel.Name] && !pass.Suppressed("wallclock", sel.Pos()) {
+					pass.Reportf(sel.Pos(), "time.%s in deterministic package %s: wall-clock state leaks into outputs that must be a pure function of the seed (annotate //syzlint:wallclock if this only feeds timing stats)", sel.Sel.Name, pass.Pkg.Path())
+				}
+			case "math/rand", "math/rand/v2":
+				if !seededConstructors[sel.Sel.Name] && isPackageFunc(pass, sel) && !pass.Suppressed("wallclock", sel.Pos()) {
+					pass.Reportf(sel.Pos(), "global rand.%s in deterministic package %s: the process-global generator is not seed-derived; thread a *rand.Rand from the campaign seed", sel.Sel.Name, pass.Pkg.Path())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// pkgOf resolves a selector's base to an imported package name,
+// returning its import path.
+func pkgOf(pass *analysis.Pass, sel *ast.SelectorExpr) (string, bool) {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	if !ok {
+		return "", false
+	}
+	return pn.Imported().Path(), true
+}
+
+// isPackageFunc reports whether the selector names a package-level
+// function (as opposed to a type or constant from the package).
+func isPackageFunc(pass *analysis.Pass, sel *ast.SelectorExpr) bool {
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	if obj == nil {
+		return false
+	}
+	_, isFunc := obj.(*types.Func)
+	return isFunc
+}

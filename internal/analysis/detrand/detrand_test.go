@@ -1,0 +1,24 @@
+package detrand_test
+
+import (
+	"testing"
+
+	"kernelgpt/internal/analysis/analysistest"
+	"kernelgpt/internal/analysis/detrand"
+)
+
+func TestDetrand(t *testing.T) {
+	analysistest.Run(t, "testdata/src/detrand", "kernelgpt/internal/sim", detrand.Analyzer)
+}
+
+// The same banned calls outside the deterministic package set are
+// none of detrand's business.
+func TestDetrandScopedToDeterministicPackages(t *testing.T) {
+	analysistest.Run(t, "testdata/src/nondet", "kernelgpt/internal/hub", detrand.Analyzer)
+}
+
+// The broken fixture keeps firing — the meta-guard that the checker
+// itself has not been neutered.
+func TestDetrandFires(t *testing.T) {
+	analysistest.MustFire(t, "testdata/src/detrand", "kernelgpt/internal/fuzz", detrand.Analyzer)
+}

@@ -1,0 +1,50 @@
+// Fixture for the detrand checker: typechecked under a
+// deterministic import path by the test.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+var sink int64
+
+func wallClock() {
+	t := time.Now() // want `time.Now in deterministic package`
+	sink = t.UnixNano()
+	sink = int64(time.Since(time.Unix(0, sink))) // want `time.Since in deterministic package`
+	sink = int64(time.Until(time.Unix(0, 0)))    // want `time.Until in deterministic package`
+}
+
+func annotatedSameLine() {
+	sink = time.Now().UnixNano() //syzlint:wallclock
+}
+
+//syzlint:wallclock
+func annotatedFunc() time.Duration {
+	start := time.Now()
+	return time.Since(start)
+}
+
+func annotatedAbove() {
+	//syzlint:wallclock
+	sink = time.Now().UnixNano()
+}
+
+func seeded() int {
+	r := rand.New(rand.NewSource(1)) // explicit seed: fine
+	return r.Intn(10)
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want `global rand.Intn in deterministic package`
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `global rand.Shuffle`
+}
+
+func typeOnly(r *rand.Rand) int64 {
+	// Naming the rand.Rand type is not a draw from the global source.
+	return r.Int63()
+}

@@ -1,0 +1,9 @@
+package fixture
+
+import (
+	crand "crypto/rand" // want `crypto/rand in deterministic package`
+)
+
+func cryptoRead(b []byte) {
+	crand.Read(b)
+}

@@ -1,0 +1,12 @@
+// The same wall-clock reads as the detrand fixture, typechecked
+// under a non-deterministic import path: nothing may be reported.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClock() int64 {
+	return time.Now().UnixNano() + int64(rand.Intn(10))
+}

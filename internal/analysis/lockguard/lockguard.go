@@ -1,0 +1,386 @@
+// Package lockguard enforces `// guarded by mu` field annotations:
+// a struct field carrying that comment may only be touched by code
+// that visibly holds the named sibling mutex. The hub's whole
+// correctness story ("all request handling serializes on one mutex")
+// rests on this discipline, which until now was enforced by review
+// only.
+//
+// The check is flow-insensitive by design — cheap, deterministic,
+// and good enough to catch the real bug class (a new method touching
+// h.workers without h.mu.Lock()):
+//
+//   - an access to x.f (f guarded by mu) is satisfied when the
+//     enclosing function, or a lexically enclosing function literal
+//     that is not launched with `go`, contains an x.mu.Lock() or
+//     x.mu.RLock() call;
+//   - a write (assignment, ++/--, or &x.f escape) under only an
+//     RLock of a sync.RWMutex is still reported;
+//   - functions named *Locked, or annotated //syzlint:locked mu on
+//     the line above their declaration, assert that every caller
+//     already holds mu and are trusted;
+//   - variables the function itself builds with a composite literal
+//     (constructors: h := &Hub{...}) are exempt — the value is not
+//     shared yet.
+//
+// Aliasing (h2 := h) and cross-struct guards are out of scope; the
+// annotation convention is a sibling mutex field.
+package lockguard
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"kernelgpt/internal/analysis"
+)
+
+// Analyzer is the lockguard checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockguard",
+	Doc: "check that fields annotated `// guarded by mu` are only accessed holding the named " +
+		"sibling mutex; assert caller-held locks with a *Locked name or //syzlint:locked",
+	Run: run,
+}
+
+// guard describes one annotated field.
+type guard struct {
+	muName string
+	rw     bool // guard is a sync.RWMutex
+	owner  string
+}
+
+const (
+	holdNone  = 0
+	holdRead  = 1
+	holdWrite = 2
+)
+
+func run(pass *analysis.Pass) error {
+	guards := collectGuards(pass)
+	if len(guards) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		dm := analysis.Directives(pass.Fset, f)
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if callerHolds(pass, dm, fd) {
+				continue
+			}
+			c := &checker{pass: pass, guards: guards, writes: writeSites(fd.Body), exempt: constructed(pass, fd.Body)}
+			c.checkScope(fd.Body, &scope{})
+		}
+	}
+	return nil
+}
+
+// collectGuards indexes every `// guarded by <mu>` field in the
+// package by its types.Var, validating that the guard names a
+// sibling mutex field.
+func collectGuards(pass *analysis.Pass) map[*types.Var]guard {
+	guards := map[*types.Var]guard{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			byName := map[string]*ast.Field{}
+			for _, field := range st.Fields.List {
+				for _, name := range field.Names {
+					byName[name.Name] = field
+				}
+			}
+			for _, field := range st.Fields.List {
+				muName := analysis.GuardedBy(field)
+				if muName == "" {
+					continue
+				}
+				mu, ok := byName[muName]
+				if !ok {
+					pass.Reportf(field.Pos(), "guarded by %s: struct %s has no field named %s", muName, ts.Name.Name, muName)
+					continue
+				}
+				rw, isMutex := mutexType(pass, mu.Type)
+				if !isMutex {
+					pass.Reportf(field.Pos(), "guarded by %s: field %s.%s is not a sync.Mutex or sync.RWMutex", muName, ts.Name.Name, muName)
+					continue
+				}
+				for _, name := range field.Names {
+					if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+						guards[v] = guard{muName: muName, rw: rw, owner: ts.Name.Name}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+// mutexType reports whether t is sync.Mutex or sync.RWMutex
+// (possibly behind a pointer), and whether it is the RW flavor.
+func mutexType(pass *analysis.Pass, e ast.Expr) (rw, ok bool) {
+	t := pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false, false
+	}
+	if ptr, isPtr := t.(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed {
+		return false, false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false, false
+	}
+	switch obj.Name() {
+	case "Mutex":
+		return false, true
+	case "RWMutex":
+		return true, true
+	}
+	return false, false
+}
+
+// callerHolds reports whether the function asserts its callers hold
+// the lock: a *Locked suffix or a //syzlint:locked directive on (or
+// directly above) the declaration line.
+func callerHolds(pass *analysis.Pass, dm analysis.DirectiveMap, fd *ast.FuncDecl) bool {
+	if strings.HasSuffix(fd.Name.Name, "Locked") {
+		return true
+	}
+	line := pass.Fset.Position(fd.Pos()).Line
+	return dm.Has("locked", line) || dm.Has("locked", line-1)
+}
+
+// scope is one function body's flow-insensitive lock state.
+type scope struct {
+	parent *scope
+	goLit  bool           // a `go func(){...}` boundary: locks do not inherit
+	held   map[string]int // "h.mu" -> holdRead|holdWrite
+}
+
+func (s *scope) holds(lockExpr string) int {
+	mode := holdNone
+	for sc := s; sc != nil; sc = sc.parent {
+		mode |= sc.held[lockExpr]
+		if sc.goLit {
+			break
+		}
+	}
+	return mode
+}
+
+type checker struct {
+	pass   *analysis.Pass
+	guards map[*types.Var]guard
+	writes map[token.Pos]bool
+	exempt map[types.Object]bool
+}
+
+// checkScope registers this body's Lock/RLock calls, then validates
+// guarded-field accesses, recursing into function literals with
+// child scopes.
+func (c *checker) checkScope(body *ast.BlockStmt, sc *scope) {
+	sc.held = map[string]int{}
+	c.collectLocks(body, sc)
+	c.walk(body, sc)
+}
+
+// collectLocks records E.Lock()/E.RLock() calls lexically in this
+// body, not descending into nested function literals.
+func (c *checker) collectLocks(body *ast.BlockStmt, sc *scope) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "Lock":
+			sc.held[types.ExprString(sel.X)] |= holdWrite | holdRead
+		case "RLock":
+			sc.held[types.ExprString(sel.X)] |= holdRead
+		}
+		return true
+	})
+}
+
+// walk validates accesses in this body, spawning child scopes at
+// function literals.
+func (c *checker) walk(n ast.Node, sc *scope) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			// The spawned goroutine runs outside the current critical
+			// section; arguments evaluate in this scope.
+			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				child := &scope{parent: sc, goLit: true}
+				c.checkScope(lit.Body, child)
+				for _, arg := range n.Call.Args {
+					c.walk(arg, sc)
+				}
+				return false
+			}
+		case *ast.FuncLit:
+			// Deferred and inline literals execute while the
+			// surrounding function's locks may be held: inherit.
+			child := &scope{parent: sc}
+			c.checkScope(n.Body, child)
+			return false
+		case *ast.SelectorExpr:
+			c.checkAccess(n, sc)
+		}
+		return true
+	})
+}
+
+// checkAccess validates one selector expression against the guard
+// table.
+func (c *checker) checkAccess(sel *ast.SelectorExpr, sc *scope) {
+	selInfo, ok := c.pass.TypesInfo.Selections[sel]
+	if !ok || selInfo.Kind() != types.FieldVal {
+		return
+	}
+	field, ok := selInfo.Obj().(*types.Var)
+	if !ok {
+		return
+	}
+	g, guarded := c.guards[field]
+	if !guarded {
+		return
+	}
+	if root := rootIdent(sel.X); root != nil {
+		if obj := c.pass.TypesInfo.Uses[root]; obj != nil && c.exempt[obj] {
+			return
+		}
+	}
+	lockExpr := types.ExprString(sel.X) + "." + g.muName
+	mode := sc.holds(lockExpr)
+	write := c.writes[sel.Pos()]
+	if mode == holdNone {
+		if c.pass.Suppressed("locked", sel.Pos()) {
+			return
+		}
+		c.pass.Reportf(sel.Pos(), "%s.%s is guarded by %s but accessed without %s held (lock it, suffix the function name with Locked, or annotate //syzlint:locked %s)",
+			g.owner, field.Name(), g.muName, lockExpr, g.muName)
+		return
+	}
+	if write && g.rw && mode&holdWrite == 0 {
+		if c.pass.Suppressed("locked", sel.Pos()) {
+			return
+		}
+		c.pass.Reportf(sel.Pos(), "%s.%s is written under %s.RLock(); writes need the full Lock()",
+			g.owner, field.Name(), lockExpr)
+	}
+}
+
+// writeSites collects the positions of selector expressions that are
+// written: assignment LHS, ++/--, and &x.f escapes.
+func writeSites(body *ast.BlockStmt) map[token.Pos]bool {
+	writes := map[token.Pos]bool{}
+	mark := func(e ast.Expr) {
+		// Unwrap index/deref chains so `t.rows[k] = v` marks t.rows.
+		for {
+			switch x := e.(type) {
+			case *ast.IndexExpr:
+				e = x.X
+			case *ast.StarExpr:
+				e = x.X
+			case *ast.ParenExpr:
+				e = x.X
+			default:
+				if sel, ok := e.(*ast.SelectorExpr); ok {
+					writes[sel.Pos()] = true
+				}
+				return
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				mark(lhs)
+			}
+		case *ast.IncDecStmt:
+			mark(n.X)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				mark(n.X)
+			}
+		}
+		return true
+	})
+	return writes
+}
+
+// constructed collects local variables initialized from composite
+// literals in this function (h := &Hub{...}): they are unshared, so
+// field writes before publication are exempt.
+func constructed(pass *analysis.Pass, body *ast.BlockStmt) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.DEFINE {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			if i >= len(as.Rhs) {
+				break
+			}
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			rhs := as.Rhs[i]
+			if u, ok := rhs.(*ast.UnaryExpr); ok && u.Op == token.AND {
+				rhs = u.X
+			}
+			if _, ok := rhs.(*ast.CompositeLit); ok {
+				if obj := pass.TypesInfo.Defs[id]; obj != nil {
+					out[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// rootIdent returns the base identifier of an expression chain.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

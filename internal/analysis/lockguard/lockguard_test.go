@@ -1,0 +1,16 @@
+package lockguard_test
+
+import (
+	"testing"
+
+	"kernelgpt/internal/analysis/analysistest"
+	"kernelgpt/internal/analysis/lockguard"
+)
+
+func TestLockguard(t *testing.T) {
+	analysistest.Run(t, "testdata/src/lockguard", "kernelgpt/internal/fixture", lockguard.Analyzer)
+}
+
+func TestLockguardFires(t *testing.T) {
+	analysistest.MustFire(t, "testdata/src/lockguard", "kernelgpt/internal/fixture", lockguard.Analyzer)
+}

@@ -1,0 +1,97 @@
+// Fixture for the lockguard checker.
+package fixture
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+func (c *counter) Incr() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func (c *counter) Racy() int {
+	return c.n // want `counter.n is guarded by mu but accessed without c.mu held`
+}
+
+func (c *counter) snapshotLocked() int {
+	return c.n // *Locked suffix: callers hold the lock
+}
+
+//syzlint:locked mu
+func (c *counter) peek() int {
+	return c.n
+}
+
+func (c *counter) spawn() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	go func() {
+		c.n++ // want `counter.n is guarded by mu but accessed without c.mu held`
+	}()
+}
+
+func (c *counter) deferredUnderLock() {
+	c.mu.Lock()
+	defer func() {
+		c.n++ // deferred literal inherits the enclosing critical section
+		c.mu.Unlock()
+	}()
+}
+
+func newCounter() *counter {
+	c := &counter{}
+	c.n = 1 // locally constructed, not shared yet
+	return c
+}
+
+func otherVar(c *counter) {
+	c.n = 2 // want `counter.n is guarded by mu but accessed without c.mu held`
+}
+
+func lockedElsewhere(c *counter) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n = 3
+}
+
+type table struct {
+	mu   sync.RWMutex
+	rows map[string]int // guarded by mu
+	hits int            // guarded by mu
+}
+
+func (t *table) get(k string) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.rows[k]
+}
+
+func (t *table) put(k string, v int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.rows[k] = v
+	t.hits++
+}
+
+func (t *table) putUnderRLock(k string, v int) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	t.rows[k] = v // want `table.rows is written under t.mu.RLock\(\); writes need the full Lock`
+	t.hits++      // want `table.hits is written under t.mu.RLock\(\); writes need the full Lock`
+}
+
+type badGuard struct {
+	// guarded by lock
+	x int // want `struct badGuard has no field named lock`
+}
+
+type badMutex struct {
+	mu int
+	// guarded by mu
+	y int // want `field badMutex.mu is not a sync.Mutex or sync.RWMutex`
+}

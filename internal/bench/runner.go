@@ -93,7 +93,7 @@ func NewRunner(opts Options) *Runner {
 		Opts:     opts,
 		Corpus:   c,
 		Kernel:   vkernel.New(c),
-		Ctx:      context.Background(),
+		Ctx:      context.Background(), //syzlint:ctx -- default root; callers override Runner.Ctx
 		genCache: map[string]*genRun{},
 	}
 }

@@ -316,7 +316,7 @@ func (f *Fuzzer) newCover() *vkernel.CoverSet {
 // Run executes one campaign to completion; it is a thin compatibility
 // wrapper over RunContext.
 func (f *Fuzzer) Run(cfg Config) *Stats {
-	stats, _ := f.RunContext(context.Background(), cfg)
+	stats, _ := f.RunContext(context.Background(), cfg) //syzlint:ctx -- compatibility shim; new callers use RunContext
 	return stats
 }
 
@@ -400,7 +400,7 @@ func (f *Fuzzer) run(ctx context.Context, cfg Config, camp campaign) (*Stats, *s
 	if cfg.MaxCalls == 0 {
 		cfg.MaxCalls = 8
 	}
-	start := time.Now()
+	start := time.Now() //syzlint:wallclock
 	g := prog.NewGen(f.Target, cfg.Seed)
 	g.Enabled = cfg.Enabled
 	g.NoLocality = cfg.NoLocality
@@ -434,7 +434,7 @@ func (f *Fuzzer) run(ctx context.Context, cfg Config, camp campaign) (*Stats, *s
 	// truth. For a serial campaign the loop IS the work unit, so
 	// WorkTime equals Elapsed.
 	defer func() {
-		stats.Elapsed = time.Since(start)
+		stats.Elapsed = time.Since(start) //syzlint:wallclock
 		stats.WorkTime = stats.Elapsed
 	}()
 	corpus := seedpool.New(cfg.CorpusCap)
@@ -456,7 +456,7 @@ func (f *Fuzzer) run(ctx context.Context, cfg Config, camp campaign) (*Stats, *s
 				ShardsDone: done, ShardsTotal: 1, Execs: stats.Execs,
 				Cover: stats.CoverCount(), Crashes: stats.UniqueCrashes(),
 				Ops:       append([]OpStat(nil), stats.Ops...),
-				ElapsedNs: time.Since(start).Nanoseconds(),
+				ElapsedNs: time.Since(start).Nanoseconds(), //syzlint:wallclock
 			})
 		}
 	}
@@ -472,14 +472,14 @@ func (f *Fuzzer) run(ctx context.Context, cfg Config, camp campaign) (*Stats, *s
 		if res.Crash != nil {
 			cr := stats.Crashes[res.Crash.Title]
 			if cr == nil {
-				t0 := time.Now()
+				t0 := time.Now() //syzlint:wallclock
 				cr = &CrashReport{
 					Title:     res.Crash.Title,
 					FirstExec: exec,
 					Repro:     triage(x, p, res.Crash.Title, cfg.NoTriage),
 				}
 				if !cfg.NoTriage {
-					stats.TriageTime += time.Since(t0)
+					stats.TriageTime += time.Since(t0) //syzlint:wallclock
 				}
 				stats.Crashes[res.Crash.Title] = cr
 			}
@@ -610,9 +610,9 @@ func hubSync(ctx context.Context, cfg Config, corpus *seedpool.Pool, stats *Stat
 	if cfg.Hub == nil {
 		return
 	}
-	t0 := time.Now()
+	t0 := time.Now() //syzlint:wallclock
 	defer func() {
-		stats.SyncTime += time.Since(t0)
+		stats.SyncTime += time.Since(t0) //syzlint:wallclock
 		stats.Syncs++
 	}()
 	remote, err := cfg.Hub.Sync(ctx, SyncState{

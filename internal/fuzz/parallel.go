@@ -116,7 +116,7 @@ func (f *Fuzzer) RunParallel(ctx context.Context, cfg Config, shards int) (*Stat
 	if err != nil {
 		return nil, err
 	}
-	start := time.Now()
+	start := time.Now() //syzlint:wallclock
 	plan := planShards(cfg)
 	merged := &Stats{
 		Cover:   f.newCover(),
@@ -138,7 +138,7 @@ func (f *Fuzzer) RunParallel(ctx context.Context, cfg Config, shards int) (*Stat
 			Ops:     append([]OpStat(nil), merged.Ops...),
 			// One clock for the whole merged stream: unit-local
 			// offsets are not relayed, so the stream stays monotone.
-			ElapsedNs: time.Since(start).Nanoseconds(),
+			ElapsedNs: time.Since(start).Nanoseconds(), //syzlint:wallclock
 		})
 	}
 	exports := make([][]seedpool.SeedState, plan.units)
@@ -156,10 +156,10 @@ func (f *Fuzzer) RunParallel(ctx context.Context, cfg Config, shards int) (*Stat
 	// seeds warm-start the units that launch afterwards.
 	var remote []seedpool.SeedState
 	hubExchange := func(st SyncState) {
-		t0 := time.Now()
+		t0 := time.Now() //syzlint:wallclock
 		pulled, err := cfg.Hub.Sync(ctx, st)
 		mu.Lock()
-		merged.SyncTime += time.Since(t0)
+		merged.SyncTime += time.Since(t0) //syzlint:wallclock
 		merged.Syncs++
 		if err == nil && !st.Final {
 			remote = append(remote, pulled...)
@@ -238,7 +238,7 @@ func (f *Fuzzer) RunParallel(ctx context.Context, cfg Config, shards int) (*Stat
 	if store != nil && !cfg.ReadOnlyCorpus {
 		saveErr = flush()
 	}
-	merged.Elapsed = time.Since(start)
+	merged.Elapsed = time.Since(start) //syzlint:wallclock
 	return merged, errors.Join(ctx.Err(), saveErr)
 }
 

@@ -40,13 +40,13 @@ type Client struct {
 	binary      bool
 
 	mu       sync.Mutex
-	workerID string
-	leaseID  string
-	leaseTTL time.Duration
-	gen      int
-	pushed   map[string]bool
-	lastCov  *vkernel.CoverSet
-	crashes  map[string]int
+	workerID string            // guarded by mu
+	leaseID  string            // guarded by mu
+	leaseTTL time.Duration     // guarded by mu
+	gen      int               // guarded by mu
+	pushed   map[string]bool   // guarded by mu
+	lastCov  *vkernel.CoverSet // guarded by mu
+	crashes  map[string]int    // guarded by mu
 
 	// HubFingerprint is the hub target's fingerprint as reported at
 	// registration (read-only after Dial).
@@ -98,31 +98,38 @@ func Dial(ctx context.Context, baseURL, name string, t *prog.Target, opts ...Cli
 	for _, o := range opts {
 		o(c)
 	}
-	if _, err := c.register(ctx); err != nil {
+	resp, err := c.register(ctx)
+	if err != nil {
 		return nil, err
 	}
+	c.HubFingerprint = resp.HubFingerprint
+	c.HubSeeds = resp.Seeds
 	return c, nil
 }
 
 // register performs the /v1/register exchange, presenting the current
-// lease for resumption when one is held. It reports whether the hub
-// resumed the lease (our delta bookkeeping is still valid hub-side).
-// Callers hold c.mu or have exclusive access (Dial).
-func (c *Client) register(ctx context.Context) (bool, error) {
+// lease for resumption when one is held. The returned response tells
+// the caller whether the hub resumed the lease (our delta bookkeeping
+// is still valid hub-side). It deliberately does not touch the
+// exported HubFingerprint/HubSeeds fields: those are documented
+// read-only after Dial, and register also runs during transparent
+// re-registration inside Sync, where rewriting them would race with
+// concurrent readers.
+//
+//syzlint:locked mu
+func (c *Client) register(ctx context.Context) (RegisterResponse, error) {
 	var resp RegisterResponse
 	err := c.do(ctx, "/v1/register", RegisterRequest{
 		Version: ProtoVersion, Name: c.name, Fingerprint: c.fingerprint,
 		LeaseID: c.leaseID,
 	}, &resp)
 	if err != nil {
-		return false, fmt.Errorf("hub register: %w", err)
+		return RegisterResponse{}, fmt.Errorf("hub register: %w", err)
 	}
 	c.workerID = resp.WorkerID
 	c.leaseID = resp.LeaseID
 	c.leaseTTL = time.Duration(resp.LeaseTTLMs) * time.Millisecond
-	c.HubFingerprint = resp.HubFingerprint
-	c.HubSeeds = resp.Seeds
-	return resp.Resumed, nil
+	return resp, nil
 }
 
 // LeaseID returns the current lease (empty against a pre-lease hub).
@@ -219,13 +226,13 @@ func (c *Client) Sync(ctx context.Context, st fuzz.SyncState) ([]seedpool.SeedSt
 		// Our registration is gone (hub restart) or our lease lapsed
 		// (missed heartbeats during a partition): re-register,
 		// presenting the lease for resumption.
-		resumed, err := c.register(ctx)
+		reg, err := c.register(ctx)
 		if err != nil {
 			return nil, err
 		}
 		req.WorkerID = c.workerID
 		req.LeaseID = c.leaseID
-		if !resumed {
+		if !reg.Resumed {
 			// The hub holds no state for us. The content-addressed
 			// push dedup stays valid — the hub reloaded its corpus
 			// from the store — but union coverage and the crash table

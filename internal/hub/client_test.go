@@ -167,3 +167,65 @@ func TestSyncFailureLeavesDeltasPending(t *testing.T) {
 		t.Fatalf("retry after failure lost deltas: %+v", hs)
 	}
 }
+
+// TestReRegistrationPreservesDialSnapshot pins the contract that the
+// exported HubFingerprint/HubSeeds fields are read-only after Dial:
+// the transparent re-registration inside Sync must not rewrite them
+// from the second register response, both because the documented
+// semantics are "as reported at registration [time of Dial]" and
+// because rewriting would race with concurrent readers (run under
+// -race, the concurrent reads below catch a regression).
+func TestReRegistrationPreservesDialSnapshot(t *testing.T) {
+	var registers, syncs atomic.Int32
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/register", func(w http.ResponseWriter, r *http.Request) {
+		n := registers.Add(1)
+		resp := RegisterResponse{
+			Version: ProtoVersion, WorkerID: "w1", LeaseID: "L1",
+			LeaseTTLMs: 60_000, HubFingerprint: "fp-dial", Seeds: 7,
+		}
+		if n > 1 { // the hub "restarted" with different state
+			resp.WorkerID, resp.LeaseID = "w2", "L2"
+			resp.HubFingerprint, resp.Seeds = "fp-restart", 99
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("/v1/sync", func(w http.ResponseWriter, r *http.Request) {
+		if syncs.Add(1) == 1 {
+			writeError(w, http.StatusNotFound, "unknown worker")
+			return
+		}
+		writeJSON(w, http.StatusOK, SyncResponse{Version: ProtoVersion, Generation: 1, LeaseTTLMs: 60_000})
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	ctx := context.Background()
+	c, err := Dial(ctx, srv.URL, "w", targetFor(t, "dm"), WithProtocol("json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.HubFingerprint != "fp-dial" || c.HubSeeds != 7 {
+		t.Fatalf("dial snapshot = %q/%d, want fp-dial/7", c.HubFingerprint, c.HubSeeds)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 1000; i++ {
+			_ = c.HubFingerprint
+			_ = c.HubSeeds
+		}
+	}()
+	if _, err := c.Sync(ctx, fuzz.SyncState{Cover: &vkernel.CoverSet{}}); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+
+	if c.WorkerID() != "w2" {
+		t.Fatalf("client did not re-register: worker id %q", c.WorkerID())
+	}
+	if c.HubFingerprint != "fp-dial" || c.HubSeeds != 7 {
+		t.Fatalf("re-registration rewrote the Dial snapshot: %q/%d", c.HubFingerprint, c.HubSeeds)
+	}
+}

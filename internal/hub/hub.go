@@ -59,18 +59,18 @@ type Hub struct {
 	// entries/generation mirror the store manifest after each save,
 	// so pull diffs reuse the store's generation bookkeeping. texts
 	// caches each entry's serialized program by file name.
-	states  []seedpool.SeedState
-	entries []corpusstore.Entry
-	gen     int
-	texts   map[string]string
-	cover   *vkernel.CoverSet
-	crashes map[string]*crashRecord
-	workers map[string]*worker
+	states  []seedpool.SeedState    // guarded by mu
+	entries []corpusstore.Entry     // guarded by mu
+	gen     int                     // guarded by mu
+	texts   map[string]string       // guarded by mu
+	cover   *vkernel.CoverSet       // guarded by mu
+	crashes map[string]*crashRecord // guarded by mu
+	workers map[string]*worker      // guarded by mu
 
-	nextWorker    int
-	nextLease     int
-	rejectedSeeds int
-	crashReports  int
+	nextWorker    int // guarded by mu
+	nextLease     int // guarded by mu
+	rejectedSeeds int // guarded by mu
+	crashReports  int // guarded by mu
 	start         time.Time
 }
 
@@ -220,6 +220,9 @@ func New(t *prog.Target, store *corpusstore.Store, opts ...Option) (*Hub, error)
 
 // refreshIndex re-reads the store manifest into the in-memory mirror
 // (entries with generations, current generation, text cache).
+// Callers hold h.mu, or have exclusive access (New).
+//
+//syzlint:locked mu
 func (h *Hub) refreshIndex() error {
 	m, err := h.store.Manifest()
 	if err != nil {
@@ -303,6 +306,8 @@ func (h *Hub) reapLocked() {
 // lifetime (counter) and across restarts (start-time suffix), so a
 // stale client resuming against a restarted hub cannot collide with
 // a newly issued lease. Callers hold h.mu.
+//
+//syzlint:locked mu
 func (h *Hub) grantLease(wk *worker) {
 	h.nextLease++
 	wk.leaseID = fmt.Sprintf("L%d.%x", h.nextLease, h.start.UnixNano())
@@ -549,6 +554,8 @@ func (h *Hub) handleSync(w http.ResponseWriter, r *http.Request) {
 // batched in whole generations up to MaxPullBatch seeds, and returns
 // the generation the batch reaches (the client's next SinceGen).
 // Callers hold h.mu.
+//
+//syzlint:locked mu
 func (h *Hub) diff(since int) ([]WireSeed, int) {
 	type cand struct {
 		e    corpusstore.Entry
@@ -609,6 +616,8 @@ func (h *Hub) diff(since int) ([]WireSeed, int) {
 // Counts arrive cumulative per worker and are differenced against the
 // worker's previous report, so a retried sync folds in exactly once.
 // Callers hold h.mu.
+//
+//syzlint:locked mu
 func (h *Hub) recordCrash(wk *worker, wc WireCrash) {
 	key := wc.Repro
 	if p, err := prog.Deserialize(h.target, wc.Repro); err == nil {

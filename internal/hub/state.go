@@ -131,6 +131,9 @@ func (h *Hub) persistLocked() {
 // empty would double-count crash reports from clients that trust
 // their resumed leases). Restored active leases get a fresh TTL from
 // load time, since the downtime should not count against workers.
+// Callers have exclusive access (New, pre-publication).
+//
+//syzlint:locked mu
 func (h *Hub) loadState() error {
 	if h.statePath == "" {
 		return nil

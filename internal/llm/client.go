@@ -89,7 +89,7 @@ func (u *Usage) CostUSD() float64 {
 // that serve concurrent completions.
 type UsageCounter struct {
 	mu sync.Mutex
-	u  Usage
+	u  Usage // guarded by mu
 }
 
 // Record adds one call's usage.

@@ -27,10 +27,10 @@ type CacheStats struct {
 type CachingClient struct {
 	inner   Client
 	mu      sync.Mutex
-	entries map[string]*list.Element
-	order   *list.List // front = most recent
+	entries map[string]*list.Element // guarded by mu
+	order   *list.List               // guarded by mu; front = most recent
 	max     int
-	stats   CacheStats
+	stats   CacheStats // guarded by mu
 }
 
 type cacheEntry struct {

@@ -478,6 +478,7 @@ func (m *SimModel) invert(ix *ccode.Index, nrLabel string) (string, bool) {
 // same header, if any.
 func neighborIoctlMacro(ix *ccode.Index, not string) (string, bool) {
 	var names []string
+	//syzlint:unordered -- only the lexicographic minimum survives below
 	for name, mac := range ix.Macros {
 		if name != not && len(mac.Params) == 0 && strings.Contains(mac.Value, "_IO") {
 			names = append(names, name)
