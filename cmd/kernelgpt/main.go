@@ -14,6 +14,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
@@ -25,6 +26,7 @@ import (
 	"kernelgpt/internal/engine"
 	"kernelgpt/internal/llm"
 	"kernelgpt/internal/syzlang"
+	"kernelgpt/internal/telemetry"
 )
 
 func main() {
@@ -40,6 +42,7 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "corpus scale")
 	workers := flag.Int("workers", 4, "generation worker-pool size")
 	cacheSize := flag.Int("cache", 4096, "LLM completion-cache entries (0 disables)")
+	metricsPath := flag.String("metrics", "", `write final engine/LLM metrics in Prometheus text format to FILE ("-" = stderr)`)
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -51,11 +54,23 @@ func main() {
 	opts.Repair = !*noRepair
 	opts.AllInOne = *allInOne
 	opts.Trace = *trace
-	eng := engine.New(c,
+	engOpts := []engine.Option{
 		engine.WithClient(llm.NewSim(*model, *seed)),
 		engine.WithGeneratorOptions(opts),
 		engine.WithWorkers(*workers),
-		engine.WithCache(*cacheSize))
+		engine.WithCache(*cacheSize),
+	}
+	var reg *telemetry.Registry
+	if *metricsPath != "" {
+		reg = telemetry.NewRegistry()
+		engOpts = append(engOpts, engine.WithTelemetry(reg))
+		defer func() {
+			if err := writeMetrics(*metricsPath, reg); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
+	eng := engine.New(c, engOpts...)
 
 	if *handler != "" {
 		h := c.Handler(*handler)
@@ -111,6 +126,20 @@ func printResult(res *core.Result, statsOnly bool) {
 		return
 	}
 	fmt.Println(syzlang.Format(res.Spec))
+}
+
+// writeMetrics renders the registry once, at exit — a generation run
+// is a batch job, so a final snapshot replaces a scrape endpoint.
+func writeMetrics(path string, reg *telemetry.Registry) error {
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		return err
+	}
+	if path == "-" {
+		_, err := os.Stderr.Write(buf.Bytes())
+		return err
+	}
+	return os.WriteFile(path, buf.Bytes(), 0o644)
 }
 
 func reportUsage(eng *engine.Engine) {

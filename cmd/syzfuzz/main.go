@@ -42,6 +42,16 @@
 //	syzfuzz -suite oracle -execs 30000 -shards 3 -shard-execs 2048 \
 //	    -trace trace.jsonl -stats-json stats.json
 //
+// Observability: -metrics-addr HOST:PORT serves the campaign's live
+// Prometheus metrics (execs, coverage, crashes, exec/triage/sync
+// latency histograms) as a sidecar; -flight-record DIR keeps a
+// bounded ring of recent telemetry events and dumps it to DIR on
+// every crash, so each report carries the engine activity leading up
+// to it. Both are off by default and cost nothing when off.
+//
+//	syzfuzz -suite oracle -execs 50000 \
+//	    -metrics-addr 127.0.0.1:7071 -flight-record /tmp/flight
+//
 // -cpuprofile / -memprofile write runtime/pprof profiles of the
 // campaign. The checked-in default.pgo at the module root was
 // produced with exactly:
@@ -59,6 +69,8 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
@@ -77,6 +89,7 @@ import (
 	"kernelgpt/internal/prog"
 	"kernelgpt/internal/sim"
 	"kernelgpt/internal/syzlang"
+	"kernelgpt/internal/telemetry"
 	"kernelgpt/internal/vkernel"
 )
 
@@ -103,6 +116,8 @@ func main() {
 	hubName := flag.String("hub-name", "", "worker label in the hub's stats (default hostname:pid)")
 	hubProto := flag.String("hub-proto", "binary", "sync encoding: binary (compact frames + compressed cover deltas) or json (PR-5 interop)")
 	statsJSON := flag.String("stats-json", "", "write the final merged stats as JSON to FILE (the hub wire schema; \"-\" = stdout)")
+	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus /metrics on HOST:PORT as a campaign sidecar (e.g. 127.0.0.1:7071)")
+	flightDir := flag.String("flight-record", "", "crash flight recorder: dump the last telemetry events to DIR on each crash")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to FILE (the PGO input; see README \"Compiled execution & PGO\")")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to FILE at exit")
 	flag.Parse()
@@ -209,13 +224,39 @@ func main() {
 		defer tf.Close()
 		traceEnc = json.NewEncoder(tf)
 	}
-	start := time.Now()
+	// One clock for every observability surface — campaign Elapsed, the
+	// -trace stream, metrics histograms, and flight-dump stamps all
+	// derive their time from the same injected source.
+	var clk telemetry.Clock
+	var metrics *fuzz.Metrics
+	if *metricsAddr != "" {
+		reg := telemetry.NewRegistry()
+		metrics = fuzz.NewMetrics(reg)
+		kernel.InstrumentPool(reg)
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer ln.Close()
+		go http.Serve(ln, telemetry.Handler(reg))
+		fmt.Fprintf(os.Stderr, "metrics: serving http://%s/metrics\n", ln.Addr())
+	}
+	var flight *telemetry.FlightRecorder
+	if *flightDir != "" {
+		flight = telemetry.NewFlightRecorder(*flightDir, 256, clk)
+		fmt.Fprintf(os.Stderr, "flight recorder: dumping to %s on crash\n", *flightDir)
+	}
+	start := clk.Now()
 	for i := 0; i < *reps; i++ {
 		cfg := fuzz.DefaultConfig(*execs, fuzz.RepSeed(*seed, i))
 		cfg.UniformOps = *uniform
 		cfg.ShardExecs = *shardExecs
 		cfg.CorpusDir = *corpusDir
 		cfg.Checkpoint = *checkpoint
+		cfg.Clock = clk
+		cfg.Metrics = metrics
+		cfg.Flight = flight
 		if *hubURL != "" {
 			// One registration per repetition: each rep is an
 			// independent campaign whose counters restart from zero,
@@ -251,12 +292,12 @@ func main() {
 				}
 			}
 		}
-		repStart := time.Now()
+		repStart := clk.Now()
 		s, err := f.RunParallel(ctx, cfg, *shards)
 		// s is nil only for pre-campaign failures (e.g. an unusable
 		// corpus store); cancellation still yields partial stats.
 		if s != nil {
-			elapsed = append(elapsed, time.Since(repStart))
+			elapsed = append(elapsed, clk.Now().Sub(repStart))
 			statsList = append(statsList, s)
 		}
 		if err != nil {
@@ -272,7 +313,7 @@ func main() {
 	}
 	fmt.Printf("mean cov=%.1f mean crashes=%.1f throughput=%.0f execs/sec\n",
 		fuzz.MeanCover(statsList), fuzz.MeanCrashes(statsList),
-		execRate(totalExecs, time.Since(start)))
+		execRate(totalExecs, clk.Now().Sub(start)))
 	if *statsJSON != "" {
 		if err := writeStatsJSON(*statsJSON, statsList); err != nil {
 			fmt.Fprintln(os.Stderr, err)

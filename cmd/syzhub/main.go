@@ -33,6 +33,7 @@
 //	POST /v1/heartbeat  lease renewal between syncs
 //	GET  /v1/stats      aggregated live stats (JSON)
 //	GET  /v1/crashes    global deduplicated crash table (JSON)
+//	GET  /metrics       Prometheus text exposition (disable with -metrics=false)
 //	GET  /healthz       liveness probe
 //
 // Usage:
@@ -59,6 +60,7 @@ import (
 	"kernelgpt/internal/hub"
 	"kernelgpt/internal/prog"
 	"kernelgpt/internal/syzlang"
+	"kernelgpt/internal/telemetry"
 )
 
 func main() {
@@ -73,6 +75,8 @@ func main() {
 	parent := flag.String("parent", "", "root hub URL: run as a leaf and sync aggregates upward")
 	parentName := flag.String("parent-name", "", "worker name this leaf registers under at the root (default leaf-<addr>)")
 	parentInterval := flag.Duration("parent-interval", 15*time.Second, "upward sync period when -parent is set")
+	metrics := flag.Bool("metrics", true, "serve Prometheus metrics on /metrics next to /v1/stats")
+	flightDir := flag.String("flight-record", "", "dump the last telemetry events to DIR when a request fails")
 	verbose := flag.Bool("v", false, "log every registration and sync")
 	flag.Parse()
 
@@ -104,6 +108,12 @@ func main() {
 	}
 	if *parent != "" {
 		opts = append(opts, hub.WithParent(*parent))
+	}
+	if *metrics {
+		opts = append(opts, hub.WithMetrics(telemetry.NewRegistry()))
+	}
+	if *flightDir != "" {
+		opts = append(opts, hub.WithFlightRecorder(telemetry.NewFlightRecorder(*flightDir, 256, nil)))
 	}
 	if *verbose {
 		opts = append(opts, hub.WithLog(log.Printf))

@@ -2,7 +2,9 @@
 // the globally seeded math/rand — inside the packages whose outputs
 // must be a pure function of their inputs and RNG seed: program
 // generation/mutation, campaign execution and stats merging, the
-// seed pool, the corpus store, and the discrete-event simulator.
+// seed pool, the corpus store, the discrete-event simulator, and the
+// telemetry substrate (whose only sanctioned raw wall-clock read is
+// telemetry.SystemClock, the bottom of the injected Clock seam).
 // One time.Now() in a merge path silently breaks shard invariance,
 // hub restart replay, and the sim-validate gate; this checker makes
 // that a build failure instead of a reviewer catch.
@@ -15,6 +17,7 @@ package detrand
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"strings"
 
@@ -30,7 +33,18 @@ var DeterministicPackages = []string{
 	"internal/fuzz/seedpool",
 	"internal/fuzz/corpusstore",
 	"internal/sim",
+	"internal/telemetry",
 }
+
+// The telemetry package is policed like the rest, with one carve-out:
+// telemetry.SystemClock is the bottom of the injected Clock seam —
+// the single sanctioned raw wall-clock read in the deterministic
+// tree. Only that exact function body may call time.Now; everything
+// else in the package must thread a Clock.
+const (
+	clockSeamPackage = "internal/telemetry"
+	clockSeamFunc    = "SystemClock"
+)
 
 // wallClockFuncs are the time package functions that read the wall
 // clock. (time.Sleep is ctxhygiene's business.)
@@ -50,7 +64,7 @@ var seededConstructors = map[string]bool{
 var Analyzer = &analysis.Analyzer{
 	Name: "detrand",
 	Doc: "forbid wall-clock reads and the global math/rand in deterministic packages " +
-		"(prog, fuzz, seedpool, corpusstore, sim); opt out with //syzlint:wallclock",
+		"(prog, fuzz, seedpool, corpusstore, sim, telemetry); opt out with //syzlint:wallclock",
 	Run: run,
 }
 
@@ -69,6 +83,7 @@ func run(pass *analysis.Pass) error {
 		return nil
 	}
 	for _, f := range pass.Files {
+		seamStart, seamEnd := clockSeamRange(pass, f)
 		for _, imp := range f.Imports {
 			if strings.Trim(imp.Path.Value, `"`) == "crypto/rand" {
 				if !pass.Suppressed("wallclock", imp.Pos()) {
@@ -87,6 +102,9 @@ func run(pass *analysis.Pass) error {
 			}
 			switch pkgName {
 			case "time":
+				if seamStart.IsValid() && sel.Pos() >= seamStart && sel.Pos() < seamEnd {
+					return true
+				}
 				if wallClockFuncs[sel.Sel.Name] && !pass.Suppressed("wallclock", sel.Pos()) {
 					pass.Reportf(sel.Pos(), "time.%s in deterministic package %s: wall-clock state leaks into outputs that must be a pure function of the seed (annotate //syzlint:wallclock if this only feeds timing stats)", sel.Sel.Name, pass.Pkg.Path())
 				}
@@ -99,6 +117,22 @@ func run(pass *analysis.Pass) error {
 		})
 	}
 	return nil
+}
+
+// clockSeamRange returns the source range of the sanctioned
+// SystemClock function body, valid only when pass is over the
+// telemetry package itself.
+func clockSeamRange(pass *analysis.Pass, f *ast.File) (start, end token.Pos) {
+	path := pass.Pkg.Path()
+	if path != clockSeamPackage && !strings.HasSuffix(path, "/"+clockSeamPackage) {
+		return token.NoPos, token.NoPos
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Recv == nil && fd.Name.Name == clockSeamFunc {
+			return fd.Pos(), fd.End()
+		}
+	}
+	return token.NoPos, token.NoPos
 }
 
 // pkgOf resolves a selector's base to an imported package name,

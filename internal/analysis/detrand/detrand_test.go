@@ -22,3 +22,17 @@ func TestDetrandScopedToDeterministicPackages(t *testing.T) {
 func TestDetrandFires(t *testing.T) {
 	analysistest.MustFire(t, "testdata/src/detrand", "kernelgpt/internal/fuzz", detrand.Analyzer)
 }
+
+// The telemetry package is policed with exactly one carve-out: the
+// SystemClock seam function may read the wall clock raw; every other
+// read in the package still fires.
+func TestDetrandTelemetryClockSeam(t *testing.T) {
+	analysistest.Run(t, "testdata/src/telemetry", "kernelgpt/internal/telemetry", detrand.Analyzer)
+}
+
+// The carve-out is scoped to the telemetry package: the same fixture
+// under another deterministic path gets no seam, so SystemClock's raw
+// read fires too.
+func TestDetrandSeamScopedToTelemetry(t *testing.T) {
+	analysistest.MustFire(t, "testdata/src/telemetry", "kernelgpt/internal/fuzz", detrand.Analyzer)
+}

@@ -1,0 +1,39 @@
+// Fixture for the telemetry clock-seam carve-out: typechecked under
+// the telemetry import path by the test. Exactly one function —
+// SystemClock, the bottom of the injected Clock seam — may read the
+// wall clock raw; everything else in the package is policed like any
+// other deterministic package.
+package fixture
+
+import "time"
+
+// SystemClock is the sanctioned seam: no finding, no annotation.
+func SystemClock() time.Time {
+	return time.Now()
+}
+
+// Clock mirrors the real package's injectable time source.
+type Clock func() time.Time
+
+// Now lives outside the seam, so its fallback must route through
+// SystemClock, not time.Now.
+func (c Clock) Now() time.Time {
+	if c == nil {
+		return SystemClock()
+	}
+	return c()
+}
+
+// systemClock has the right shape but the wrong name — only the
+// exact seam function is carved out.
+func systemClock() time.Time {
+	return time.Now() // want `time.Now in deterministic package`
+}
+
+func smuggledRead() int64 {
+	return time.Now().UnixNano() // want `time.Now in deterministic package`
+}
+
+func smuggledSince() time.Duration {
+	return time.Since(time.Unix(0, 0)) // want `time.Since in deterministic package`
+}

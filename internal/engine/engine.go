@@ -31,6 +31,7 @@ import (
 	"kernelgpt/internal/llm"
 	"kernelgpt/internal/pool"
 	"kernelgpt/internal/syzlang"
+	"kernelgpt/internal/telemetry"
 )
 
 // Progress is one per-handler completion update.
@@ -52,6 +53,8 @@ type config struct {
 	maxInFlight  int
 	opts         core.Options
 	progress     func(Progress)
+	registry     *telemetry.Registry
+	clock        telemetry.Clock
 }
 
 // Option configures an Engine.
@@ -113,6 +116,61 @@ func WithProgress(fn func(Progress)) Option {
 	return func(cfg *config) { cfg.progress = fn }
 }
 
+// WithTelemetry registers engine and LLM-client metrics on reg: an
+// llm telemetry middleware outermost in the chain (request/error,
+// cache hit/miss, retry, token, and latency series), a
+// worker-occupancy gauge, and per-handler outcome counters. A nil
+// registry disables everything (the default).
+func WithTelemetry(reg *telemetry.Registry) Option {
+	return func(cfg *config) { cfg.registry = reg }
+}
+
+// WithClock overrides the telemetry clock (nil = system time). Only
+// latency measurements read it; generation itself stays a pure
+// function of the model seed.
+func WithClock(c telemetry.Clock) Option {
+	return func(cfg *config) { cfg.clock = c }
+}
+
+// engineMetrics is the engine-side telemetry bundle.
+type engineMetrics struct {
+	// workersBusy is a point-in-time worker-pool occupancy gauge
+	// (engine_workers_busy): incremented when a worker picks up a
+	// handler, decremented when it finishes.
+	workersBusy *telemetry.Gauge
+	// handlers/handlersValid count per-handler pipeline completions
+	// (engine_handlers_total, engine_handlers_valid_total).
+	handlers      *telemetry.Counter
+	handlersValid *telemetry.Counter
+	// handlerNs is the per-handler generation latency distribution
+	// (engine_handler_ns), clock-injected like every other duration.
+	handlerNs *telemetry.Histogram
+}
+
+func newEngineMetrics(reg *telemetry.Registry) *engineMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &engineMetrics{
+		workersBusy:   reg.Gauge("engine_workers_busy"),
+		handlers:      reg.Counter("engine_handlers_total"),
+		handlersValid: reg.Counter("engine_handlers_valid_total"),
+		handlerNs:     reg.Histogram("engine_handler_ns", nil),
+	}
+}
+
+// handlerDone records one completed handler (nil-safe).
+func (m *engineMetrics) handlerDone(durNs int64, valid bool) {
+	if m == nil {
+		return
+	}
+	m.handlers.Inc()
+	if valid {
+		m.handlersValid.Inc()
+	}
+	m.handlerNs.Observe(durNs)
+}
+
 // Engine drives specification generation for a corpus.
 type Engine struct {
 	corpus   *corpus.Corpus
@@ -120,6 +178,8 @@ type Engine struct {
 	gen      *core.Generator
 	workers  int
 	progress func(Progress)
+	metrics  *engineMetrics
+	clock    telemetry.Clock
 }
 
 // New builds an Engine over a corpus with the given options.
@@ -132,12 +192,16 @@ func New(c *corpus.Corpus, options ...Option) *Engine {
 	if client == nil {
 		client = llm.NewSim(cfg.model, cfg.seed)
 	}
+	lm := llm.NewMetrics(cfg.registry)
 	var mws []llm.Middleware
+	// Telemetry sits outermost so it observes what callers are served:
+	// hits flagged by the cache below it, successes salvaged by retries.
+	mws = append(mws, llm.WithTelemetry(lm, cfg.clock))
 	if cfg.cacheSize > 0 {
 		mws = append(mws, llm.WithCache(cfg.cacheSize))
 	}
 	if cfg.retries > 1 {
-		mws = append(mws, llm.WithRetry(cfg.retries, cfg.retryBackoff))
+		mws = append(mws, llm.WithRetryObserved(cfg.retries, cfg.retryBackoff, lm.RetryCounter()))
 	}
 	if cfg.maxInFlight > 0 {
 		mws = append(mws, llm.WithConcurrencyLimit(cfg.maxInFlight))
@@ -149,6 +213,8 @@ func New(c *corpus.Corpus, options ...Option) *Engine {
 		gen:      core.New(client, c, cfg.opts),
 		workers:  cfg.workers,
 		progress: cfg.progress,
+		metrics:  newEngineMetrics(cfg.registry),
+		clock:    cfg.clock,
 	}
 }
 
@@ -185,7 +251,16 @@ func (e *Engine) Generate(ctx context.Context, handlers []*corpus.Handler) ([]*c
 	var mu sync.Mutex
 	done := 0
 	pool.Run(pool.Clamp(len(handlers), e.workers, 1), len(handlers), func(i int) {
+		var t0 time.Time
+		if e.metrics != nil {
+			e.metrics.workersBusy.Add(1)
+			defer e.metrics.workersBusy.Add(-1)
+			t0 = e.clock.Now()
+		}
 		results[i] = e.GenerateFor(ctx, handlers[i])
+		if e.metrics != nil {
+			e.metrics.handlerDone(e.clock.Now().Sub(t0).Nanoseconds(), results[i].Valid)
+		}
 		if e.progress != nil {
 			mu.Lock()
 			done++

@@ -7,6 +7,7 @@ import (
 	"kernelgpt/internal/corpus"
 	"kernelgpt/internal/prog"
 	"kernelgpt/internal/syzlang"
+	"kernelgpt/internal/telemetry"
 )
 
 func benchTarget(b *testing.B) *prog.Target {
@@ -29,6 +30,25 @@ func BenchmarkCampaign(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		f.Run(DefaultConfig(500, int64(i)))
+	}
+}
+
+// BenchmarkCampaignTelemetry is BenchmarkCampaign with the full
+// telemetry bundle attached (metrics + flight ring): the A/B against
+// BenchmarkCampaign prices the enabled path, and BenchmarkCampaign
+// itself — whose config leaves telemetry nil — gates the disabled
+// path against the recorded baseline.
+func BenchmarkCampaignTelemetry(b *testing.B) {
+	reg := telemetry.NewRegistry()
+	fr := telemetry.NewFlightRecorder(b.TempDir(), 256, nil)
+	f := New(benchTarget(b), testKernel)
+	cfg := DefaultConfig(500, 0)
+	cfg.Metrics = NewMetrics(reg)
+	cfg.Flight = fr
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i)
+		f.Run(cfg)
 	}
 }
 

@@ -34,6 +34,7 @@ import (
 	"kernelgpt/internal/fuzz/seedpool"
 	"kernelgpt/internal/pool"
 	"kernelgpt/internal/prog"
+	"kernelgpt/internal/telemetry"
 	"kernelgpt/internal/vkernel"
 )
 
@@ -128,6 +129,25 @@ type Config struct {
 	// responses are (e.g. workers syncing in a fixed order); detached
 	// determinism guarantees do not transfer.
 	Hub HubSync
+	// Clock is the time source for all operator-facing timing:
+	// Stats.Elapsed/WorkTime/TriageTime/SyncTime, Progress.ElapsedNs,
+	// and telemetry stamps. Nil reads the system wall clock; tests and
+	// golden fixtures inject a fixed or stepped clock. The clock never
+	// influences campaign results — coverage, crashes, and the RNG
+	// stream are identical for any Clock.
+	Clock telemetry.Clock
+	// Metrics, when set, receives campaign telemetry (exec/cover/crash
+	// counters, exec/triage/sync/unit latency histograms). Nil
+	// disables recording at one pointer check per event; see Metrics
+	// for the feeding discipline that keeps the per-exec path free of
+	// extra clock reads.
+	Metrics *Metrics
+	// Flight, when set, buffers recent campaign activity (progress
+	// windows, syncs, crashes) in a bounded ring and dumps the ring to
+	// disk whenever a new crash title is discovered, so every crash
+	// report carries the engine activity leading up to it. The dump's
+	// final event is the crashing exec's span.
+	Flight *telemetry.FlightRecorder
 }
 
 // HubSync is the campaign-side face of a coordination hub: one
@@ -400,7 +420,8 @@ func (f *Fuzzer) run(ctx context.Context, cfg Config, camp campaign) (*Stats, *s
 	if cfg.MaxCalls == 0 {
 		cfg.MaxCalls = 8
 	}
-	start := time.Now() //syzlint:wallclock
+	clk := cfg.Clock
+	start := clk.Now()
 	g := prog.NewGen(f.Target, cfg.Seed)
 	g.Enabled = cfg.Enabled
 	g.NoLocality = cfg.NoLocality
@@ -434,8 +455,9 @@ func (f *Fuzzer) run(ctx context.Context, cfg Config, camp campaign) (*Stats, *s
 	// truth. For a serial campaign the loop IS the work unit, so
 	// WorkTime equals Elapsed.
 	defer func() {
-		stats.Elapsed = time.Since(start) //syzlint:wallclock
+		stats.Elapsed = clk.Now().Sub(start)
 		stats.WorkTime = stats.Elapsed
+		cfg.Metrics.unitDone(stats.Elapsed.Nanoseconds())
 	}()
 	corpus := seedpool.New(cfg.CorpusCap)
 	sched := newSched(cfg)
@@ -450,13 +472,24 @@ func (f *Fuzzer) run(ctx context.Context, cfg Config, camp campaign) (*Stats, *s
 		MaxCalls: cfg.MaxCalls,
 		Donor:    func() *prog.Prog { return corpus.Pick(g.R) },
 	}
+	// emit is the progress boundary: one clock read feeds the Progress
+	// callback, the metrics window, and the flight ring alike.
+	win := metricsWindow{m: cfg.Metrics}
 	emit := func(done int) {
+		if cfg.Progress == nil && cfg.Metrics == nil && cfg.Flight == nil {
+			return
+		}
+		elapsed := clk.Now().Sub(start).Nanoseconds()
+		win.observe(stats, elapsed)
+		cfg.Flight.Record(telemetry.Event{
+			Span: "window", ElapsedNs: elapsed, Execs: int64(stats.Execs),
+		})
 		if cfg.Progress != nil {
 			cfg.Progress(Progress{
 				ShardsDone: done, ShardsTotal: 1, Execs: stats.Execs,
 				Cover: stats.CoverCount(), Crashes: stats.UniqueCrashes(),
 				Ops:       append([]OpStat(nil), stats.Ops...),
-				ElapsedNs: time.Since(start).Nanoseconds(), //syzlint:wallclock
+				ElapsedNs: elapsed,
 			})
 		}
 	}
@@ -472,18 +505,32 @@ func (f *Fuzzer) run(ctx context.Context, cfg Config, camp campaign) (*Stats, *s
 		if res.Crash != nil {
 			cr := stats.Crashes[res.Crash.Title]
 			if cr == nil {
-				t0 := time.Now() //syzlint:wallclock
+				t0 := clk.Now()
 				cr = &CrashReport{
 					Title:     res.Crash.Title,
 					FirstExec: exec,
 					Repro:     triage(x, p, res.Crash.Title, cfg.NoTriage),
 				}
+				var triageNs int64
 				if !cfg.NoTriage {
-					stats.TriageTime += time.Since(t0) //syzlint:wallclock
+					d := clk.Now().Sub(t0)
+					stats.TriageTime += d
+					triageNs = d.Nanoseconds()
 				}
 				stats.Crashes[res.Crash.Title] = cr
+				cfg.Metrics.crashFound(triageNs, cfg.NoTriage)
+				// The crash span is recorded before the dump so the
+				// dump's final event is the crashing exec.
+				cfg.Flight.Record(telemetry.Event{
+					Span: "crash", ElapsedNs: t0.Sub(start).Nanoseconds(),
+					DurNs: triageNs, Execs: int64(exec), Detail: res.Crash.Title,
+				})
+				if cfg.Flight != nil {
+					cfg.Flight.Dump(res.Crash.Title) // best-effort, like checkpoints
+				}
 			}
 			cr.Count++
+			cfg.Metrics.crashHit()
 		}
 		return newBlocks
 	}
@@ -520,7 +567,7 @@ func (f *Fuzzer) run(ctx context.Context, cfg Config, camp campaign) (*Stats, *s
 			if camp.checkpoint != nil {
 				camp.checkpoint(corpus, stats.CoverCount())
 			}
-			hubSync(ctx, cfg, corpus, stats, false)
+			hubSync(ctx, cfg, corpus, stats, false, start)
 		}
 		var p *prog.Prog
 		opIdx := -1
@@ -558,7 +605,7 @@ func (f *Fuzzer) run(ctx context.Context, cfg Config, camp campaign) (*Stats, *s
 	}
 	stats.CorpusSize = corpus.Len()
 	emit(1)
-	hubSync(ctx, cfg, corpus, stats, true)
+	hubSync(ctx, cfg, corpus, stats, true, start)
 	return stats, corpus, nil
 }
 
@@ -606,14 +653,25 @@ func replayCompiled(ctx context.Context, cfg Config, vm *vkernel.VM, seeds []see
 // the live pool (skipped on the final sync — there is no campaign
 // left to use them). Best-effort: errors leave the campaign running
 // detached until the next boundary retries.
-func hubSync(ctx context.Context, cfg Config, corpus *seedpool.Pool, stats *Stats, final bool) {
+func hubSync(ctx context.Context, cfg Config, corpus *seedpool.Pool, stats *Stats, final bool, start time.Time) {
 	if cfg.Hub == nil {
 		return
 	}
-	t0 := time.Now() //syzlint:wallclock
+	clk := cfg.Clock
+	t0 := clk.Now()
 	defer func() {
-		stats.SyncTime += time.Since(t0) //syzlint:wallclock
+		d := clk.Now().Sub(t0)
+		stats.SyncTime += d
 		stats.Syncs++
+		cfg.Metrics.syncDone(d.Nanoseconds())
+		detail := ""
+		if final {
+			detail = "final"
+		}
+		cfg.Flight.Record(telemetry.Event{
+			Span: "sync", ElapsedNs: t0.Sub(start).Nanoseconds(),
+			DurNs: d.Nanoseconds(), Execs: int64(stats.Execs), Detail: detail,
+		})
 	}()
 	remote, err := cfg.Hub.Sync(ctx, SyncState{
 		Seeds:   corpus.Export(),

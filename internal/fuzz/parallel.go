@@ -5,11 +5,11 @@ import (
 	"errors"
 	"runtime"
 	"sync"
-	"time"
 
 	"kernelgpt/internal/fuzz/corpusstore"
 	"kernelgpt/internal/fuzz/seedpool"
 	"kernelgpt/internal/pool"
+	"kernelgpt/internal/telemetry"
 )
 
 // shardPlan decomposes a campaign budget into independent work units.
@@ -116,7 +116,8 @@ func (f *Fuzzer) RunParallel(ctx context.Context, cfg Config, shards int) (*Stat
 	if err != nil {
 		return nil, err
 	}
-	start := time.Now() //syzlint:wallclock
+	clk := cfg.Clock
+	start := clk.Now()
 	plan := planShards(cfg)
 	merged := &Stats{
 		Cover:   f.newCover(),
@@ -138,7 +139,7 @@ func (f *Fuzzer) RunParallel(ctx context.Context, cfg Config, shards int) (*Stat
 			Ops:     append([]OpStat(nil), merged.Ops...),
 			// One clock for the whole merged stream: unit-local
 			// offsets are not relayed, so the stream stays monotone.
-			ElapsedNs: time.Since(start).Nanoseconds(), //syzlint:wallclock
+			ElapsedNs: clk.Now().Sub(start).Nanoseconds(),
 		})
 	}
 	exports := make([][]seedpool.SeedState, plan.units)
@@ -156,15 +157,25 @@ func (f *Fuzzer) RunParallel(ctx context.Context, cfg Config, shards int) (*Stat
 	// seeds warm-start the units that launch afterwards.
 	var remote []seedpool.SeedState
 	hubExchange := func(st SyncState) {
-		t0 := time.Now() //syzlint:wallclock
+		t0 := clk.Now()
 		pulled, err := cfg.Hub.Sync(ctx, st)
+		d := clk.Now().Sub(t0)
 		mu.Lock()
-		merged.SyncTime += time.Since(t0) //syzlint:wallclock
+		merged.SyncTime += d
 		merged.Syncs++
 		if err == nil && !st.Final {
 			remote = append(remote, pulled...)
 		}
 		mu.Unlock() // errors are best-effort, like every hub sync
+		cfg.Metrics.syncDone(d.Nanoseconds())
+		detail := ""
+		if st.Final {
+			detail = "final"
+		}
+		cfg.Flight.Record(telemetry.Event{
+			Span: "sync", ElapsedNs: t0.Sub(start).Nanoseconds(),
+			DurNs: d.Nanoseconds(), Execs: int64(st.Execs), Detail: detail,
+		})
 	}
 	pool.Run(pool.Clamp(plan.units, shards, runtime.GOMAXPROCS(0)), plan.units, func(i int) {
 		c := cfg
@@ -238,7 +249,7 @@ func (f *Fuzzer) RunParallel(ctx context.Context, cfg Config, shards int) (*Stat
 	if store != nil && !cfg.ReadOnlyCorpus {
 		saveErr = flush()
 	}
-	merged.Elapsed = time.Since(start) //syzlint:wallclock
+	merged.Elapsed = clk.Now().Sub(start)
 	return merged, errors.Join(ctx.Err(), saveErr)
 }
 

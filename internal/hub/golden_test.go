@@ -15,13 +15,15 @@ import (
 	"kernelgpt/internal/fuzz/corpusstore"
 	"kernelgpt/internal/fuzz/seedpool"
 	"kernelgpt/internal/prog"
+	"kernelgpt/internal/telemetry"
 	"kernelgpt/internal/vkernel"
 )
 
 // runGoldenScenario drives one fully pinned hub session — fixed
 // clock, fixed RNG seed, fixed worker order — and returns the bytes
-// of GET /v1/stats and of the hubstate.json sidecar afterwards.
-func runGoldenScenario(t *testing.T) (statsBody, stateBody []byte) {
+// of GET /v1/stats, the hubstate.json sidecar, and two consecutive
+// GET /metrics scrapes taken afterwards.
+func runGoldenScenario(t *testing.T) (statsBody, stateBody, metrics1, metrics2 []byte) {
 	t.Helper()
 	tgt := targetFor(t, "dm")
 	clock := time.Unix(1_700_000_000, 0).UTC()
@@ -33,7 +35,8 @@ func runGoldenScenario(t *testing.T) (statsBody, stateBody []byte) {
 	}
 	h, err := New(tgt, store,
 		withNow(func() time.Time { return clock }),
-		WithStatePath(statePath))
+		WithStatePath(statePath),
+		WithMetrics(telemetry.NewRegistry()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,20 +71,26 @@ func runGoldenScenario(t *testing.T) (statsBody, stateBody []byte) {
 		t.Fatal(err)
 	}
 
-	resp, err := http.Get(srv.URL + "/v1/stats")
-	if err != nil {
-		t.Fatal(err)
+	get := func(path string) []byte {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return body
 	}
-	defer resp.Body.Close()
-	statsBody, err = io.ReadAll(resp.Body)
-	if err != nil {
-		t.Fatal(err)
-	}
+	statsBody = get("/v1/stats")
 	stateBody, err = os.ReadFile(statePath)
 	if err != nil {
 		t.Fatal(err)
 	}
-	return statsBody, stateBody
+	metrics1 = get("/metrics")
+	metrics2 = get("/metrics")
+	return statsBody, stateBody, metrics1, metrics2
 }
 
 // TestStatsAndStateGoldenBytes pins the monitoring and persistence
@@ -91,14 +100,23 @@ func runGoldenScenario(t *testing.T) (statsBody, stateBody []byte) {
 // deliberate act: regenerate with `go test ./internal/hub -run
 // Golden -update`).
 func TestStatsAndStateGoldenBytes(t *testing.T) {
-	stats1, state1 := runGoldenScenario(t)
-	stats2, state2 := runGoldenScenario(t)
+	stats1, state1, metricsA1, metricsA2 := runGoldenScenario(t)
+	stats2, state2, metricsB1, _ := runGoldenScenario(t)
 	if !bytes.Equal(stats1, stats2) {
 		t.Errorf("/v1/stats is not byte-stable across identical runs:\nrun1: %s\nrun2: %s", stats1, stats2)
 	}
 	if !bytes.Equal(state1, state2) {
 		t.Errorf("hubstate.json is not byte-stable across identical runs:\nrun1: %s\nrun2: %s", state1, state2)
 	}
+	// Double-scrape equality: serving /metrics must not change what
+	// the next scrape reads (scrapes are not self-counted).
+	if !bytes.Equal(metricsA1, metricsA2) {
+		t.Errorf("/metrics is not byte-stable across consecutive scrapes:\nscrape1:\n%s\nscrape2:\n%s", metricsA1, metricsA2)
+	}
+	if !bytes.Equal(metricsA1, metricsB1) {
+		t.Errorf("/metrics is not byte-stable across identical runs:\nrun1:\n%s\nrun2:\n%s", metricsA1, metricsB1)
+	}
 	checkGolden(t, "golden_stats.json", stats1)
 	checkGolden(t, "golden_hubstate.json", state1)
+	checkGolden(t, "golden_metrics.txt", metricsA1)
 }

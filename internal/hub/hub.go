@@ -14,6 +14,7 @@ import (
 	"kernelgpt/internal/fuzz/corpusstore"
 	"kernelgpt/internal/fuzz/seedpool"
 	"kernelgpt/internal/prog"
+	"kernelgpt/internal/telemetry"
 	"kernelgpt/internal/vkernel"
 )
 
@@ -41,13 +42,20 @@ type Hub struct {
 	store  *corpusstore.Store
 	cap    int
 	logf   func(format string, args ...any)
-	now    func() time.Time
+	now    telemetry.Clock
 
 	leaseTTL        time.Duration
 	maxInflight     int
 	minSyncInterval time.Duration
 	statePath       string
 	parentURL       string
+
+	// registry/metrics serve and feed /metrics (nil = telemetry off);
+	// flight buffers recent request activity and dumps it when a
+	// request fails.
+	registry *telemetry.Registry
+	metrics  *hubMetrics
+	flight   *telemetry.FlightRecorder
 
 	// inflight counts /v1/sync requests currently being served; when
 	// it would exceed maxInflight the hub sheds load with 429 before
@@ -171,6 +179,39 @@ func WithParent(url string) Option { return func(h *Hub) { h.parentURL = url } }
 // withNow overrides the hub clock (tests).
 func withNow(now func() time.Time) Option { return func(h *Hub) { h.now = now } }
 
+// WithClock injects the hub's time source — the same
+// telemetry.Clock the campaigns thread through fuzz.Config.Clock, so
+// worker traces and hub-side aggregates (SyncAggJSON service times,
+// lease expiries) are measured against one clock. Nil reads the
+// system wall clock.
+func WithClock(c telemetry.Clock) Option {
+	return func(h *Hub) {
+		if c != nil {
+			h.now = c
+		}
+	}
+}
+
+// WithMetrics attaches a telemetry registry: hub metrics (sync
+// service time, payload bytes by protocol, lease events, backpressure
+// sheds, HTTP request counts) are recorded into it and Handler serves
+// it at /metrics next to /v1/stats. Scrapes of /metrics itself are
+// not counted, so identical hub state always scrapes to identical
+// bytes.
+func WithMetrics(reg *telemetry.Registry) Option {
+	return func(h *Hub) {
+		h.registry = reg
+		h.metrics = newHubMetrics(reg)
+	}
+}
+
+// WithFlightRecorder buffers recent request activity in rec and dumps
+// the ring when a request fails (status >= 400, except 429
+// backpressure sheds, which are expected under load).
+func WithFlightRecorder(rec *telemetry.FlightRecorder) Option {
+	return func(h *Hub) { h.flight = rec }
+}
+
 // New opens a hub over the given compiled target and corpus store.
 // An existing store warm-starts the hub: its entries become the
 // initial merged corpus (invalid ones are skipped, as in any load)
@@ -185,7 +226,7 @@ func New(t *prog.Target, store *corpusstore.Store, opts ...Option) (*Hub, error)
 		target:  t,
 		store:   store,
 		logf:    func(string, ...any) {},
-		now:     time.Now,
+		now:     telemetry.SystemClock,
 		texts:   map[string]string{},
 		cover:   &vkernel.CoverSet{},
 		crashes: map[string]*crashRecord{},
@@ -239,7 +280,10 @@ func (h *Hub) refreshIndex() error {
 	return nil
 }
 
-// Handler returns the hub's HTTP interface.
+// Handler returns the hub's HTTP interface. With WithMetrics set the
+// registry is served at /metrics, and every API request is recorded
+// (count by code/path, service-time histogram); with a flight
+// recorder attached, failed requests dump the recent-activity ring.
 func (h *Hub) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/register", h.handleRegister)
@@ -250,7 +294,48 @@ func (h *Hub) Handler() http.Handler {
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Write([]byte("ok\n"))
 	})
-	return mux
+	if h.metrics == nil && h.flight == nil {
+		if h.registry != nil {
+			mux.Handle("/metrics", telemetry.Handler(h.registry))
+		}
+		return mux
+	}
+	instrumented := h.instrument(mux)
+	outer := http.NewServeMux()
+	// /metrics bypasses instrumentation: a scrape must not change what
+	// the next scrape reads (the double-scrape golden invariant).
+	if h.registry != nil {
+		outer.Handle("/metrics", telemetry.Handler(h.registry))
+	}
+	outer.Handle("/", instrumented)
+	return outer
+}
+
+// instrument wraps the API mux in one interception point: request
+// count + service time into metrics, a request event into the flight
+// ring, and a ring dump when the request failed (status >= 400,
+// except 429 — backpressure sheds are normal operation, and dumping
+// per shed would thrash the recorder exactly when the hub is busiest).
+func (h *Hub) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t0 := h.now()
+		sw := &statusWriter{ResponseWriter: w}
+		next.ServeHTTP(sw, r)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		durNs := h.now().Sub(t0).Nanoseconds()
+		h.metrics.request(r.URL.Path, sw.status, durNs)
+		if h.flight != nil {
+			h.flight.Record(telemetry.Event{
+				Span: "http", ElapsedNs: t0.UnixNano(), DurNs: durNs,
+				Detail: fmt.Sprintf("%s %s -> %d", r.Method, r.URL.Path, sw.status),
+			})
+			if sw.status >= 400 && sw.status != http.StatusTooManyRequests {
+				h.flight.Dump(fmt.Sprintf("http-%d", sw.status))
+			}
+		}
+	})
 }
 
 // writeJSON serializes one response body.
@@ -297,6 +382,8 @@ func (h *Hub) reapLocked() {
 	for _, wk := range h.workers {
 		if wk.leaseState == LeaseActive && wk.leaseExpiry.Before(now) {
 			wk.leaseState = LeaseExpired
+			h.metrics.lease("expire")
+			h.flight.RecordNow("lease-expire", 0, wk.id)
 			h.logf("hub: lease for %s (%s) expired", wk.id, wk.name)
 		}
 	}
@@ -313,6 +400,7 @@ func (h *Hub) grantLease(wk *worker) {
 	wk.leaseID = fmt.Sprintf("L%d.%x", h.nextLease, h.start.UnixNano())
 	wk.leaseState = LeaseActive
 	wk.leaseExpiry = h.now().Add(h.leaseTTL)
+	h.metrics.lease("grant")
 }
 
 func (h *Hub) handleRegister(w http.ResponseWriter, r *http.Request) {
@@ -333,6 +421,7 @@ func (h *Hub) handleRegister(w http.ResponseWriter, r *http.Request) {
 			if wk.leaseID == req.LeaseID && wk.leaseState != LeaseReleased {
 				wk.leaseState = LeaseActive
 				wk.leaseExpiry = h.now().Add(h.leaseTTL)
+				h.metrics.lease("resume")
 				h.persistLocked()
 				h.logf("hub: resumed %s (%s, lease %s)", wk.id, wk.name, wk.leaseID)
 				writeJSON(w, http.StatusOK, RegisterResponse{
@@ -376,6 +465,7 @@ func (h *Hub) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 	}
 	if wk.leaseState == LeaseActive {
 		wk.leaseExpiry = h.now().Add(h.leaseTTL)
+		h.metrics.lease("renew")
 	}
 	writeJSON(w, http.StatusOK, HeartbeatResponse{
 		Version: ProtoVersion, LeaseTTLMs: h.leaseTTL.Milliseconds(),
@@ -441,6 +531,7 @@ func (h *Hub) handleSync(w http.ResponseWriter, r *http.Request) {
 	if h.maxInflight > 0 {
 		if n := h.inflight.Add(1); n > int64(h.maxInflight) {
 			h.inflight.Add(-1)
+			h.metrics.shed("inflight")
 			w.Header().Set("Retry-After", "1")
 			writeError(w, http.StatusTooManyRequests, "hub at capacity (%d syncs in flight)", h.maxInflight)
 			return
@@ -451,6 +542,7 @@ func (h *Hub) handleSync(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	gotBinary := strings.HasPrefix(r.Header.Get("Content-Type"), BinaryContentType)
 	wantBinary := strings.Contains(r.Header.Get("Accept"), BinaryContentType)
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -475,12 +567,17 @@ func (h *Hub) handleSync(w http.ResponseWriter, r *http.Request) {
 		if elapsed := svcStart.Sub(wk.lastSync); elapsed < h.minSyncInterval {
 			wait := h.minSyncInterval - elapsed
 			secs := int(wait/time.Second) + 1
+			h.metrics.shed("rate")
 			w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
 			writeError(w, http.StatusTooManyRequests, "sync rate limit for %q: retry in %v", wk.id, wait)
 			return
 		}
 	}
-	defer func() { observeSync(&wk.sync, h.now().Sub(svcStart).Nanoseconds(), payload, jsonBytes) }()
+	defer func() {
+		serviceNs := h.now().Sub(svcStart).Nanoseconds()
+		observeSync(&wk.sync, serviceNs, payload, jsonBytes)
+		h.metrics.syncObserved(serviceNs, payload, gotBinary)
+	}()
 	// Push: validate incoming programs against the hub target, merge
 	// into the authoritative image, persist, refresh the generation
 	// mirror.
@@ -529,8 +626,10 @@ func (h *Hub) handleSync(w http.ResponseWriter, r *http.Request) {
 	// exit); any other successful sync renews it.
 	if req.Final {
 		wk.leaseState = LeaseReleased
+		h.metrics.lease("release")
 	} else if wk.leaseState == LeaseActive {
 		wk.leaseExpiry = h.now().Add(h.leaseTTL)
+		h.metrics.lease("renew")
 	}
 	seeds, gen := h.diff(req.SinceGen)
 	wk.gen = gen

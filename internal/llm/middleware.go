@@ -6,6 +6,8 @@ import (
 	"crypto/sha256"
 	"sync"
 	"time"
+
+	"kernelgpt/internal/telemetry"
 )
 
 // --- caching ---
@@ -152,6 +154,7 @@ type retryClient struct {
 	inner    Client
 	attempts int
 	backoff  time.Duration
+	retries  *telemetry.Counter // optional, via WithRetryObserved
 }
 
 // WithRetry wraps a client so transient errors are retried up to
@@ -172,15 +175,18 @@ func (r *retryClient) Complete(ctx context.Context, req Request) (Response, erro
 	var err error
 	delay := r.backoff
 	for try := 0; try < r.attempts; try++ {
-		if try > 0 && delay > 0 {
-			t := time.NewTimer(delay)
-			select {
-			case <-ctx.Done():
-				t.Stop()
-				return Response{}, ctx.Err()
-			case <-t.C:
+		if try > 0 {
+			r.retries.Inc()
+			if delay > 0 {
+				t := time.NewTimer(delay)
+				select {
+				case <-ctx.Done():
+					t.Stop()
+					return Response{}, ctx.Err()
+				case <-t.C:
+				}
+				delay *= 2
 			}
-			delay *= 2
 		}
 		resp, err = r.inner.Complete(ctx, req)
 		if err == nil || ctx.Err() != nil {

@@ -1,0 +1,126 @@
+package llm
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"kernelgpt/internal/telemetry"
+)
+
+func fixedClock() telemetry.Clock {
+	at := time.Unix(1_700_000_000, 0).UTC()
+	return func() time.Time { return at }
+}
+
+// TestTelemetryObservesChain drives a full middleware stack —
+// telemetry outermost, then cache, then retry — and checks every
+// series: a retried miss, a hit, and a second miss.
+func TestTelemetryObservesChain(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	m := NewMetrics(reg)
+	fake := &fakeClient{failFirst: 1}
+	c := Chain(fake,
+		WithTelemetry(m, fixedClock()),
+		WithCache(8),
+		WithRetryObserved(3, 0, m.RetryCounter()))
+	ctx := context.Background()
+
+	r1, err := c.Complete(ctx, req("prompt-a")) // fails once, retried, miss
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Cached {
+		t.Fatalf("first call must miss: %+v", r1)
+	}
+	r2, err := c.Complete(ctx, req("prompt-a")) // hit
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.Cached {
+		t.Fatalf("second identical call must hit: %+v", r2)
+	}
+	if _, err := c.Complete(ctx, req("prompt-b")); err != nil { // miss
+		t.Fatal(err)
+	}
+
+	want := map[string]int64{
+		"llm_requests_total":     3,
+		"llm_errors_total":       0,
+		"llm_cache_hits_total":   1,
+		"llm_cache_misses_total": 2,
+		"llm_retries_total":      1,
+	}
+	for name, v := range want {
+		if got := reg.Counter(name).Value(); got != v {
+			t.Errorf("%s = %d, want %d", name, got, v)
+		}
+	}
+	// Token counters see only billed (uncached) completions; the hit
+	// reports zero usage.
+	wantPrompt := int64(CountTokens("prompt-a") + CountTokens("prompt-b"))
+	if got := m.PromptTokens.Value(); got != wantPrompt {
+		t.Errorf("prompt tokens = %d, want %d", got, wantPrompt)
+	}
+	if got := m.CompletionTokens.Value(); got != 4 {
+		t.Errorf("completion tokens = %d, want 4", got)
+	}
+	// Under a frozen clock every latency observation is exactly zero.
+	if m.LatencyNs.Count() != 3 || m.LatencyNs.Sum() != 0 {
+		t.Errorf("latency count/sum = %d/%d, want 3/0", m.LatencyNs.Count(), m.LatencyNs.Sum())
+	}
+}
+
+// TestTelemetryCountsErrors: a request that exhausts its retries is
+// one request, one error, attempts-1 retries — and no cache
+// classification.
+func TestTelemetryCountsErrors(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	m := NewMetrics(reg)
+	fake := &fakeClient{failFirst: 10}
+	c := Chain(fake,
+		WithTelemetry(m, fixedClock()),
+		WithRetryObserved(3, 0, m.RetryCounter()))
+	if _, err := c.Complete(context.Background(), req("doomed")); err == nil {
+		t.Fatal("want error after exhausted retries")
+	}
+	if got := m.Requests.Value(); got != 1 {
+		t.Errorf("requests = %d, want 1", got)
+	}
+	if got := m.Errors.Value(); got != 1 {
+		t.Errorf("errors = %d, want 1", got)
+	}
+	if got := m.Retries.Value(); got != 2 {
+		t.Errorf("retries = %d, want 2", got)
+	}
+	if hits, misses := m.CacheHits.Value(), m.CacheMisses.Value(); hits != 0 || misses != 0 {
+		t.Errorf("errored request classified as cache traffic: hits=%d misses=%d", hits, misses)
+	}
+}
+
+// TestTelemetryDisabled: a nil bundle makes WithTelemetry the
+// identity middleware and WithRetryObserved equivalent to WithRetry.
+func TestTelemetryDisabled(t *testing.T) {
+	var m *Metrics
+	if m.RetryCounter() != nil {
+		t.Error("nil bundle must yield a nil retry counter")
+	}
+	fake := &fakeClient{failFirst: 1}
+	c := Chain(fake, WithTelemetry(nil, nil), WithRetryObserved(2, 0, m.RetryCounter()))
+	if _, ok := c.(*telemetryClient); ok {
+		t.Error("disabled telemetry must not insert a chain layer")
+	}
+	if _, err := c.Complete(context.Background(), req("x")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTelemetryChainWalking: the telemetry layer must not break
+// FindCache's Unwrap traversal.
+func TestTelemetryChainWalking(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	c := Chain(&fakeClient{}, WithTelemetry(NewMetrics(reg), fixedClock()), WithCache(4))
+	if _, ok := FindCache(c); !ok {
+		t.Error("FindCache must see through the telemetry layer")
+	}
+}

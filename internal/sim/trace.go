@@ -46,6 +46,12 @@ type TracePoint struct {
 	Execs     int   `json:"execs"`
 	Cover     int   `json:"cover"`
 	Crashes   int   `json:"crashes,omitempty"`
+	// Span names the emitting span for lines produced by
+	// telemetry.Tracer — span streams and campaign traces share one
+	// JSONL shape, so a flight dump or tracer output parses as a trace.
+	// Span lines carry no cover observation; the yield fitter skips
+	// them.
+	Span string `json:"span,omitempty"`
 }
 
 // ReadTrace parses a JSON-lines trace stream. Blank lines are
@@ -107,7 +113,7 @@ func WriteTrace(w io.Writer, pts []TracePoint) error {
 func yieldObservations(pts []TracePoint) []TracePoint {
 	byRep := map[int][]TracePoint{}
 	for _, p := range pts {
-		if p.Execs <= 0 {
+		if p.Execs <= 0 || p.Span != "" {
 			continue
 		}
 		byRep[p.Rep] = append(byRep[p.Rep], p)

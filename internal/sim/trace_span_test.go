@@ -1,0 +1,59 @@
+package sim
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"kernelgpt/internal/telemetry"
+)
+
+// TestSpanLinesShareTraceShape: a telemetry.Tracer span stream parses
+// with ReadTrace, and span lines are inert for yield fitting — a
+// trace file with interleaved spans fits identically to one without.
+func TestSpanLinesShareTraceShape(t *testing.T) {
+	var buf bytes.Buffer
+	base := time.Unix(1_700_000_000, 0).UTC()
+	step := 0
+	clock := telemetry.Clock(func() time.Time {
+		step++
+		return base.Add(time.Duration(step) * time.Millisecond)
+	})
+	tr := telemetry.NewTracer(&buf, clock, nil)
+	sp := tr.Begin("exec-window", 100)
+	sp.End("unit 1")
+	tr.Event("sync", 100, "checkpoint")
+	pts, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatalf("span stream does not parse as a trace: %v", err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("got %d trace points, want 2", len(pts))
+	}
+	for _, p := range pts {
+		if p.Span == "" {
+			t.Fatalf("span line lost its span name: %+v", p)
+		}
+	}
+
+	truth := YieldModel{Cmax: 1200, K: 3000, B: 0.8}
+	clean := syntheticTrace(truth, 500, 40)
+	mixed := make([]TracePoint, 0, len(clean)+len(pts))
+	for i, p := range clean {
+		mixed = append(mixed, p)
+		if i%10 == 0 {
+			mixed = append(mixed, TracePoint{Span: "sync", ElapsedNs: p.ElapsedNs, Execs: p.Execs})
+		}
+	}
+	a, err := FitYield(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FitYield(mixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("span lines perturbed the fit: %+v vs %+v", a, b)
+	}
+}

@@ -1,0 +1,112 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// SpanRecord is one finished span, serialized as a JSONL line. The
+// field names are chosen so span lines can interleave with
+// sim.TracePoint lines in a single trace file: elapsed_ns means the
+// same thing (offset from stream start), execs carries the campaign
+// exec index when known, and the span/dur_ns/detail fields are ones
+// sim-side readers skip (yieldObservations drops any line with a
+// non-empty span).
+type SpanRecord struct {
+	Span      string `json:"span"`
+	ElapsedNs int64  `json:"elapsed_ns"`
+	DurNs     int64  `json:"dur_ns"`
+	Execs     int64  `json:"execs,omitempty"`
+	Detail    string `json:"detail,omitempty"`
+}
+
+// Tracer emits begin/end spans as JSONL and optionally mirrors each
+// finished span into a FlightRecorder ring. All methods are inert on
+// a nil receiver. The zero offset is captured at construction so
+// elapsed_ns is relative to tracer start, matching the -trace stream
+// convention.
+type Tracer struct {
+	clock  Clock
+	start  time.Time
+	flight *FlightRecorder
+
+	mu  sync.Mutex
+	w   io.Writer // guarded by mu
+	enc *json.Encoder
+}
+
+// NewTracer returns a tracer writing span records to w (nil for
+// flight-only mirroring) with elapsed offsets measured from now.
+func NewTracer(w io.Writer, clock Clock, flight *FlightRecorder) *Tracer {
+	t := &Tracer{clock: clock, start: clock.Now(), flight: flight, w: w}
+	if w != nil {
+		t.enc = json.NewEncoder(w)
+	}
+	return t
+}
+
+// Span is an in-flight span started by Tracer.Begin; End finishes it.
+type Span struct {
+	tr    *Tracer
+	name  string
+	begin time.Time
+	execs int64
+}
+
+// Begin starts a span. Execs may carry the campaign exec index (0 to
+// omit). Returns an inert span on a nil tracer.
+func (t *Tracer) Begin(name string, execs int64) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{tr: t, name: name, begin: t.clock.Now(), execs: execs}
+}
+
+// End finishes the span, emitting its record with the given detail
+// (crash title, peer name, ""). Safe on the zero Span.
+func (s Span) End(detail string) {
+	t := s.tr
+	if t == nil {
+		return
+	}
+	now := t.clock.Now()
+	rec := SpanRecord{
+		Span:      s.name,
+		ElapsedNs: s.begin.Sub(t.start).Nanoseconds(),
+		DurNs:     now.Sub(s.begin).Nanoseconds(),
+		Execs:     s.execs,
+		Detail:    detail,
+	}
+	t.emit(rec)
+}
+
+// Event records an instantaneous (zero-duration) span.
+func (t *Tracer) Event(name string, execs int64, detail string) {
+	if t == nil {
+		return
+	}
+	now := t.clock.Now()
+	t.emit(SpanRecord{
+		Span:      name,
+		ElapsedNs: now.Sub(t.start).Nanoseconds(),
+		Execs:     execs,
+		Detail:    detail,
+	})
+}
+
+func (t *Tracer) emit(rec SpanRecord) {
+	if t.enc != nil {
+		t.mu.Lock()
+		t.enc.Encode(rec)
+		t.mu.Unlock()
+	}
+	t.flight.Record(Event{
+		Span:      rec.Span,
+		ElapsedNs: rec.ElapsedNs,
+		DurNs:     rec.DurNs,
+		Execs:     rec.Execs,
+		Detail:    rec.Detail,
+	})
+}

@@ -1,0 +1,59 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTracerSpansJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	clock := stepClock(time.Unix(1_700_000_000, 0).UTC(), time.Millisecond)
+	tr := NewTracer(&buf, clock, nil)
+	sp := tr.Begin("exec", 7)
+	sp.End("bug-a")
+	tr.Event("sync", 0, "hub")
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want 2 span lines, got %d: %q", len(lines), buf.String())
+	}
+	var rec SpanRecord
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Span != "exec" || rec.Execs != 7 || rec.Detail != "bug-a" {
+		t.Fatalf("span record: %+v", rec)
+	}
+	// stepClock ticks once for the tracer start, once at Begin, once
+	// at End: elapsed = 1ms, dur = 1ms.
+	if rec.ElapsedNs != int64(time.Millisecond) || rec.DurNs != int64(time.Millisecond) {
+		t.Fatalf("span timing: %+v", rec)
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Span != "sync" || rec.DurNs != 0 || rec.Detail != "hub" {
+		t.Fatalf("event record: %+v", rec)
+	}
+}
+
+func TestNilTracerInert(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Begin("x", 1)
+	sp.End("")
+	tr.Event("y", 0, "")
+	var zero Span
+	zero.End("still fine")
+}
+
+func TestTracerMirrorsToFlight(t *testing.T) {
+	fr := NewFlightRecorder(t.TempDir(), 8, fixedClock(1_700_000_000))
+	tr := NewTracer(nil, fixedClock(1_700_000_000), fr)
+	tr.Begin("exec", 3).End("")
+	tr.Event("crash", 3, "bug-a")
+	if fr.Len() != 2 {
+		t.Fatalf("flight ring: got %d events, want 2", fr.Len())
+	}
+}
